@@ -1,0 +1,17 @@
+"""Appendix B: the tail taxonomy — CMEX decreasing for uniform, flat for
+exponential, increasing (and linear with slope 1/(beta-1)) for Pareto;
+scale invariance and truncation-from-below invariance hold exactly."""
+
+from conftest import emit
+
+from repro.experiments import appendix_b
+
+
+def test_appendix_b(run_once):
+    result = run_once(appendix_b, seed=0)
+    emit(result)
+    assert result.taxonomy_correct
+    theory = 1.0 / (result.pareto_shape - 1.0)
+    assert abs(result.pareto_cmex_slope - theory) < 0.3 * theory
+    assert result.scale_invariance_spread < 1.001
+    assert result.truncation_shape_error < 0.1

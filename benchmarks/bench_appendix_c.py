@@ -1,0 +1,16 @@
+"""Appendix C: burst/lull scaling regimes of i.i.d. Pareto counts.
+
+beta = 2: bursts grow ~linearly with b; beta = 1: ~logarithmically;
+beta = 1/2: constant.  Lull quantiles (in bins) invariant in b."""
+
+from conftest import emit
+
+from repro.experiments import appendix_c
+
+
+def test_appendix_c(run_once):
+    result = run_once(appendix_c, seed=1, n_bins=2000)
+    emit(result)
+    assert result.regime_confirmed(2.0)
+    assert result.regime_confirmed(1.0)
+    assert result.regime_confirmed(0.5)

@@ -1,0 +1,19 @@
+"""Appendix D: M/G/infinity with Pareto service — asymptotic self-similarity.
+
+r(k) = rho a^beta k^(1-beta)/(beta-1); Poisson marginals with mean
+rho beta a/(beta-1); H = (3-beta)/2."""
+
+from conftest import emit
+
+from repro.experiments import appendix_d
+
+
+def test_appendix_d(run_once):
+    result = run_once(appendix_d, seed=2, n_steps=65536)
+    emit(result)
+    assert result.marginal_mean_measured == __import__("pytest").approx(
+        result.marginal_mean_theory, rel=0.15
+    )
+    for c, s in zip(result.closed_form[:3], result.simulated[:3]):
+        assert abs(s - c) < 0.6 * c
+    assert result.whittle_hurst > 0.6  # decisively long-range dependent

@@ -1,0 +1,13 @@
+"""Appendix E: M/G/infinity with log-normal service is NOT long-range
+dependent — per-decade autocovariance mass vanishes, unlike Pareto's."""
+
+from conftest import emit
+
+from repro.experiments import appendix_e
+
+
+def test_appendix_e(run_once):
+    result = run_once(appendix_e)
+    emit(result)
+    assert result.lognormal_summable
+    assert result.pareto_nonsummable

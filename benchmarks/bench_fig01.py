@@ -1,0 +1,15 @@
+"""Fig. 1: mean relative hourly connection arrival rates, LBL-1..4."""
+
+from conftest import emit
+
+from repro.experiments import fig01
+
+
+def test_fig01(run_once):
+    result = run_once(fig01, seed=0, hours=48)
+    emit(result)
+    # The paper's narrated shape:
+    assert result.telnet_lunch_dip  # office hours with a noontime dip
+    assert result.ftp_evening_share > 1.2  # FTP's evening renewal
+    assert result.nntp_flatness < 2.5  # NNTP fairly constant all day
+    assert result.smtp_morning_bias  # west-coast morning bias

@@ -1,0 +1,41 @@
+"""Fig. 2: Poisson-consistency tests across the trace suite.
+
+Paper shape: TELNET connection and FTP session arrivals are statistically
+indistinguishable from Poisson at both 1 h and 10 min fixed rates; FTPDATA,
+NNTP (and WWW) decisively are not; SMTP fails with consistently positive
+correlation; coalescing FTPDATA into bursts improves the 10 min fit.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig02
+
+
+def test_fig02(run_once):
+    result = run_once(
+        fig02, seed=0, traces=("LBL-1", "LBL-2", "UK"), hours=48
+    )
+    emit(result)
+
+    # user sessions: Poisson at both time scales on most traces
+    assert result.consistency_rate("TELNET", 3600.0) >= 2 / 3
+    assert result.consistency_rate("TELNET", 600.0) >= 2 / 3
+    assert result.consistency_rate("FTP", 3600.0) >= 2 / 3
+
+    # machine-driven / within-session arrivals: never Poisson
+    assert result.consistency_rate("FTPDATA", 3600.0) == 0.0
+    assert result.consistency_rate("NNTP", 3600.0) == 0.0
+    assert result.consistency_rate("SMTP", 3600.0) == 0.0
+
+    # burst coalescing moves FTPDATA toward (without guaranteeing) Poisson
+    burst_rate = sum(
+        c.result.exponential_pass_rate
+        for c in result.cells
+        if c.protocol == "FTPDATA-BURSTS" and c.interval == 600.0
+    )
+    raw_rate = sum(
+        c.result.exponential_pass_rate
+        for c in result.cells
+        if c.protocol == "FTPDATA" and c.interval == 600.0
+    )
+    assert burst_rate > raw_rate

@@ -1,0 +1,20 @@
+"""Fig. 5: variance-time plot, trace vs TCPLIB / EXP / VAR-EXP schemes.
+
+Paper shape: TCPLIB agrees closely with the trace; EXP and VAR-EXP exhibit
+far less variance over a large range of time scales; all converge at very
+large M; the trace line is much shallower than slope -1."""
+
+from conftest import emit
+
+from repro.experiments import fig05
+
+
+def test_fig05(run_once):
+    result = run_once(fig05, seed=7, duration=7200.0)
+    emit(result)
+    v50 = result.variance_at(50)
+    assert v50["TCPLIB"] > 0.65 * v50["TRACE"]  # TCPLIB tracks the trace
+    assert v50["EXP"] < v50["TRACE"]  # EXP sacrifices burstiness
+    assert v50["VAR-EXP"] < v50["TRACE"]
+    slopes = result.slopes(max_level=1000)
+    assert slopes["TRACE"] > -0.8  # decisively shallower than Poisson's -1

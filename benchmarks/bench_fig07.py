@@ -1,0 +1,15 @@
+"""Fig. 7: FULL-TEL model replicates vs the TELNET trace.
+
+Paper shape: "In general the agreement is quite good, though the models
+have slightly higher variance than the trace data for M > 10^2."  """
+
+from conftest import emit
+
+from repro.experiments import fig07
+
+
+def test_fig07(run_once):
+    result = run_once(fig07, seed=4, n_replicates=3)
+    emit(result)
+    assert len(result.model_curves) == 3
+    assert result.max_log_gap(max_level=500) < 0.45

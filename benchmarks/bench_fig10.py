@@ -1,0 +1,16 @@
+"""Fig. 10: share of LBL PKT FTPDATA traffic from the largest 2% / 0.5% of
+connection bursts.  Paper: 2% tails hold ~50-85%; volatile because a trace
+holds only a few hundred bursts."""
+
+from conftest import emit
+
+from repro.experiments import fig10
+
+
+def test_fig10(run_once):
+    result = run_once(fig10, seed=7)
+    emit(result)
+    assert len(result.rows_) == 4
+    for r in result.rows_:
+        assert r.top2_share > 0.08  # far above the 2% "fair share"
+        assert r.top05_share <= r.top2_share

@@ -1,0 +1,17 @@
+"""Fig. 11: the DEC WRL burst-dominance panels.  Paper: 2% tails hold
+45-70%; with more bursts per trace the shares are steadier than LBL's."""
+
+from conftest import emit
+
+from repro.experiments import fig10, fig11
+
+
+def test_fig11(run_once):
+    result = run_once(fig11, seed=8)
+    emit(result)
+    assert len(result.rows_) == 4
+    for r in result.rows_:
+        assert r.top2_share > 0.08
+    # WRL traces hold considerably more bursts than LBL's (paper text)
+    lbl = fig10(seed=7, traces=("LBL PKT-1",))
+    assert min(r.n_bursts for r in result.rows_) > lbl.rows_[0].n_bursts

@@ -1,0 +1,16 @@
+"""Fig. 12: variance-time plots of aggregate LBL PKT traffic (+ Whittle and
+Beran verdicts).  Paper shape: every trace shows large-scale correlations
+(slopes far shallower than -1); some but not all are consistent with fGn."""
+
+from conftest import emit
+
+from repro.experiments import fig12
+
+
+def test_fig12(run_once):
+    result = run_once(fig12, seed=8, hours=0.5)
+    emit(result)
+    assert len(result.rows_) == 5
+    assert result.all_show_large_scale_correlations
+    for r in result.rows_:
+        assert r.whittle_hurst > 0.55

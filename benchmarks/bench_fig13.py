@@ -1,0 +1,14 @@
+"""Fig. 13: variance-time plots of aggregate DEC WRL traffic."""
+
+from conftest import emit
+
+from repro.experiments import fig13
+
+
+def test_fig13(run_once):
+    result = run_once(fig13, seed=9, hours=0.5)
+    emit(result)
+    assert len(result.rows_) == 4
+    assert result.all_show_large_scale_correlations
+    for r in result.rows_:
+        assert r.vt_hurst > 0.55

@@ -1,0 +1,17 @@
+"""Fig. 14: count process of i.i.d. Pareto(beta=1) interarrivals, b = 10^3,
+nine seeds.  Paper shape: alternating bursts and lulls with a fairly regular
+ceiling of activity."""
+
+from conftest import emit
+
+from repro.arrivals import expected_burst_length
+from repro.experiments import fig14
+
+
+def test_fig14(run_once):
+    result = run_once(fig14, seed=9, n_seeds=9)
+    emit(result)
+    assert len(result.panels) == 9
+    assert 0.05 < result.occupied_fraction < 0.95
+    theory = expected_burst_length(1e3, 1.0, 1.0)  # log(10^3) ~ 6.9
+    assert 0.3 * theory < result.mean_burst < 4.0 * theory

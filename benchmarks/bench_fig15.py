@@ -1,0 +1,19 @@
+"""Fig. 15: the same process at b = 10^7 — visual self-similarity.
+
+Paper numbers across b = 10^3 -> 10^7: mean burst length grows only ~2.6x
+while the mean lull length changes ~1.2x.  The benchmark uses b = 10^6 and
+fewer bins/seeds to keep the run to seconds (E[burst] scales as log b, so
+the expected ratio is log(1e6)/log(1e3) = 2)."""
+
+from conftest import emit
+
+from repro.experiments import scale_comparison
+
+
+def test_fig15_scale_comparison(run_once):
+    result = run_once(scale_comparison, seed=10, large_b=1e6, n_seeds=4,
+                      n_bins=600)
+    print()
+    print(result.render())
+    assert 1.0 < result.burst_ratio < 4.5  # paper: ~2.6 over a larger span
+    assert 0.2 < result.lull_ratio < 3.5  # paper: ~1.2 (scale-invariant)

@@ -1,0 +1,24 @@
+"""Section VII-C estimator battery on processes of known structure:
+Whittle + Beran must accept fGn of known H and flag Poisson counts as
+short-range dependent."""
+
+import numpy as np
+
+from repro.selfsim import fgn_sample, hurst_panel
+
+
+def test_hurst_battery_on_fgn(run_once):
+    panel = run_once(hurst_panel, process=fgn_sample(16384, 0.8, seed=17) + 50.0)
+    print()
+    print("fGn(H=0.8) panel:", panel.summary_row())
+    assert abs(panel.whittle.hurst - 0.8) < 0.05
+    assert panel.consistent_with_fgn
+
+
+def test_hurst_battery_on_poisson(run_once):
+    rng = np.random.default_rng(18)
+    panel = run_once(hurst_panel, process=rng.poisson(30, 16384).astype(float))
+    print()
+    print("Poisson panel:", panel.summary_row())
+    assert abs(panel.median_hurst - 0.5) < 0.1
+    assert not panel.long_range_dependent_looking

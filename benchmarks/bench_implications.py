@@ -1,0 +1,53 @@
+"""Section VIII implications + Section VII-C-2 ablations.
+
+Ablation benches for the design choices DESIGN.md calls out: what happens
+to the paper's conclusions when the high-priority class is LRD vs Poisson,
+when admission control measures an LRD background, when FTPDATA timing is
+TCP-shaped rather than constant-rate, and when M/G/inf capacity is cut to
+k servers.
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    admission_comparison,
+    mgk_comparison,
+    priority_starvation,
+    tcp_dynamics,
+)
+
+
+def test_priority_starvation(run_once):
+    result = run_once(priority_starvation, seed=0)
+    emit(result)
+    assert result.starvation_ratio > 2.0
+    assert result.lrd.p99_low_delay > result.poisson.p99_low_delay
+
+
+def test_admission_control(run_once):
+    result = run_once(admission_comparison, seed=0)
+    emit(result)
+    assert result.lrd.misled_rate > 2.0 * max(result.poisson.misled_rate, 0.005)
+
+
+def test_tcp_dynamics_ablation(run_once):
+    result = run_once(tcp_dynamics, seed=0)
+    emit(result)
+    assert result.rate_cv > 0.2                 # rates differ across conns
+    assert result.within_rate_swing > 1.5       # and within one conn
+    assert not result.interarrivals_exponential
+
+
+def test_mgk_ablation(run_once):
+    result = run_once(mgk_comparison, seed=0)
+    emit(result)
+    assert result.correlations_survive
+
+
+def test_udp_competition(run_once):
+    from repro.experiments import udp_competition
+
+    result = run_once(udp_competition, seed=0)
+    emit(result)
+    assert 0.3 < result.tcp_yield_fraction < 0.7
+    assert result.udp_delivery_ratio > 0.9

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the per-figure benches (one shot, assert the paper's shape), these
+run multiple rounds to give real timing statistics for the primitives the
+experiments lean on: fGn synthesis, the variance-time sweep, the
+Anderson-Darling test, Whittle estimation, trace binning, and burst
+coalescing.
+"""
+
+import numpy as np
+
+from repro.arrivals import homogeneous_poisson
+from repro.core import coalesce_bursts
+from repro.distributions import tcplib
+from repro.selfsim import CountProcess, fgn_sample, variance_time_curve, whittle_estimate
+from repro.stats import anderson_darling_exponential
+from repro.utils import bin_counts
+
+
+def test_kernel_fgn_synthesis(benchmark):
+    result = benchmark(fgn_sample, 16384, 0.8, seed=1)
+    assert result.size == 16384
+
+
+def test_kernel_variance_time(benchmark):
+    rng = np.random.default_rng(2)
+    cp = CountProcess(rng.poisson(10, 50000).astype(float), 0.1)
+    curve = benchmark(variance_time_curve, cp)
+    assert curve.levels.size > 5
+
+
+def test_kernel_anderson_darling(benchmark):
+    rng = np.random.default_rng(3)
+    x = rng.exponential(1.0, 5000)
+    result = benchmark(anderson_darling_exponential, x)
+    assert result.n == 5000
+
+
+def test_kernel_whittle(benchmark):
+    x = fgn_sample(8192, 0.75, seed=4)
+    result = benchmark(whittle_estimate, x)
+    assert 0.6 < result.hurst < 0.9
+
+
+def test_kernel_tcplib_sampling(benchmark):
+    dist = tcplib.telnet_packet_interarrival()
+    s = benchmark(dist.sample, 100000, seed=5)
+    assert s.size == 100000
+
+
+def test_kernel_binning(benchmark):
+    times = homogeneous_poisson(100.0, 10000.0, seed=6)
+    counts = benchmark(bin_counts, times, 0.1, 0.0, 10000.0)
+    assert counts.sum() == times.size
+
+
+def test_kernel_burst_coalescing(benchmark):
+    rng = np.random.default_rng(7)
+    starts = np.sort(rng.uniform(0, 10000, 5000))
+    durs = rng.exponential(2.0, 5000)
+    sizes = rng.integers(1, 10**6, 5000)
+    bursts = benchmark(coalesce_bursts, starts, durs, sizes)
+    assert sum(b.n_connections for b in bursts) == 5000

@@ -1,0 +1,14 @@
+"""Section IV delay claim: exponential interarrivals significantly
+underestimate TELNET queueing delay at matched utilization."""
+
+from conftest import emit
+
+from repro.experiments import delay_experiment
+
+
+def test_delay_experiment(run_once):
+    result = run_once(delay_experiment, seed=3, n_connections=60,
+                      duration=900.0, utilization=0.85)
+    emit(result)
+    assert result.comparison.mean_delay_ratio > 1.3
+    assert result.comparison.p99_delay_ratio > 1.2

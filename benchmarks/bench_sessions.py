@@ -1,0 +1,22 @@
+"""Section III side analyses: the X11 session conjecture and the
+weather-map preprocessing step."""
+
+from conftest import emit
+
+from repro.experiments import weathermap, x11_sessions
+
+
+def test_x11_conjecture(run_once):
+    result = run_once(x11_sessions, seed=0)
+    emit(result)
+    # the paper's conjecture, confirmed: connections not Poisson, sessions
+    # Poisson
+    assert result.conjecture_confirmed
+
+
+def test_weathermap_preprocessing(run_once):
+    result = run_once(weathermap, seed=0)
+    emit(result)
+    assert not result.with_periodic.poisson_consistent
+    assert result.without_periodic.poisson_consistent
+    assert len(result.removed) == 1

@@ -1,0 +1,14 @@
+"""Table I: regenerate the wide-area connection-trace suite summary."""
+
+from conftest import emit
+
+from repro.experiments import table1
+
+
+def test_table1(run_once):
+    result = run_once(table1, seed=0, hours=12, scale=0.5)
+    emit(result)
+    assert len(result.rows) == 15  # BC, UCB, NC, UK, DEC 1-3, LBL 1-8
+    assert all(r["synth_conns"] > 100 for r in result.rows)
+    # every trace carries the user-session protocols the paper tests
+    assert all("TELNET" in r["protocols"] for r in result.rows)

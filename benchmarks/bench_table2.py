@@ -1,0 +1,15 @@
+"""Table II: regenerate the wide-area packet-trace suite summary."""
+
+from conftest import emit
+
+from repro.experiments import table2
+
+
+def test_table2(run_once):
+    result = run_once(table2, seed=0, hours=0.5, scale=0.5)
+    emit(result)
+    assert len(result.rows) == 9  # LBL PKT-1..5, DEC WRL-1..4
+    assert all(r["synth_pkts"] > 1000 for r in result.rows)
+    # the one-hour "ALL" traces carry non-TCP traffic
+    all_rows = [r for r in result.rows if r["all_link_level"]]
+    assert len(all_rows) == 6  # PKT-4, PKT-5, WRL-1..4

@@ -1,0 +1,14 @@
+"""Section VII-C-1: TELNET consistency with fGn 'on scales of tens of
+seconds or more' — rejected at packet granularity, accepted once
+aggregated."""
+
+from conftest import emit
+
+from repro.experiments import telnet_scales
+
+
+def test_telnet_scales(run_once):
+    result = run_once(telnet_scales, seed=0)
+    emit(result)
+    assert result.hurst_elevated_everywhere
+    assert result.coarse_scales_fgn_consistent

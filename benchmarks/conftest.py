@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, asserts
+its qualitative *shape* (who wins, orderings, factor ranges — see
+EXPERIMENTS.md for paper-vs-measured values), and prints the regenerated
+rows/series.  Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s``
+to see the rendered tables inline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Benchmark an experiment exactly once (they are seconds-scale, not
+    microseconds-scale) and return its result object."""
+
+    def _run(fn, **kwargs):
+        return benchmark.pedantic(
+            lambda: fn(**kwargs), iterations=1, rounds=1, warmup_rounds=0
+        )
+
+    return _run
+
+
+def emit(result) -> None:
+    """Print an experiment's rendered table (visible with pytest -s)."""
+    print()
+    print(result.render())

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Section VI workflow: FTPDATA burst structure and heavy tails.
+
+* coalesce FTPDATA connections into bursts with the 4 s spacing rule
+  (and show the 2 s footnote robustness check);
+* Fig. 8: the bimodal intra-session spacing distribution;
+* Fig. 9: byte concentration in the largest bursts + Pareto tail fit;
+* the burst arrivals themselves are not Poisson even after removing the
+  daily rate cycle.
+
+Run:  python examples/ftp_heavy_tails.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    FtpSessionModel,
+    burst_tail_summary,
+    coalesce_bursts,
+    intra_session_spacings,
+    trace_bursts,
+)
+from repro.stats import evaluate_interval, exponential_top_share
+from repro.traces import ConnectionTrace
+
+
+def main() -> None:
+    model = FtpSessionModel(sessions_per_hour=300.0)
+    records = model.synthesize(24 * 3600.0, seed=1)
+    trace = ConnectionTrace("ftp-day", records)
+    n_data = trace.connection_count("FTPDATA")
+    print(f"Generated {n_data} FTPDATA connections in "
+          f"{len(trace.sessions('FTPDATA'))} FTP sessions")
+    print()
+
+    # -- spacing distribution (Fig. 8) --------------------------------------
+    spacings = intra_session_spacings(trace)
+    below = float(np.mean(spacings <= 4.0))
+    print(f"intra-session spacings: {100 * below:.0f}% within the 4 s burst "
+          f"cutoff; 95th percentile {np.quantile(spacings, 0.95):.0f} s "
+          f"(bimodal, heavy upper tail)")
+    print()
+
+    # -- burst coalescing + the footnote robustness check -------------------
+    bursts4 = trace_bursts(trace, spacing=4.0)
+    bursts2 = trace_bursts(trace, spacing=2.0)
+    print(f"bursts at 4 s cutoff: {len(bursts4)}; at 2 s cutoff: "
+          f"{len(bursts2)} (paper: 'virtually identical results')")
+
+    # -- Fig. 9 concentration ------------------------------------------------
+    summary = burst_tail_summary(bursts4)
+    print(f"top 0.5% of bursts holds {100 * summary.share_top_half_percent:.0f}% "
+          f"of bytes; top 2% holds {100 * summary.share_top_two_percent:.0f}% "
+          f"(paper: 30-60% and ~55%+; exponential: "
+          f"{100 * exponential_top_share(0.005):.1f}%)")
+    if summary.tail_shape is not None:
+        print(f"Pareto fit of the upper 5% tail: beta = {summary.tail_shape:.2f} "
+              f"(paper: 0.9 <= beta <= 1.4)")
+    print()
+
+    # -- connections per burst are power-law too ----------------------------
+    conns = np.array([b.n_connections for b in bursts4])
+    print(f"connections per burst: median {np.median(conns):.0f}, "
+          f"max {conns.max()} (paper saw a single 979-connection burst)")
+    print()
+
+    # -- burst arrivals are not Poisson, even index-spaced -------------------
+    sizes = np.array([b.total_bytes for b in bursts4], dtype=float)
+    starts = np.array([b.start_time for b in bursts4])
+    k = max(3, int(0.005 * sizes.size))
+    top_idx = np.argsort(sizes)[-k:]
+    positions = np.sort(np.argsort(np.argsort(starts))[top_idx]).astype(float)
+    outcome = evaluate_interval(positions)
+    print(f"upper-0.5%-tail burst arrivals (index-spaced, removing the daily "
+          f"cycle): exponential-interarrival test "
+          f"{'passed' if outcome.exponential_passed else 'FAILED'}")
+    print("   (paper: failed at all significance levels — real huge bursts "
+          "cluster; our sessions arrive Poisson by construction, so the "
+          "synthetic suite diverges here: see EXPERIMENTS.md)")
+
+
+if __name__ == "__main__":
+    main()

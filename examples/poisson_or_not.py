@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Section III workflow: which arrival processes are Poisson?
+
+Reproduces the Fig. 2 analysis over a subset of the synthetic trace suite:
+per-protocol, per-interval-length Anderson-Darling + independence testing
+with binomial roll-ups, then a side experiment on the RLOGIN-vs-X11
+distinction (session arrivals vs within-session connection arrivals).
+
+Run:  python examples/poisson_or_not.py [trace ...]
+"""
+
+import sys
+
+from repro.experiments import fig02
+from repro.stats import evaluate_arrival_process
+from repro.traces import synthesize_connection_trace
+
+
+def main(traces) -> None:
+    print("Running the Appendix A methodology over", ", ".join(traces))
+    print()
+    result = fig02(seed=0, traces=tuple(traces), hours=48)
+    print(result.render())
+    print()
+
+    print("Paper's dichotomy check:")
+    for proto in ("TELNET", "FTP", "FTPDATA", "SMTP", "NNTP"):
+        rate = result.consistency_rate(proto, 3600.0)
+        expected = "Poisson" if proto in ("TELNET", "FTP") else "not Poisson"
+        print(f"   {proto:8s} hourly-Poisson on {100 * rate:3.0f}% of traces "
+              f"(paper: {expected})")
+    print()
+
+    # RLOGIN vs X11: sessions are Poisson, within-session connections not.
+    trace = synthesize_connection_trace("UCB", seed=5, hours=24)
+    for proto, expectation in (("RLOGIN", "Poisson (a session = a user)"),
+                               ("X11", "not Poisson (connections within a session)")):
+        times = trace.arrival_times(proto)
+        if times.size < 50:
+            continue
+        res = evaluate_arrival_process(times, 3600.0, start=0.0,
+                                       end=24 * 3600.0)
+        verdict = "POISSON" if res.poisson_consistent else "not Poisson"
+        print(f"   {proto:7s} -> {verdict}   (paper: {expectation})")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or ["LBL-1", "LBL-2", "UK"])

@@ -1,0 +1,44 @@
+"""repro — a reproduction of Paxson & Floyd, "Wide-Area Traffic: The Failure
+of Poisson Modeling" (SIGCOMM 1994 / IEEE/ACM ToN 3(3), 1995).
+
+Subpackages
+-----------
+``repro.distributions``
+    Exponential, Pareto, log2-normal, log-extreme, Weibull, discrete-Pareto
+    and empirical (Tcplib-style) distributions, plus tail fitting.
+``repro.traces``
+    Connection/packet trace data model, I/O, and the synthetic 24-trace
+    suite standing in for the paper's measurement datasets.
+``repro.arrivals``
+    Arrival-process generators: (non)homogeneous Poisson, i.i.d. Pareto
+    renewal (Appendix C), heavy-tailed ON/OFF, M/G/infinity (Appendices D-E),
+    and clustered/cascade arrivals.
+``repro.stats``
+    Appendix A's Poisson-testing methodology (Anderson-Darling + independence
+    tests + binomial roll-ups) and tail diagnostics.
+``repro.selfsim``
+    Variance-time analysis, fractional Gaussian noise synthesis, Whittle's
+    Hurst estimator, Beran's goodness-of-fit test, R/S and periodogram
+    estimators.
+``repro.queueing``
+    Event-driven FIFO queue for the packet-delay comparisons of Section IV.
+``repro.core``
+    The paper's models: TELNET synthesis schemes (TCPLIB / EXP / VAR-EXP),
+    the FULL-TEL source model, and the FTPDATA burst model.
+``repro.experiments``
+    One module per table/figure; each returns the printed rows/series.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arrivals",
+    "core",
+    "distributions",
+    "experiments",
+    "queueing",
+    "selfsim",
+    "stats",
+    "traces",
+    "utils",
+]

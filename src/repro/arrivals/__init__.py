@@ -1,0 +1,78 @@
+"""Arrival-process generators and their closed-form theory.
+
+* :mod:`repro.arrivals.poisson` — the null models of Section III.
+* :mod:`repro.arrivals.pareto_renewal` — Appendix C's pseudo-self-similar
+  i.i.d.-Pareto renewal process with burst/lull analytics.
+* :mod:`repro.arrivals.onoff` — heavy-tailed ON/OFF multiplexing [28].
+* :mod:`repro.arrivals.mg_infinity` — the M/G/infinity construction and its
+  autocovariance (Appendices D and E).
+* :mod:`repro.arrivals.cluster` — the clustered / timer-driven / cascade
+  mechanisms behind the non-Poisson protocols (NNTP, SMTP, WWW, FTPDATA).
+"""
+
+from repro.arrivals.cluster import (
+    cascade_arrivals,
+    compound_poisson_cluster,
+    modulated_poisson,
+    timer_driven_arrivals,
+)
+from repro.arrivals.mg_infinity import (
+    MGInfinity,
+    asymptotic_hurst,
+    is_long_range_dependent,
+    lognormal_mg_infinity,
+    pareto_autocovariance,
+    pareto_mg_infinity,
+)
+from repro.arrivals.cross_traffic import self_similar_cross_traffic
+from repro.arrivals.mgk import MGkResult, simulate_mgk
+from repro.arrivals.onoff import OnOffSource, expected_hurst, multiplex_onoff
+from repro.arrivals.pareto_renewal import (
+    BurstLullSummary,
+    burst_lull_summary,
+    burst_termination_bounds,
+    expected_burst_length,
+    lull_length_bounds,
+    pareto_renewal_arrivals,
+    pareto_renewal_counts,
+    steady_state_empty_probability,
+)
+from repro.arrivals.poisson import (
+    exponential_interarrival_times,
+    homogeneous_poisson,
+    piecewise_poisson,
+    poisson_fixed_count,
+    thinned_poisson,
+)
+
+__all__ = [
+    "BurstLullSummary",
+    "MGInfinity",
+    "MGkResult",
+    "OnOffSource",
+    "asymptotic_hurst",
+    "burst_lull_summary",
+    "burst_termination_bounds",
+    "cascade_arrivals",
+    "compound_poisson_cluster",
+    "expected_burst_length",
+    "expected_hurst",
+    "exponential_interarrival_times",
+    "homogeneous_poisson",
+    "is_long_range_dependent",
+    "lognormal_mg_infinity",
+    "lull_length_bounds",
+    "modulated_poisson",
+    "multiplex_onoff",
+    "pareto_autocovariance",
+    "pareto_mg_infinity",
+    "pareto_renewal_arrivals",
+    "pareto_renewal_counts",
+    "simulate_mgk",
+    "piecewise_poisson",
+    "poisson_fixed_count",
+    "self_similar_cross_traffic",
+    "steady_state_empty_probability",
+    "thinned_poisson",
+    "timer_driven_arrivals",
+]

@@ -1,0 +1,184 @@
+"""The M/G/infinity construction (Section VII-B, Appendices D and E).
+
+Customers arrive in a Poisson stream of rate ``rho`` and occupy a server for
+a service time drawn from distribution G; with infinitely many servers no one
+waits, and X_t — the number of customers in the system at time t — is the
+count process of interest.
+
+Appendix D (Cox): the autocovariance is
+
+    r(k) = rho * integral_k^inf (1 - F(x)) dx,
+
+so Pareto service times with 1 < beta < 2 give r(k) ~ k^(1-beta) —
+nonsummable, hence the count process is asymptotically self-similar /
+long-range dependent, with Poisson marginals of mean rho * E[service] =
+rho * beta * a / (beta - 1).
+
+Appendix E: log-normal service times give a *summable* r(k): subexponential
+but not heavy-tailed, so the M/G/infinity count process is NOT long-range
+dependent — the paper's cautionary contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.distributions.lognormal import Log2Normal
+from repro.distributions.pareto import Pareto
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class MGInfinity:
+    """M/G/infinity occupancy process with arrival rate ``rho`` (per unit
+    time) and service distribution ``service``."""
+
+    rho: float
+    service: Distribution
+
+    def __post_init__(self):
+        require_positive(self.rho, "rho")
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        n_steps: int,
+        dt: float = 1.0,
+        seed: SeedLike = None,
+        warmup: float | None = None,
+    ) -> np.ndarray:
+        """Sample X_t at times 0, dt, 2dt, ..., (n_steps-1) dt.
+
+        ``warmup`` seconds of arrivals before t=0 approximate the stationary
+        regime (customers already in service at the start of observation).
+        Defaults to 20 mean service times when the mean is finite, else to
+        the observation span.
+        """
+        require_positive(dt, "dt")
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be >= 0, got {n_steps}")
+        rng = as_rng(seed)
+        span = n_steps * dt
+        if warmup is None:
+            mean = self.service.mean
+            warmup = 20.0 * mean if math.isfinite(mean) else span
+        n_arrivals = rng.poisson(self.rho * (warmup + span))
+        starts = rng.uniform(-warmup, span, size=n_arrivals)
+        durations = self.service.sample(n_arrivals, seed=rng)
+        ends = starts + durations
+
+        # X at observation time t = #(starts <= t < ends); sweep via sorted
+        # endpoint counts: X(t) = #starts<=t - #ends<=t.
+        obs = dt * np.arange(n_steps)
+        started = np.searchsorted(np.sort(starts), obs, side="right")
+        finished = np.searchsorted(np.sort(ends), obs, side="right")
+        return (started - finished).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Closed forms (Appendix D)
+    # ------------------------------------------------------------------
+    @property
+    def stationary_mean(self) -> float:
+        """E[X] = rho * E[service] (Poisson marginal); inf if service mean
+        is infinite."""
+        return self.rho * self.service.mean
+
+    def autocovariance(self, k, *, grid: int = 4096, upper_q: float = 1.0 - 1e-7):
+        """r(k) = rho * integral_k^inf S(x) dx, computed numerically.
+
+        Subclasses of :class:`Distribution` with closed-form integrated
+        tails are special-cased in :func:`pareto_autocovariance`.
+        """
+        ks = np.atleast_1d(np.asarray(k, dtype=float))
+        upper = float(self.service.ppf(upper_q))
+        out = np.empty_like(ks)
+        for i, kv in enumerate(ks):
+            if kv >= upper:
+                out[i] = 0.0
+                continue
+            # Log-spaced abscissae: the integrated tail is concentrated near
+            # k while the support can span many decades.
+            lo = max(kv, 1e-12)
+            x = np.geomspace(lo, upper, grid)
+            if kv < lo:
+                x = np.concatenate([[kv], x])
+            s = np.asarray(self.service.sf(x), dtype=float)
+            out[i] = self.rho * np.trapezoid(s, x)
+        return out if np.ndim(k) else float(out[0])
+
+
+def pareto_autocovariance(rho: float, location: float, shape: float, k):
+    """Closed-form Appendix D autocovariance for Pareto(location, shape)
+    service with shape > 1:
+
+        r(k) = rho * a^beta * k^(1-beta) / (beta - 1)      for k >= a,
+        r(k) = rho * [ (a - k) + a / (beta - 1) ]          for 0 <= k < a,
+
+    the second branch accounting for the S(x) = 1 region below the location.
+    """
+    require_positive(rho, "rho")
+    require_positive(location, "location")
+    if shape <= 1.0:
+        raise ValueError("closed form requires shape > 1 (finite mean)")
+    a, b = location, shape
+    ks = np.atleast_1d(np.asarray(k, dtype=float))
+    out = np.empty_like(ks)
+    below = ks < a
+    out[below] = rho * ((a - ks[below]) + a / (b - 1.0))
+    out[~below] = rho * a**b * ks[~below] ** (1.0 - b) / (b - 1.0)
+    return out if np.ndim(k) else float(out[0])
+
+
+def pareto_mg_infinity(rho: float, location: float, shape: float) -> MGInfinity:
+    """M/G/infinity with Pareto service — asymptotically self-similar for
+    1 < shape < 2 (Appendix D)."""
+    return MGInfinity(rho, Pareto(location, shape))
+
+
+def lognormal_mg_infinity(rho: float, log2_mean: float, log2_sd: float) -> MGInfinity:
+    """M/G/infinity with log-normal service — NOT long-range dependent
+    (Appendix E)."""
+    return MGInfinity(rho, Log2Normal(log2_mean, log2_sd))
+
+
+def is_long_range_dependent(service: Distribution, *, k_max: float = 1e9) -> bool:
+    """Decide LRD by the growth of the partial sums of r(k).
+
+    For Pareto service the decision is analytic: nonsummable iff shape <= 2.
+    For log-normal service Appendix E proves summability (returns False).
+    Other distributions are judged numerically by whether the integrated
+    tail sum keeps growing per decade out to ``k_max``.
+    """
+    if isinstance(service, Pareto):
+        return service.shape <= 2.0
+    if isinstance(service, Log2Normal):
+        return False
+    # Numeric heuristic: compare the partial sum added per decade.
+    model = MGInfinity(1.0, service)
+    decades = np.geomspace(1.0, k_max, 10)
+    increments = []
+    for lo, hi in zip(decades[:-1], decades[1:]):
+        ks = np.geomspace(lo, hi, 16)
+        r = model.autocovariance(ks)
+        increments.append(float(np.trapezoid(np.atleast_1d(r), ks)))
+    # Summable covariances have geometrically vanishing decade increments.
+    return increments[-1] > 0.5 * increments[0]
+
+
+def asymptotic_hurst(shape: float) -> float:
+    """Hurst parameter of the asymptotically self-similar M/G/infinity count
+    process with Pareto(beta) service, 1 < beta < 2:
+
+        r(k) ~ k^(1-beta) = k^(-D)  with D = beta - 1  =>  H = 1 - D/2
+        = (3 - beta) / 2.
+    """
+    if not 1.0 < shape < 2.0:
+        raise ValueError("asymptotic self-similarity requires 1 < shape < 2")
+    return (3.0 - shape) / 2.0

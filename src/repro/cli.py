@@ -1,0 +1,68 @@
+"""Command-line entry point: run any experiment from the registry.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro run fig09            # regenerate one table/figure
+    python -m repro run fig02 --seed 7
+    python -m repro run all              # the whole battery
+
+Each experiment prints the rows/series the paper's table or figure reports
+(see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import REGISTRY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of Paxson & Floyd (1994).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="registry name, e.g. fig09, or 'all'")
+    run.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    return parser
+
+
+def run_experiment(name: str, seed: int) -> int:
+    if name not in REGISTRY:
+        print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
+        return 2
+    fn = REGISTRY[name]
+    t0 = time.perf_counter()
+    result = fn(seed=seed)
+    elapsed = time.perf_counter() - t0
+    print(result.render())
+    print(f"[{name}: {elapsed:.1f}s]")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(REGISTRY):
+            doc = (REGISTRY[name].__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{name:18s} {summary}")
+        return 0
+    if args.experiment == "all":
+        status = 0
+        for name in sorted(REGISTRY):
+            print(f"=== {name} ===")
+            status |= run_experiment(name, args.seed)
+            print()
+        return status
+    return run_experiment(args.experiment, args.seed)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""The paper's traffic models.
+
+* :mod:`repro.core.telnet` — Section IV's TCPLIB / EXP / VAR-EXP synthesis
+  schemes and the 100-connection multiplexing experiment.
+* :mod:`repro.core.fulltel` — Section V's FULL-TEL source model.
+* :mod:`repro.core.ftp` — Section VI's FTPDATA burst coalescing, tail
+  analytics, and generative FTP session model.
+"""
+
+from repro.core.ftp import (
+    BURST_SPACING_SECONDS,
+    Burst,
+    BurstTailSummary,
+    FtpSessionModel,
+    burst_concentration,
+    burst_tail_summary,
+    coalesce_bursts,
+    intra_session_spacings,
+    trace_bursts,
+)
+from repro.core.fulltel import FullTelModel
+from repro.core.responder import TelnetResponderModel
+from repro.core.telnet import (
+    EXP_MEAN_SECONDS,
+    ConnectionSpec,
+    MultiplexResult,
+    Scheme,
+    clustering_score,
+    connection_packet_times,
+    multiplexed_telnet,
+    synthesize_packet_arrivals,
+)
+
+__all__ = [
+    "BURST_SPACING_SECONDS",
+    "EXP_MEAN_SECONDS",
+    "Burst",
+    "BurstTailSummary",
+    "ConnectionSpec",
+    "FtpSessionModel",
+    "FullTelModel",
+    "MultiplexResult",
+    "TelnetResponderModel",
+    "Scheme",
+    "burst_concentration",
+    "burst_tail_summary",
+    "clustering_score",
+    "coalesce_bursts",
+    "connection_packet_times",
+    "intra_session_spacings",
+    "multiplexed_telnet",
+    "synthesize_packet_arrivals",
+    "trace_bursts",
+]

@@ -1,0 +1,184 @@
+"""TELNET packet-arrival synthesis schemes (Section IV).
+
+Section IV builds three synthetic counterparts of a traced set of TELNET
+connections, sharing each connection's start time and size in packets:
+
+* **TCPLIB** — i.i.d. interarrivals from the empirical Tcplib distribution
+  (heavy-tailed; the scheme that preserves burstiness, Fig. 5);
+* **EXP** — i.i.d. exponential interarrivals with mean 1.1 s;
+* **VAR-EXP** — each connection's packets spread uniformly over the
+  connection's *actual traced duration*, i.e. "exponential interarrivals
+  with the mean adjusted to reflect the connection's actual observed packet
+  rate".
+
+Plus the multiplexing experiment: 100 active connections for 10 minutes,
+where Tcplib interarrivals keep an aggregate 1 s-bin variance ~2.5x that of
+exponential interarrivals at equal mean.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arrivals.poisson import poisson_fixed_count
+from repro.distributions import tcplib
+from repro.distributions.exponential import Exponential
+from repro.selfsim.counts import CountProcess
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+from repro.utils.validation import require_positive
+
+#: The paper's exponential comparator mean: "an exponential distribution
+#: with a mean of 1.1 s (to give roughly the same number of packets as the
+#: Tcplib distribution)".
+EXP_MEAN_SECONDS = 1.1
+
+
+class Scheme(enum.Enum):
+    """Packet interarrival synthesis scheme."""
+
+    TCPLIB = "TCPLIB"
+    EXP = "EXP"
+    VAR_EXP = "VAR-EXP"
+
+
+@dataclass(frozen=True)
+class ConnectionSpec:
+    """What the synthesizer preserves from a traced connection."""
+
+    start_time: float
+    n_packets: int
+    duration: float | None = None  # required by VAR-EXP only
+
+    def __post_init__(self):
+        if self.start_time < 0:
+            raise ValueError("start_time must be >= 0")
+        if self.n_packets < 0:
+            raise ValueError("n_packets must be >= 0")
+
+
+def connection_packet_times(
+    spec: ConnectionSpec, scheme: Scheme, seed: SeedLike = None
+) -> np.ndarray:
+    """Synthesize one connection's originator packet timestamps."""
+    rng = as_rng(seed)
+    n = spec.n_packets
+    if n == 0:
+        return np.zeros(0)
+    if scheme is Scheme.TCPLIB:
+        gaps = tcplib.telnet_packet_interarrival().sample(n, seed=rng)
+        return spec.start_time + np.cumsum(gaps)
+    if scheme is Scheme.EXP:
+        gaps = Exponential(EXP_MEAN_SECONDS).sample(n, seed=rng)
+        return spec.start_time + np.cumsum(gaps)
+    if scheme is Scheme.VAR_EXP:
+        if spec.duration is None:
+            raise ValueError("VAR-EXP requires the connection's traced duration")
+        require_positive(spec.duration, "duration")
+        return spec.start_time + poisson_fixed_count(n, spec.duration, seed=rng)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def synthesize_packet_arrivals(
+    specs: list[ConnectionSpec],
+    scheme: Scheme,
+    seed: SeedLike = None,
+    horizon: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesize a whole trace's TELNET packets under one scheme.
+
+    Returns ``(timestamps, connection_ids)`` sorted by time.  ``horizon``
+    truncates packets beyond the observation window (TCPLIB/EXP connections
+    "perhaps [have] different durations" than their traced counterparts).
+    """
+    rng = as_rng(seed)
+    all_times, all_ids = [], []
+    for cid, spec in enumerate(specs):
+        t = connection_packet_times(spec, scheme, seed=rng)
+        all_times.append(t)
+        all_ids.append(np.full(t.size, cid, dtype=np.int64))
+    if not all_times:
+        return np.zeros(0), np.zeros(0, dtype=np.int64)
+    times = np.concatenate(all_times)
+    ids = np.concatenate(all_ids)
+    if horizon is not None:
+        keep = times < horizon
+        times, ids = times[keep], ids[keep]
+    order = np.argsort(times, kind="stable")
+    return times[order], ids[order]
+
+
+@dataclass(frozen=True)
+class MultiplexResult:
+    """Aggregate 1 s-bin count statistics of the multiplexing experiment."""
+
+    scheme: Scheme
+    counts: CountProcess
+
+    @property
+    def mean(self) -> float:
+        return self.counts.mean
+
+    @property
+    def variance(self) -> float:
+        return self.counts.variance
+
+
+def multiplexed_telnet(
+    n_connections: int = 100,
+    duration: float = 600.0,
+    scheme: Scheme = Scheme.TCPLIB,
+    bin_width: float = 1.0,
+    seed: SeedLike = None,
+) -> MultiplexResult:
+    """Section IV's multiplexing experiment.
+
+    ``n_connections`` sources are active for the whole ``duration``; each
+    emits packets with i.i.d. interarrivals under ``scheme`` (packet streams
+    are truncated at the horizon rather than sized in advance).  The paper's
+    result: mean ~92 packets/s for both schemes, variance ~240 (Tcplib)
+    vs ~97 (exponential) — "even a high degree of statistical multiplexing
+    failed to smooth away the difference."
+    """
+    if n_connections < 1:
+        raise ValueError("n_connections must be >= 1")
+    require_positive(duration, "duration")
+    if scheme is Scheme.VAR_EXP:
+        raise ValueError("the multiplexing experiment is defined for TCPLIB/EXP")
+    dist = (
+        tcplib.telnet_packet_interarrival()
+        if scheme is Scheme.TCPLIB
+        else Exponential(EXP_MEAN_SECONDS)
+    )
+    times = []
+    for rng in spawn_rngs(seed, n_connections):
+        # Draw in blocks until the horizon is passed.
+        t = 0.0
+        gaps_needed = max(16, int(duration / 0.5))
+        conn_times = []
+        while t < duration:
+            gaps = dist.sample(gaps_needed, seed=rng)
+            cum = t + np.cumsum(gaps)
+            conn_times.append(cum)
+            t = float(cum[-1])
+        ct = np.concatenate(conn_times)
+        times.append(ct[ct < duration])
+    all_times = np.concatenate(times)
+    counts = CountProcess.from_times(all_times, bin_width, start=0.0, end=duration)
+    return MultiplexResult(scheme=scheme, counts=counts)
+
+
+def clustering_score(times: np.ndarray, window: float = 1.0) -> float:
+    """Fraction of interarrivals shorter than ``window`` seconds.
+
+    A scalar summary of the visual clustering in Fig. 4's dot plots: Tcplib
+    connections pack far more of their gaps below 1 s than exponential
+    connections of the same mean rate.
+    """
+    t = np.sort(np.asarray(times, dtype=float))
+    if t.size < 2:
+        raise ValueError("need at least 2 packet times")
+    gaps = np.diff(t)
+    return float(np.mean(gaps < window))

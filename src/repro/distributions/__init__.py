@@ -1,0 +1,50 @@
+"""Distribution substrate: every law the paper fits, samples, or tests.
+
+* :class:`Exponential` — the Poisson null model and Fig. 3's comparators.
+* :class:`Pareto` — the heavy tail of Appendix B (+ Hill / tail fitting).
+* :class:`Log2Normal` — TELNET packets-per-connection (Section V).
+* :class:`LogExtreme` — TELNET bytes-per-connection (Section V, ref. [34]).
+* :class:`Weibull`, :class:`DiscretePareto` — Appendix B's supporting cast.
+* :class:`EmpiricalDistribution` + :mod:`repro.distributions.tcplib` — the
+  Tcplib machinery and the calibrated TELNET interarrival table.
+"""
+
+from repro.distributions.base import (
+    Distribution,
+    empirical_cdf,
+    geometric_mean,
+    is_heavy_tailed_estimate,
+    lognormal_fit_log2,
+    moment_summary,
+)
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.exponential import Exponential
+from repro.distributions.logextreme import LogExtreme
+from repro.distributions.loglogistic import LogLogistic
+from repro.distributions.lognormal import Log2Normal
+from repro.distributions.pareto import Pareto, hill_estimator, tail_fit
+from repro.distributions.truncated import Truncated
+from repro.distributions.weibull import Weibull
+from repro.distributions.zipf import DiscretePareto
+from repro.distributions import tcplib
+
+__all__ = [
+    "Distribution",
+    "EmpiricalDistribution",
+    "Exponential",
+    "LogExtreme",
+    "LogLogistic",
+    "Log2Normal",
+    "Pareto",
+    "Truncated",
+    "Weibull",
+    "DiscretePareto",
+    "empirical_cdf",
+    "geometric_mean",
+    "hill_estimator",
+    "is_heavy_tailed_estimate",
+    "lognormal_fit_log2",
+    "moment_summary",
+    "tail_fit",
+    "tcplib",
+]

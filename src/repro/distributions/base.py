@@ -1,0 +1,180 @@
+"""Abstract base class for the distributions used throughout the paper.
+
+Each distribution exposes the usual quartet (pdf / cdf / sf / ppf), sampling
+through a :class:`numpy.random.Generator`, analytic moments where they exist
+(several of the paper's distributions have *infinite* mean or variance — the
+Pareto with beta <= 1 being the star of the show), and the tail diagnostics
+the paper leans on: the survival function and the conditional mean exceedance
+(Appendix B).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Distribution(abc.ABC):
+    """A univariate distribution over (a subset of) the real line."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "distribution"
+
+    # ------------------------------------------------------------------
+    # Core interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def cdf(self, x):
+        """Cumulative distribution function P[X <= x] (vectorized)."""
+
+    @abc.abstractmethod
+    def ppf(self, q):
+        """Quantile function (inverse CDF), defined for q in [0, 1]."""
+
+    def sf(self, x):
+        """Survival function P[X > x]."""
+        return 1.0 - np.asarray(self.cdf(x), dtype=float)
+
+    def pdf(self, x):
+        """Probability density.  Subclasses with closed forms override this."""
+        raise NotImplementedError(f"{self.name} does not define a density")
+
+    # ------------------------------------------------------------------
+    # Moments
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Analytic mean; ``math.inf`` when the mean does not exist."""
+        raise NotImplementedError
+
+    @property
+    def variance(self) -> float:
+        """Analytic variance; ``math.inf`` when it does not exist."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, size: int | tuple[int, ...], seed: SeedLike = None) -> np.ndarray:
+        """Draw samples by inverse-transform; subclasses may specialize."""
+        rng = as_rng(seed)
+        u = rng.random(size)
+        return np.asarray(self.ppf(u), dtype=float)
+
+    # ------------------------------------------------------------------
+    # Tail diagnostics (Appendix B)
+    # ------------------------------------------------------------------
+    def cmex(self, x: float, *, grid: int = 20001, upper: float | None = None) -> float:
+        """Conditional mean exceedance E[X - x | X > x].
+
+        Appendix B classifies tails by the CMEX: decreasing for light tails
+        (uniform), constant for the memoryless exponential, and *increasing*
+        for heavy tails such as the Pareto.  The default implementation
+        integrates the survival function numerically,
+
+            CMEX(x) = (1 / S(x)) * integral_x^upper S(t) dt,
+
+        which subclasses with closed forms override.
+        """
+        sx = float(self.sf(x))
+        if sx <= 0.0:
+            raise ValueError(f"survival function is zero at x={x}; CMEX undefined")
+        if upper is None:
+            upper = float(self.ppf(1.0 - 1e-9))
+        if upper <= x:
+            return 0.0
+        t = np.linspace(x, upper, grid)
+        st = np.asarray(self.sf(t), dtype=float)
+        return float(np.trapezoid(st, t) / sx)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def log_survival(self, x):
+        """log P[X > x]; useful for tail plots spanning many decades."""
+        with np.errstate(divide="ignore"):
+            return np.log(self.sf(x))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def empirical_cdf(samples: Sequence[float]):
+    """Return ``(sorted_x, ecdf_values)`` for plotting / comparison.
+
+    The returned ECDF uses the right-continuous convention
+    ``F_n(x_i) = i / n`` for the i-th order statistic.
+    """
+    x = np.sort(np.asarray(samples, dtype=float))
+    if x.size == 0:
+        raise ValueError("cannot build an ECDF from an empty sample")
+    return x, np.arange(1, x.size + 1) / x.size
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean of strictly positive samples.
+
+    Section IV fits one of its two exponential comparison curves to the
+    geometric mean of the observed TELNET interarrivals.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take the geometric mean of an empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive samples")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def lognormal_fit_log2(samples: Sequence[float]) -> tuple[float, float]:
+    """Fit (mean, sd) of log2(samples); the paper's log2-normal parameters."""
+    arr = np.asarray(samples, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("log2-normal fit requires strictly positive samples")
+    logs = np.log2(arr)
+    return float(np.mean(logs)), float(np.std(logs, ddof=1)) if arr.size > 1 else 0.0
+
+
+def moment_summary(samples: Sequence[float]) -> dict[str, float]:
+    """Descriptive moments used in experiment printouts."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    out = {
+        "n": float(arr.size),
+        "mean": float(np.mean(arr)),
+        "variance": float(np.var(arr, ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "median": float(np.median(arr)),
+    }
+    if np.all(arr > 0):
+        out["geometric_mean"] = geometric_mean(arr)
+    return out
+
+
+def is_heavy_tailed_estimate(samples: Sequence[float], *, points: int = 5) -> bool:
+    """Crude empirical heavy-tail check via an increasing CMEX curve.
+
+    Evaluates the empirical mean exceedance at ``points`` quantiles between
+    the median and the 95th percentile and reports whether it increases
+    overall — the Appendix B definition operationalized on data.
+    """
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size < 20:
+        raise ValueError("need at least 20 samples for a CMEX estimate")
+    qs = np.linspace(0.5, 0.95, points)
+    thresholds = np.quantile(arr, qs)
+    cmex = []
+    for t in thresholds:
+        exceed = arr[arr > t]
+        if exceed.size == 0:
+            break
+        cmex.append(float(np.mean(exceed - t)))
+    if len(cmex) < 2:
+        return False
+    return cmex[-1] > cmex[0]

@@ -1,0 +1,97 @@
+"""The exponential distribution — the interarrival law of a Poisson process.
+
+The paper's central negative result is that exponential interarrivals (and
+hence Poisson arrival processes) badly misrepresent most wide-area traffic.
+This module provides the exponential both as the null model under test
+(Appendix A) and as the comparison curves of Fig. 3 (fits to the geometric
+and arithmetic means of observed TELNET interarrivals).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution, geometric_mean
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import require_positive
+
+#: Euler-Mascheroni constant; the geometric mean of an Exponential(mean=m)
+#: is m * exp(-gamma).
+EULER_GAMMA = 0.5772156649015329
+
+
+class Exponential(Distribution):
+    """Exponential distribution parameterized by its mean (= 1 / rate)."""
+
+    name = "exponential"
+
+    def __init__(self, mean: float):
+        self._mean = require_positive(mean, "mean")
+
+    @property
+    def rate(self) -> float:
+        """Arrival rate lambda = 1 / mean."""
+        return 1.0 / self._mean
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._mean**2
+
+    @property
+    def geometric_mean_value(self) -> float:
+        """Closed-form geometric mean, mean * exp(-gamma)."""
+        return self._mean * math.exp(-EULER_GAMMA)
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        pos = x >= 0
+        out[pos] = np.exp(-x[pos] / self._mean) / self._mean
+        return out
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x < 0, 0.0, -np.expm1(-np.maximum(x, 0.0) / self._mean))
+
+    def sf(self, x):
+        x = np.asarray(x, dtype=float)
+        return np.where(x < 0, 1.0, np.exp(-np.maximum(x, 0.0) / self._mean))
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any(~((q >= 0) & (q <= 1))):  # rejects NaN too
+            raise ValueError("quantiles must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            return -self._mean * np.log1p(-q)
+
+    def sample(self, size, seed: SeedLike = None) -> np.ndarray:
+        return as_rng(seed).exponential(self._mean, size)
+
+    def cmex(self, x: float, **_ignored) -> float:
+        """Memorylessness: the conditional mean exceedance is constant."""
+        return self._mean
+
+    @classmethod
+    def fit(cls, samples) -> "Exponential":
+        """Maximum-likelihood fit: the sample mean."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot fit an exponential to an empty sample")
+        if np.any(arr < 0):
+            raise ValueError("exponential samples must be nonnegative")
+        return cls(float(np.mean(arr)))
+
+    @classmethod
+    def fit_geometric(cls, samples) -> "Exponential":
+        """Fit so the *geometric* means agree (Fig. 3's 'fit #1').
+
+        Solves m * exp(-gamma) = geometric_mean(samples) for the mean m.
+        """
+        g = geometric_mean(samples)
+        return cls(g * math.exp(EULER_GAMMA))

@@ -1,0 +1,124 @@
+"""Log-extreme (log2-Gumbel) distribution.
+
+Paxson's earlier measurement paper (ref. [34]) — and Section V of this one —
+model the number of *bytes* sent by a wide-area TELNET originator as
+"log-extreme": log2(X) follows an extreme-value (Gumbel) distribution with
+location alpha = log2(100) and scale beta = log2(3.5),
+
+    P[log2 X <= y] = exp(-exp(-(y - alpha) / beta)).
+
+Section V contrasts this with the log2-normal fit for connection size in
+*packets*: bytes stay log-extreme, packets are better modeled log-normal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import require_positive
+
+_LN2 = math.log(2.0)
+#: Euler-Mascheroni constant (mean of the standard Gumbel).
+_GAMMA = 0.5772156649015329
+
+
+class LogExtreme(Distribution):
+    """X such that log2(X) ~ Gumbel(location=alpha, scale=beta)."""
+
+    name = "log-extreme"
+
+    def __init__(self, alpha: float, beta: float):
+        self.alpha = float(alpha)
+        self.beta = require_positive(beta, "beta")
+
+    @classmethod
+    def paxson_telnet_bytes(cls) -> "LogExtreme":
+        """The paper's fit: alpha = log2(100), beta = log2(3.5)."""
+        return cls(alpha=math.log2(100.0), beta=math.log2(3.5))
+
+    # ------------------------------------------------------------------
+    @property
+    def log2_mean(self) -> float:
+        """Mean of log2(X): alpha + gamma * beta."""
+        return self.alpha + _GAMMA * self.beta
+
+    @property
+    def log2_median(self) -> float:
+        return self.alpha - self.beta * math.log(math.log(2.0))
+
+    @property
+    def mean(self) -> float:
+        """E[X] = E[2^G] = Gamma(1 - beta*ln2) * 2^alpha when beta*ln2 < 1.
+
+        For beta*ln2 >= 1 the mean is infinite (the Gumbel's MGF pole).
+        """
+        t = self.beta * _LN2
+        if t >= 1.0:
+            return math.inf
+        return math.gamma(1.0 - t) * 2.0**self.alpha
+
+    @property
+    def variance(self) -> float:
+        t = self.beta * _LN2
+        if 2.0 * t >= 1.0:
+            return math.inf
+        ex = self.mean
+        ex2 = math.gamma(1.0 - 2.0 * t) * 2.0 ** (2.0 * self.alpha)
+        return ex2 - ex**2
+
+    # ------------------------------------------------------------------
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        pos = x > 0
+        y = np.log2(x[pos])
+        out[pos] = np.exp(-np.exp(-(y - self.alpha) / self.beta))
+        return out
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        pos = x > 0
+        y = np.log2(x[pos])
+        z = (y - self.alpha) / self.beta
+        # Chain rule: d(log2 x)/dx = 1 / (x ln 2).
+        out[pos] = np.exp(-z - np.exp(-z)) / (self.beta * x[pos] * _LN2)
+        return out
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any(~((q >= 0) & (q <= 1))):  # rejects NaN too
+            raise ValueError("quantiles must lie in [0, 1]")
+        with np.errstate(divide="ignore", over="ignore"):
+            y = self.alpha - self.beta * np.log(-np.log(q))
+            return np.power(2.0, y)
+
+    def sample(self, size, seed: SeedLike = None) -> np.ndarray:
+        rng = as_rng(seed)
+        g = rng.gumbel(self.alpha, self.beta, size)
+        return np.power(2.0, g)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(cls, samples) -> "LogExtreme":
+        """Method-of-moments fit on log2 of the data.
+
+        Gumbel(alpha, beta) has mean alpha + gamma*beta and variance
+        (pi^2 / 6) * beta^2, giving beta_hat = sd * sqrt(6) / pi.
+        """
+        arr = np.asarray(samples, dtype=float)
+        if arr.size < 2:
+            raise ValueError("need at least 2 samples to fit a log-extreme")
+        if np.any(arr <= 0):
+            raise ValueError("log-extreme samples must be strictly positive")
+        logs = np.log2(arr)
+        sd = float(np.std(logs, ddof=1))
+        if sd <= 0:
+            raise ValueError("degenerate sample: zero variance in log2 space")
+        beta = sd * math.sqrt(6.0) / math.pi
+        alpha = float(np.mean(logs)) - _GAMMA * beta
+        return cls(alpha, beta)

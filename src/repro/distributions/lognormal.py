@@ -1,0 +1,104 @@
+"""Log-normal distribution, parameterized in base-2 logs as in the paper.
+
+Section V models TELNET connection sizes *in packets* as log2-normal with
+log2-mean log2(100) and log2-standard-deviation 2.24.  Appendix E proves the
+log-normal is *subexponential* (long-tailed: its tail decays slower than any
+exponential) but **not** heavy-tailed in the power-law sense of eq. (1) —
+which is exactly why the M/G/infinity queue with log-normal service times is
+not long-range dependent.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+from repro.distributions.base import Distribution
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import require_positive
+
+_LN2 = math.log(2.0)
+_SQRT2 = math.sqrt(2.0)
+
+
+class Log2Normal(Distribution):
+    """X such that log2(X) ~ Normal(mu2, sigma2^2)."""
+
+    name = "log2-normal"
+
+    def __init__(self, log2_mean: float, log2_sd: float):
+        self.log2_mean = float(log2_mean)
+        self.log2_sd = require_positive(log2_sd, "log2_sd")
+        # Natural-log parameters for the standard formulae.
+        self._mu = self.log2_mean * _LN2
+        self._sigma = self.log2_sd * _LN2
+
+    @classmethod
+    def paxson_telnet_packets(cls) -> "Log2Normal":
+        """Section V's fit for TELNET originator packets per connection."""
+        return cls(log2_mean=math.log2(100.0), log2_sd=2.24)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return math.exp(self._mu + self._sigma**2 / 2.0)
+
+    @property
+    def variance(self) -> float:
+        s2 = self._sigma**2
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self._mu + s2)
+
+    @property
+    def median(self) -> float:
+        return math.exp(self._mu)
+
+    # ------------------------------------------------------------------
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        pos = x > 0
+        z = (np.log(x[pos]) - self._mu) / self._sigma
+        out[pos] = np.exp(-0.5 * z**2) / (x[pos] * self._sigma * math.sqrt(2 * math.pi))
+        return out
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        pos = x > 0
+        z = (np.log(x[pos]) - self._mu) / self._sigma
+        out[pos] = 0.5 * (1.0 + special.erf(z / _SQRT2))
+        return out
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any(~((q >= 0) & (q <= 1))):  # rejects NaN too
+            raise ValueError("quantiles must lie in [0, 1]")
+        z = special.erfinv(2.0 * q - 1.0) * _SQRT2
+        with np.errstate(over="ignore"):
+            return np.exp(self._mu + self._sigma * z)
+
+    def sample(self, size, seed: SeedLike = None) -> np.ndarray:
+        rng = as_rng(seed)
+        return rng.lognormal(self._mu, self._sigma, size)
+
+    # ------------------------------------------------------------------
+    def is_heavy_tailed(self) -> bool:
+        """Always False: Appendix E shows the log-normal tail
+        exp(-log^2(x)/2) / log(x) eventually drops below any power x^-beta."""
+        return False
+
+    @classmethod
+    def fit(cls, samples) -> "Log2Normal":
+        """MLE on log2 of the data."""
+        arr = np.asarray(samples, dtype=float)
+        if arr.size < 2:
+            raise ValueError("need at least 2 samples to fit a log-normal")
+        if np.any(arr <= 0):
+            raise ValueError("log-normal samples must be strictly positive")
+        logs = np.log2(arr)
+        sd = float(np.std(logs, ddof=1))
+        if sd <= 0:
+            raise ValueError("degenerate sample: zero variance in log2 space")
+        return cls(float(np.mean(logs)), sd)

@@ -1,0 +1,80 @@
+"""Upper truncation of a distribution.
+
+Several of the paper's laws have infinite mean (Pareto with beta <= 1,
+log-extreme with beta ln2 >= 1); any finite trace or empirical table
+implicitly truncates them.  :class:`Truncated` makes that explicit: the
+conditional law X | X <= upper, with exact CDF/quantile algebra rather than
+rejection sampling, so experiments can reason about what truncation does to
+tail mass (e.g. the Tcplib table's 180 s cap, Appendix B's remarks on
+finite-sample means of infinite-mean laws).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Truncated(Distribution):
+    """The conditional distribution X | X <= upper.
+
+    CDF: F_T(x) = F(x) / F(upper) for x <= upper, 1 beyond;
+    quantile: Q_T(q) = Q(q * F(upper)).
+    """
+
+    name = "truncated"
+
+    def __init__(self, base: Distribution, upper: float):
+        mass = float(np.atleast_1d(base.cdf(np.asarray(upper, dtype=float)))[0])
+        if not 0.0 < mass <= 1.0:
+            raise ValueError(
+                f"no probability mass at or below upper={upper!r} "
+                f"(F(upper) = {mass})"
+            )
+        self.base = base
+        self.upper = float(upper)
+        self._mass = mass
+        self.name = f"truncated-{base.name}"
+
+    # ------------------------------------------------------------------
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.asarray(self.base.cdf(np.minimum(x, self.upper)),
+                         dtype=float) / self._mass
+        return np.where(x >= self.upper, 1.0, out)
+
+    def ppf(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any(~((q >= 0) & (q <= 1))):  # rejects NaN too
+            raise ValueError("quantiles must lie in [0, 1]")
+        return np.minimum(
+            np.asarray(self.base.ppf(q * self._mass), dtype=float), self.upper
+        )
+
+    def pdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.asarray(self.base.pdf(x), dtype=float) / self._mass
+        return np.where(x > self.upper, 0.0, out)
+
+    def sample(self, size, seed: SeedLike = None) -> np.ndarray:
+        return np.asarray(self.ppf(as_rng(seed).random(size)), dtype=float)
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Numeric mean of the truncated law — finite even when the base
+        law's mean is infinite (the whole point)."""
+        q = np.linspace(0.0, 1.0, 200001)
+        return float(np.mean(self.ppf(q)))
+
+    @property
+    def variance(self) -> float:
+        q = np.linspace(0.0, 1.0, 200001)
+        return float(np.var(self.ppf(q)))
+
+    @property
+    def truncated_mass(self) -> float:
+        """P[X > upper] under the base law — what the cap discards."""
+        return 1.0 - self._mass

@@ -1,0 +1,71 @@
+"""Discrete Pareto (Zipf) distribution of Appendix B.
+
+The paper quotes (after Feller) the discrete law
+
+    P[X = n] = 1 / ((n + 1)(n + 2)),   n >= 0,
+
+which arises for platoon lengths of cars on an infinite road with no passing
+— "a model suggestively analogous to computer network traffic."  Its mean is
+infinite: sum n / ((n+1)(n+2)) diverges like the harmonic series.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.utils.rng import SeedLike, as_rng
+
+
+class DiscretePareto(Distribution):
+    """P[X = n] = 1 / ((n + 1)(n + 2)) for integer n >= 0."""
+
+    name = "discrete-pareto"
+
+    @property
+    def mean(self) -> float:
+        return math.inf
+
+    @property
+    def variance(self) -> float:
+        return math.inf
+
+    def pmf(self, n):
+        n = np.asarray(n)
+        out = np.zeros(n.shape, dtype=float)
+        ok = (n >= 0) & (n == np.floor(n))
+        nn = n[ok].astype(float)
+        out[ok] = 1.0 / ((nn + 1.0) * (nn + 2.0))
+        return out
+
+    def cdf(self, x):
+        # P[X <= x] = sum_{n=0}^{floor(x)} 1/((n+1)(n+2)) telescopes to
+        # 1 - 1/(floor(x) + 2).
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        ok = x >= 0
+        out[ok] = 1.0 - 1.0 / (np.floor(x[ok]) + 2.0)
+        return out
+
+    def sf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.ones_like(x)
+        ok = x >= 0
+        out[ok] = 1.0 / (np.floor(x[ok]) + 2.0)
+        return out
+
+    def ppf(self, q):
+        # Smallest n with 1 - 1/(n+2) >= q  <=>  n >= 1/(1-q) - 2.
+        q = np.asarray(q, dtype=float)
+        if np.any(~((q >= 0) & (q <= 1))):  # rejects NaN too
+            raise ValueError("quantiles must lie in [0, 1]")
+        with np.errstate(divide="ignore"):
+            n = np.ceil(1.0 / (1.0 - q) - 2.0)
+        return np.maximum(n, 0.0)
+
+    def sample(self, size, seed: SeedLike = None) -> np.ndarray:
+        rng = as_rng(seed)
+        u = rng.random(size)
+        return self.ppf(u).astype(np.int64)

@@ -1,0 +1,73 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Each experiment function returns a structured result with a ``render()``
+method that prints the same rows/series the paper's table or figure
+reports.  The per-experiment index lives in DESIGN.md; paper-vs-measured
+values are recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.appendix_b import appendix_b
+from repro.experiments.appendices import (
+    appendix_c,
+    appendix_d,
+    appendix_e,
+    delay_experiment,
+)
+from repro.experiments.fig01 import fig01
+from repro.experiments.implications import (
+    admission_comparison,
+    mgk_comparison,
+    priority_starvation,
+    tcp_dynamics,
+    udp_competition,
+)
+from repro.experiments.fig02 import fig02
+from repro.experiments.sessions import weathermap, x11_sessions
+from repro.experiments.telnet_scales import telnet_scales
+from repro.experiments.fig03 import fig03
+from repro.experiments.fig04 import fig04
+from repro.experiments.fig05 import fig05, fig06
+from repro.experiments.fig07 import fig07
+from repro.experiments.fig08 import fig08
+from repro.experiments.fig09 import fig09
+from repro.experiments.fig10 import fig10, fig11
+from repro.experiments.fig12 import fig12, fig13
+from repro.experiments.fig14 import fig14, fig15, scale_comparison
+from repro.experiments.tables import table1, table2
+
+#: Registry mapping experiment ids to their entry points.
+REGISTRY = {
+    "table1": table1,
+    "table2": table2,
+    "fig01": fig01,
+    "fig02": fig02,
+    "fig03": fig03,
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "scale_comparison": scale_comparison,
+    "admission": admission_comparison,
+    "appendix_b": appendix_b,
+    "appendix_c": appendix_c,
+    "appendix_d": appendix_d,
+    "appendix_e": appendix_e,
+    "delay": delay_experiment,
+    "mgk": mgk_comparison,
+    "priority": priority_starvation,
+    "tcp_dynamics": tcp_dynamics,
+    "telnet_scales": telnet_scales,
+    "udp_competition": udp_competition,
+    "weathermap": weathermap,
+    "x11_sessions": x11_sessions,
+}
+
+__all__ = ["REGISTRY"] + sorted(REGISTRY)

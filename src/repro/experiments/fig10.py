@@ -1,0 +1,158 @@
+"""Figs. 10 and 11: per-minute FTPDATA traffic dominated by the top bursts.
+
+For each packet trace the paper plots FTPDATA bytes/minute and shades the
+contribution of the largest 2% (and 0.5%) of connection bursts: for the LBL
+PKT traces the 2% tail holds ~50-85% of all FTPDATA traffic; for the DEC
+WRL traces 45-70%.  The same rendering serves both figures (Fig. 10 = LBL,
+Fig. 11 = DEC WRL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ftp import FtpSessionModel, coalesce_bursts
+from repro.experiments.report import ascii_sparkline, format_table
+from repro.utils.rng import SeedLike, spawn_rngs
+
+LBL_TRACES = ("LBL PKT-1", "LBL PKT-2", "LBL PKT-3", "LBL PKT-5")
+WRL_TRACES = ("DEC WRL-1", "DEC WRL-2", "DEC WRL-3", "DEC WRL-4")
+
+
+@dataclass(frozen=True)
+class BurstDominanceRow:
+    trace: str
+    n_bursts: int
+    minutes: np.ndarray  # total FTPDATA bytes per minute
+    top2_minutes: np.ndarray  # bytes/minute from the top-2% bursts
+    top05_minutes: np.ndarray
+
+    @property
+    def top2_share(self) -> float:
+        total = self.minutes.sum()
+        return float(self.top2_minutes.sum() / total) if total else 0.0
+
+    @property
+    def top05_share(self) -> float:
+        total = self.minutes.sum()
+        return float(self.top05_minutes.sum() / total) if total else 0.0
+
+    def row(self) -> dict:
+        return {
+            "trace": self.trace,
+            "bursts": self.n_bursts,
+            "MB_total": float(self.minutes.sum() / 1e6),
+            "top2%_share": self.top2_share,
+            "top0.5%_share": self.top05_share,
+        }
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    rows_: list[BurstDominanceRow]
+    title: str
+
+    def rows(self) -> list[dict]:
+        return [r.row() for r in self.rows_]
+
+    def render(self) -> str:
+        lines = [format_table(self.rows(), title=self.title)]
+        for r in self.rows_:
+            lines.append(f"{r.trace:>10} all : {ascii_sparkline(r.minutes)}")
+            lines.append(f"{r.trace:>10} top2: {ascii_sparkline(r.top2_minutes)}")
+        return "\n".join(lines)
+
+
+def _burst_dominance(
+    name: str, rng, duration: float, sessions_per_hour: float
+) -> BurstDominanceRow:
+    """Synthesize FTPDATA connections, coalesce bursts, attribute traffic."""
+    model = FtpSessionModel(sessions_per_hour=sessions_per_hour)
+    records = [r for r in model.synthesize(duration, seed=rng)
+               if r.protocol == "FTPDATA"]
+    n_minutes = int(duration // 60.0)
+    minutes = np.zeros(n_minutes)
+    # burst membership per record, via per-session coalescing
+    by_session: dict[int, list] = {}
+    for r in records:
+        by_session.setdefault(r.session_id, []).append(r)
+    bursts = []
+    membership = []  # (record, burst_index)
+    for recs in by_session.values():
+        recs.sort(key=lambda r: r.start_time)
+        starts = np.array([r.start_time for r in recs])
+        durs = np.array([r.duration for r in recs])
+        sizes = np.array([r.total_bytes for r in recs])
+        session_bursts = coalesce_bursts(starts, durs, sizes)
+        # map each record to its burst by cumulative connection counts
+        i = 0
+        for b in session_bursts:
+            idx = len(bursts)
+            bursts.append(b)
+            for _ in range(b.n_connections):
+                membership.append((recs[i], idx))
+                i += 1
+    sizes = np.array([b.total_bytes for b in bursts], dtype=float)
+    order = np.argsort(sizes)[::-1]
+    k2 = max(1, int(np.ceil(0.02 * sizes.size)))
+    k05 = max(1, int(np.ceil(0.005 * sizes.size)))
+    top2 = set(order[:k2].tolist())
+    top05 = set(order[:k05].tolist())
+
+    top2_minutes = np.zeros(n_minutes)
+    top05_minutes = np.zeros(n_minutes)
+    for rec, b_idx in membership:
+        _spread(minutes, rec, duration)
+        if b_idx in top2:
+            _spread(top2_minutes, rec, duration)
+        if b_idx in top05:
+            _spread(top05_minutes, rec, duration)
+    return BurstDominanceRow(
+        trace=name, n_bursts=sizes.size, minutes=minutes,
+        top2_minutes=top2_minutes, top05_minutes=top05_minutes,
+    )
+
+
+def _spread(minutes: np.ndarray, rec, duration: float) -> None:
+    """Attribute a connection's bytes uniformly across its lifetime."""
+    n = minutes.size
+    start = min(rec.start_time, duration - 1e-9)
+    end = min(rec.end_time, duration)
+    first = int(start // 60.0)
+    last = min(int(end // 60.0), n - 1)
+    span = max(end - start, 1e-9)
+    rate = rec.total_bytes / span
+    for m in range(first, last + 1):
+        lo = max(start, m * 60.0)
+        hi = min(end, (m + 1) * 60.0)
+        if hi > lo:
+            minutes[m] += rate * (hi - lo)
+
+
+def fig10(
+    seed: SeedLike = 0,
+    traces=LBL_TRACES,
+    hours: float = 1.0,
+    sessions_per_hour: float = 120.0,
+    title: str = "Fig. 10: share of FTPDATA traffic from largest bursts (LBL PKT)",
+) -> Fig10Result:
+    """Regenerate Fig. 10 (pass WRL_TRACES + a new title for Fig. 11)."""
+    rows = []
+    for name, rng in zip(traces, spawn_rngs(seed, len(traces))):
+        rows.append(_burst_dominance(name, rng, hours * 3600.0,
+                                     sessions_per_hour))
+    return Fig10Result(rows_=rows, title=title)
+
+
+def fig11(seed: SeedLike = 1, hours: float = 1.0,
+          sessions_per_hour: float = 300.0) -> Fig10Result:
+    """Fig. 11: the DEC WRL datasets (more bursts, steadier tail shares)."""
+    return fig10(
+        seed=seed,
+        traces=WRL_TRACES,
+        hours=hours,
+        sessions_per_hour=sessions_per_hour,
+        title="Fig. 11: share of FTPDATA traffic from largest bursts (DEC WRL)",
+    )

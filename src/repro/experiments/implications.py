@@ -1,0 +1,366 @@
+"""Section VIII implication experiments + the Section VII-C-2 ablations.
+
+The paper closes with consequences of long-range dependence that Poisson
+models cannot express.  Each gets a quantitative experiment here:
+
+* **priority starvation** — LRD high-priority traffic starves a low
+  priority class for far longer stretches than Poisson traffic of the same
+  mean rate;
+* **admission control** — a recent-measurement admission policy is misled
+  far more often by LRD background traffic;
+* **TCP dynamics** — FTPDATA packet streams shaped by TCP congestion
+  control are *not* constant-rate and not exponential, quantifying why the
+  idealized M/G/inf model misses real FTP traffic;
+* **M/G/k vs M/G/inf** — limiting capacity to k servers dents but does not
+  eliminate the large-scale correlations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arrivals.mg_infinity import pareto_mg_infinity
+from repro.arrivals.mgk import simulate_mgk
+from repro.distributions.pareto import Pareto
+from repro.experiments.report import format_table
+from repro.queueing.admission import AdmissionResult, admission_experiment
+from repro.queueing.priority import PriorityResult, strict_priority_queue
+from repro.selfsim.fgn import fgn_sample
+from repro.stats.anderson_darling import anderson_darling_exponential
+from repro.tcp.network import BottleneckSimulator, TransferSpec
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+
+
+# ----------------------------------------------------------------------
+# Priority starvation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StarvationResult:
+    lrd: PriorityResult
+    poisson: PriorityResult
+
+    @property
+    def starvation_ratio(self) -> float:
+        return self.lrd.longest_low_starvation / max(
+            self.poisson.longest_low_starvation, 1e-9
+        )
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "high_class": name,
+                "low_mean_delay": r.mean_low_delay,
+                "low_p99_delay": r.p99_low_delay,
+                "longest_starvation": r.longest_low_starvation,
+            }
+            for name, r in (("LRD (fGn H=0.9)", self.lrd),
+                            ("Poisson", self.poisson))
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            self.rows(),
+            title="Section VIII: low-priority starvation under LRD vs "
+                  "Poisson high-priority traffic",
+        ) + f"\nstarvation ratio: {self.starvation_ratio:.1f}x"
+
+
+def _modulated_arrivals(counts: np.ndarray, rng) -> np.ndarray:
+    times = [i + rng.random(c) for i, c in enumerate(counts) if c]
+    return np.sort(np.concatenate(times)) if times else np.zeros(0)
+
+
+def priority_starvation(
+    seed: SeedLike = 0,
+    n_seconds: int = 4000,
+    high_mean: float = 6.0,
+    low_mean: float = 1.5,
+    capacity: float = 10.0,
+    hurst: float = 0.9,
+) -> StarvationResult:
+    """Run the matched-rate LRD-vs-Poisson priority experiment."""
+    rng = as_rng(seed)
+    lam = np.maximum(fgn_sample(n_seconds, hurst, seed=rng) * (high_mean * 2 / 3)
+                     + high_mean, 0.0)
+    high_lrd = _modulated_arrivals(rng.poisson(lam), rng)
+    high_poi = _modulated_arrivals(rng.poisson(high_mean, n_seconds), rng)
+    low = np.sort(rng.uniform(0, n_seconds, int(n_seconds * low_mean)))
+    service = 1.0 / capacity
+    return StarvationResult(
+        lrd=strict_priority_queue(high_lrd, low, service),
+        poisson=strict_priority_queue(high_poi, low, service),
+    )
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdmissionComparison:
+    lrd: AdmissionResult
+    poisson: AdmissionResult
+
+    @property
+    def misled_ratio(self) -> float:
+        return self.lrd.misled_rate / max(self.poisson.misled_rate, 1e-4)
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "background": name,
+                "admission_rate": r.admission_rate,
+                "misled_rate": r.misled_rate,
+            }
+            for name, r in (("LRD (fGn H=0.9)", self.lrd),
+                            ("Poisson", self.poisson))
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            self.rows(),
+            title="Section VIII: measurement-based admission control misled "
+                  "by LRD background traffic",
+        )
+
+
+def admission_comparison(
+    seed: SeedLike = 0,
+    n_bins: int = 6000,
+    mean: float = 50.0,
+    capacity: float = 70.0,
+    flow_rate: float = 10.0,
+    hurst: float = 0.9,
+) -> AdmissionComparison:
+    """Matched-mean admission-control comparison."""
+    rng = as_rng(seed)
+    lam = np.maximum(fgn_sample(n_bins, hurst, seed=rng) * 12.0 + mean, 0.0)
+    lrd_counts = rng.poisson(lam).astype(float)
+    poi_counts = rng.poisson(mean, n_bins).astype(float)
+    return AdmissionComparison(
+        lrd=admission_experiment(lrd_counts, capacity, flow_rate),
+        poisson=admission_experiment(poi_counts, capacity, flow_rate),
+    )
+
+
+# ----------------------------------------------------------------------
+# TCP dynamics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TcpDynamicsResult:
+    throughputs: np.ndarray  # per-connection delivered rates
+    rate_cv: float  # coefficient of variation across connections
+    within_rate_swing: float  # max/min per-2s rate inside one transfer
+    interarrivals_exponential: bool
+    total_drops: int
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "metric": "per-connection rate CV",
+                "value": self.rate_cv,
+                "mginf_assumption": "0 (constant equal rates)",
+            },
+            {
+                "metric": "within-connection rate swing",
+                "value": self.within_rate_swing,
+                "mginf_assumption": "1 (constant rate)",
+            },
+            {
+                "metric": "interarrivals exponential?",
+                "value": self.interarrivals_exponential,
+                "mginf_assumption": "n/a (paper: far from exponential)",
+            },
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            self.rows(),
+            title="Section VII-C-2: TCP congestion control vs the "
+                  "constant-rate M/G/inf idealization",
+        ) + f"\ntotal drops: {self.total_drops}"
+
+
+def tcp_dynamics(
+    seed: SeedLike = 0,
+    n_connections: int = 8,
+    bottleneck_rate: float = 400.0,
+    buffer_packets: int = 8,
+) -> TcpDynamicsResult:
+    """Quantify how far TCP-shaped FTPDATA is from constant-rate."""
+    rng = as_rng(seed)
+    specs = [
+        TransferSpec(
+            start_time=float(rng.uniform(0, 5.0)),
+            n_packets=int(rng.integers(2000, 6000)),
+            rtt=float(rng.uniform(0.05, 0.3)),
+            max_window=64.0,
+        )
+        for _ in range(n_connections)
+    ]
+    sim = BottleneckSimulator(rate=bottleneck_rate, buffer_packets=buffer_packets)
+    res = sim.run(specs)
+    thr = np.array([t.throughput for t in res.transfers])
+    # within-connection rate variation of the largest transfer
+    biggest = int(np.argmax([t.spec.n_packets for t in res.transfers]))
+    times = np.asarray(res.transfers[biggest].departure_times)
+    counts, _ = np.histogram(times, bins=np.arange(times.min(), times.max(), 2.0))
+    mid = counts[1:-1]
+    swing = float(mid.max() / max(mid.min(), 1)) if mid.size else 1.0
+    gaps = np.diff(res.departure_times)
+    ad = anderson_darling_exponential(gaps[: min(gaps.size, 4000)])
+    return TcpDynamicsResult(
+        throughputs=thr,
+        rate_cv=float(thr.std() / thr.mean()),
+        within_rate_swing=swing,
+        interarrivals_exponential=ad.passed,
+        total_drops=res.total_drops,
+    )
+
+
+# ----------------------------------------------------------------------
+# M/G/k vs M/G/inf
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MGkComparison:
+    rows_: list[dict]
+
+    def rows(self) -> list[dict]:
+        return self.rows_
+
+    @property
+    def correlations_survive(self) -> bool:
+        """Lag-50 autocorrelation stays clearly positive at every k."""
+        return all(r["acf_50"] > 0.02 for r in self.rows_)
+
+    def render(self) -> str:
+        return format_table(
+            self.rows(),
+            title="Section VII-C-2: M/G/k vs M/G/inf — finite capacity dents "
+                  "but does not erase large-scale correlations",
+        )
+
+
+def mgk_comparison(
+    seed: SeedLike = 0,
+    rho: float = 5.0,
+    shape: float = 1.5,
+    ks=(18, 30, 60),
+    n_steps: int = 30000,
+) -> MGkComparison:
+    """Autocorrelation of busy-server counts across server counts k."""
+    rows = []
+    rngs = spawn_rngs(seed, len(ks) + 1)
+    for k, rng in zip(ks, rngs):
+        r = simulate_mgk(rho, Pareto(1.0, shape), k=k, n_steps=n_steps,
+                         seed=rng, warmup=float(n_steps))
+        x = r.in_service.astype(float)
+        xc = x - x.mean()
+        var = float(x.var())
+        if var == 0.0:  # perpetually saturated: no correlation signal
+            continue
+        rows.append(
+            {
+                "k": k,
+                "utilization": r.utilization,
+                "acf_10": float(np.mean(xc[:-10] * xc[10:])) / var,
+                "acf_50": float(np.mean(xc[:-50] * xc[50:])) / var,
+            }
+        )
+    inf_model = pareto_mg_infinity(rho, 1.0, shape)
+    x = inf_model.simulate(n_steps, seed=rngs[-1],
+                           warmup=float(n_steps)).astype(float)
+    xc = x - x.mean()
+    var = float(x.var())
+    rows.append(
+        {
+            "k": "inf",
+            "utilization": float("nan"),
+            "acf_10": float(np.mean(xc[:-10] * xc[10:])) / var,
+            "acf_50": float(np.mean(xc[:-50] * xc[50:])) / var,
+        }
+    )
+    return MGkComparison(rows_=rows)
+
+
+# ----------------------------------------------------------------------
+# UDP competition (the paper's open question)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UdpCompetitionResult:
+    """FTP-vs-MBone competition outcomes (Section VII-C-2)."""
+
+    tcp_throughput_alone: float
+    tcp_throughput_shared: float
+    udp_offered: int
+    udp_delivered: int
+    tcp_drops_shared: int
+
+    @property
+    def tcp_yield_fraction(self) -> float:
+        """How much of its solo throughput TCP gave up."""
+        return 1.0 - self.tcp_throughput_shared / self.tcp_throughput_alone
+
+    @property
+    def udp_delivery_ratio(self) -> float:
+        return self.udp_delivered / self.udp_offered if self.udp_offered else 1.0
+
+    def rows(self) -> list[dict]:
+        return [
+            {"flow": "TCP alone", "throughput": self.tcp_throughput_alone,
+             "delivery": 1.0},
+            {"flow": "TCP vs UDP", "throughput": self.tcp_throughput_shared,
+             "delivery": float("nan")},
+            {"flow": "UDP (unresponsive)",
+             "throughput": float("nan"),
+             "delivery": self.udp_delivery_ratio},
+        ]
+
+    def render(self) -> str:
+        return format_table(
+            self.rows(),
+            title="Section VII-C-2: TCP yields to unresponsive UDP "
+                  "cross-traffic",
+        ) + (
+            f"\nTCP gave up {100 * self.tcp_yield_fraction:.0f}% of its solo "
+            f"throughput; UDP delivered {100 * self.udp_delivery_ratio:.0f}% "
+            f"of its offered load"
+        )
+
+
+def udp_competition(
+    seed: SeedLike = 0,
+    bottleneck_rate: float = 200.0,
+    buffer_packets: int = 10,
+    udp_fraction: float = 0.5,
+    n_packets: int = 5000,
+) -> UdpCompetitionResult:
+    """Run one FTP transfer with and without MBone-style UDP competition.
+
+    "Only the FTP traffic will adjust to fit the available bandwidth.  The
+    UDP traffic will continue unimpeded."  The UDP stream offers
+    ``udp_fraction`` of the bottleneck rate for the whole horizon and never
+    backs off.
+    """
+    from repro.arrivals.poisson import homogeneous_poisson
+
+    sim = BottleneckSimulator(rate=bottleneck_rate,
+                              buffer_packets=buffer_packets)
+    spec = TransferSpec(0.0, n_packets, rtt=0.1, max_window=64)
+    alone = sim.run([spec])
+    solo_time = alone.transfers[0].completion_time or 1.0
+    horizon = 5.0 * solo_time  # generous: shared run is slower
+    udp = homogeneous_poisson(udp_fraction * bottleneck_rate, horizon,
+                              seed=seed)
+    shared = sim.run([spec], cross_traffic=udp)
+    completion = shared.transfers[0].completion_time or horizon
+    offered = int(np.sum(udp <= completion))
+    delivered = int(np.sum(shared.cross_traffic_times <= completion))
+    return UdpCompetitionResult(
+        tcp_throughput_alone=alone.transfers[0].throughput,
+        tcp_throughput_shared=shared.transfers[0].throughput,
+        udp_offered=offered,
+        udp_delivered=delivered,
+        tcp_drops_shared=shared.transfers[0].packets_dropped,
+    )

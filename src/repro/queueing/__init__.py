@@ -1,0 +1,30 @@
+"""Queueing substrate: the FIFO link simulations behind Section IV's
+packet-delay claim."""
+
+from repro.queueing.admission import AdmissionResult, admission_experiment
+from repro.queueing.delay import (
+    DelayComparison,
+    multiplexed_arrival_stream,
+    telnet_delay_experiment,
+)
+from repro.queueing.priority import PriorityResult, strict_priority_queue
+from repro.queueing.simulator import (
+    QueueResult,
+    fifo_queue,
+    md1_mean_wait,
+    mm1_mean_wait,
+)
+
+__all__ = [
+    "AdmissionResult",
+    "DelayComparison",
+    "PriorityResult",
+    "admission_experiment",
+    "QueueResult",
+    "fifo_queue",
+    "md1_mean_wait",
+    "mm1_mean_wait",
+    "multiplexed_arrival_stream",
+    "strict_priority_queue",
+    "telnet_delay_experiment",
+]

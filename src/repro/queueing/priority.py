@@ -1,0 +1,115 @@
+"""Two-class strict-priority link (Section VIII implications).
+
+"Consider a link with priority scheduling between classes of traffic, where
+the higher priority class has no enforced bandwidth limitations ... If the
+higher priority class has long-range dependence and a high degree of
+variability over long time scales, then the bursts from the higher priority
+traffic could starve the lower priority traffic for long periods of time."
+
+The simulator serves class-0 (high) packets ahead of class-1 (low) packets,
+non-preemptively, with deterministic per-packet service.  Starvation is
+measured as the longest stretch during which the low class receives no
+service while it has work queued.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class PriorityResult:
+    """Per-class delay outcomes of one strict-priority simulation."""
+
+    high_delays: np.ndarray
+    low_delays: np.ndarray
+    longest_low_starvation: float  # longest gap between low-class services
+    utilization: float
+
+    @property
+    def mean_low_delay(self) -> float:
+        return float(self.low_delays.mean()) if self.low_delays.size else 0.0
+
+    @property
+    def mean_high_delay(self) -> float:
+        return float(self.high_delays.mean()) if self.high_delays.size else 0.0
+
+    @property
+    def p99_low_delay(self) -> float:
+        return float(np.quantile(self.low_delays, 0.99)) if self.low_delays.size else 0.0
+
+
+def strict_priority_queue(
+    high_arrivals: np.ndarray,
+    low_arrivals: np.ndarray,
+    service_time: float,
+) -> PriorityResult:
+    """Simulate a non-preemptive strict-priority FIFO link.
+
+    Both argument arrays hold packet arrival timestamps; ``service_time``
+    is the deterministic per-packet transmission time.
+    """
+    require_positive(service_time, "service_time")
+    high = np.sort(np.asarray(high_arrivals, dtype=float))
+    low = np.sort(np.asarray(low_arrivals, dtype=float))
+    if high.size + low.size == 0:
+        raise ValueError("no packets to simulate")
+
+    hq: list[float] = []  # queued high-class arrival times
+    lq: list[float] = []
+    hi = li = 0
+    t = min(
+        high[0] if high.size else np.inf,
+        low[0] if low.size else np.inf,
+    )
+    high_delays, low_delays = [], []
+    low_service_times = []
+
+    def admit(until: float) -> None:
+        nonlocal hi, li
+        while hi < high.size and high[hi] <= until:
+            heapq.heappush(hq, high[hi])
+            hi += 1
+        while li < low.size and low[li] <= until:
+            heapq.heappush(lq, low[li])
+            li += 1
+
+    admit(t)
+    while hq or lq or hi < high.size or li < low.size:
+        if not hq and not lq:
+            # idle: jump to the next arrival
+            t = min(
+                high[hi] if hi < high.size else np.inf,
+                low[li] if li < low.size else np.inf,
+            )
+            admit(t)
+            continue
+        if hq:
+            arr = heapq.heappop(hq)
+            high_delays.append(t - arr + service_time)
+        else:
+            arr = heapq.heappop(lq)
+            low_delays.append(t - arr + service_time)
+            low_service_times.append(t)
+        t += service_time
+        admit(t)
+
+    first = min(high[0] if high.size else np.inf, low[0] if low.size else np.inf)
+    span = t - first
+    util = (high.size + low.size) * service_time / span if span > 0 else 1.0
+
+    if len(low_service_times) > 1:
+        starvation = float(np.max(np.diff(low_service_times)))
+    else:
+        starvation = 0.0
+    return PriorityResult(
+        high_delays=np.asarray(high_delays),
+        low_delays=np.asarray(low_delays),
+        longest_low_starvation=starvation,
+        utilization=float(util),
+    )

@@ -1,0 +1,86 @@
+"""Self-similarity toolkit (Section VII and Appendices C-E support).
+
+Count processes, variance-time analysis, exact fractional-Gaussian-noise
+synthesis, Whittle's Hurst estimator, Beran's goodness-of-fit test, R/S
+analysis, and the log-periodogram estimator.
+"""
+
+from repro.selfsim.beran import BeranResult, beran_goodness_of_fit, whittle_with_gof
+from repro.selfsim.counts import CountProcess
+from repro.selfsim.detrend import (
+    NonstationarityCheck,
+    nonstationarity_check,
+    remove_cycle,
+)
+from repro.selfsim.fgn import (
+    fgn_autocovariance,
+    fgn_sample,
+    fgn_spectral_density,
+    fractional_brownian_motion,
+    periodogram,
+)
+from repro.selfsim.farima import (
+    FarimaWhittleResult,
+    farima_autocovariance,
+    farima_sample,
+    farima_spectral_density,
+    farima_whittle_estimate,
+    hurst_from_d,
+)
+from repro.selfsim.hurst import HurstPanel, hurst_by_scale, hurst_panel
+from repro.selfsim.periodogram_hurst import PeriodogramHurstResult, periodogram_hurst
+from repro.selfsim.rs_analysis import RSResult, rescaled_range, rs_analysis
+from repro.selfsim.variance_time import (
+    VarianceTimeCurve,
+    default_levels,
+    hurst_from_variance_time,
+    poisson_reference,
+    slope_bootstrap,
+    variance_time_curve,
+)
+from repro.selfsim.visual import (
+    VisualSimilarityResult,
+    standardized_aggregate,
+    visual_self_similarity,
+)
+from repro.selfsim.whittle import WhittleResult, whittle_estimate
+
+__all__ = [
+    "BeranResult",
+    "FarimaWhittleResult",
+    "CountProcess",
+    "HurstPanel",
+    "NonstationarityCheck",
+    "PeriodogramHurstResult",
+    "RSResult",
+    "VarianceTimeCurve",
+    "VisualSimilarityResult",
+    "WhittleResult",
+    "beran_goodness_of_fit",
+    "default_levels",
+    "farima_autocovariance",
+    "farima_sample",
+    "farima_spectral_density",
+    "farima_whittle_estimate",
+    "fgn_autocovariance",
+    "fgn_sample",
+    "fgn_spectral_density",
+    "fractional_brownian_motion",
+    "hurst_by_scale",
+    "hurst_from_d",
+    "hurst_from_variance_time",
+    "hurst_panel",
+    "nonstationarity_check",
+    "periodogram",
+    "periodogram_hurst",
+    "remove_cycle",
+    "poisson_reference",
+    "rescaled_range",
+    "rs_analysis",
+    "slope_bootstrap",
+    "standardized_aggregate",
+    "variance_time_curve",
+    "visual_self_similarity",
+    "whittle_estimate",
+    "whittle_with_gof",
+]

@@ -1,0 +1,100 @@
+"""Rescaled-range (R/S) analysis.
+
+The classical Hurst estimator (Mandelbrot's pox plot): for blocks of length
+n, the rescaled adjusted range R(n)/S(n) grows like n^H.  Included alongside
+the variance-time and Whittle estimators so the three can cross-check each
+other, as is standard practice in the self-similarity literature the paper
+builds on [28].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def rescaled_range(block: np.ndarray) -> float:
+    """R/S of one block: adjusted range of cumulative deviations over the
+    sample standard deviation."""
+    x = np.asarray(block, dtype=float)
+    if x.size < 2:
+        raise ValueError("block must have at least 2 observations")
+    dev = x - x.mean()
+    cum = np.cumsum(dev)
+    r = float(cum.max() - cum.min())
+    s = float(x.std())
+    if s == 0.0:
+        raise ValueError("block has zero variance; R/S undefined")
+    return r / s
+
+
+@dataclass(frozen=True)
+class RSResult:
+    """Pox-plot data and the regression Hurst estimate."""
+
+    block_sizes: np.ndarray
+    rs_values: np.ndarray  # mean R/S at each block size
+    hurst: float
+    intercept: float
+
+
+def rs_analysis(
+    series: np.ndarray,
+    block_sizes=None,
+    *,
+    min_blocks: int = 4,
+    max_samples_per_size: int = 50,
+    seed: SeedLike = None,
+) -> RSResult:
+    """R/S analysis: regress log(R/S) on log(n) over a ladder of block sizes.
+
+    For each block size, up to ``max_samples_per_size`` non-overlapping
+    blocks are evaluated (randomly subsampled when there are more) and their
+    R/S averaged.
+    """
+    x = np.asarray(series, dtype=float)
+    n = x.size
+    if n < 32:
+        raise ValueError(f"need at least 32 observations, got {n}")
+    if block_sizes is None:
+        max_size = n // min_blocks
+        block_sizes = np.unique(
+            np.round(np.geomspace(8, max_size, 12)).astype(int)
+        )
+    sizes = np.asarray(block_sizes, dtype=int)
+    if np.any(sizes < 2):
+        raise ValueError("block sizes must be >= 2")
+    rng = as_rng(seed)
+
+    means = []
+    kept_sizes = []
+    for size in sizes:
+        n_blocks = n // size
+        if n_blocks < 1:
+            continue
+        starts = np.arange(n_blocks) * size
+        if starts.size > max_samples_per_size:
+            starts = rng.choice(starts, size=max_samples_per_size, replace=False)
+        values = []
+        for s in starts:
+            block = x[s: s + size]
+            if block.std() == 0.0:
+                continue
+            values.append(rescaled_range(block))
+        if values:
+            means.append(float(np.mean(values)))
+            kept_sizes.append(int(size))
+    if len(kept_sizes) < 3:
+        raise ValueError("too few usable block sizes for a regression")
+    ks = np.asarray(kept_sizes, dtype=float)
+    ms = np.asarray(means, dtype=float)
+    slope, intercept = np.polyfit(np.log(ks), np.log(ms), 1)
+    return RSResult(
+        block_sizes=ks.astype(int),
+        rs_values=ms,
+        hurst=float(slope),
+        intercept=float(intercept),
+    )

@@ -1,0 +1,97 @@
+"""Whittle's maximum-likelihood Hurst estimator for fractional Gaussian noise.
+
+Section VII-C: "we also used Whittle's procedure [21, 28] ... to gauge the
+agreement between the traffic and the simplest type of self-similar process,
+fractional Gaussian noise."  The discrete Whittle estimator minimizes the
+frequency-domain (quasi-)likelihood
+
+    L(H) = log( (1/m) sum_j I(l_j) / f*(l_j; H) ) + (1/m) sum_j log f*(l_j; H)
+
+over H, where f* is the unit-variance fGn spectral density and the scale is
+profiled out.  Confidence intervals come from the observed curvature of the
+Whittle log-likelihood at the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.selfsim.fgn import fgn_spectral_density, periodogram
+
+_H_LO, _H_HI = 0.01, 0.99
+
+
+@dataclass(frozen=True)
+class WhittleResult:
+    """Whittle fit of fGn to one series."""
+
+    hurst: float
+    sigma2: float  # profiled innovation-scale estimate
+    std_error: float
+    n: int
+    log_likelihood: float
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        """Asymptotic 95% CI for H."""
+        half = 1.96 * self.std_error
+        return (self.hurst - half, self.hurst + half)
+
+    def contains(self, h: float) -> bool:
+        lo, hi = self.confidence_interval
+        return lo <= h <= hi
+
+
+def _profiled_objective(h: float, lam: np.ndarray, spec: np.ndarray) -> float:
+    f = fgn_spectral_density(lam, h)
+    ratio = spec / f
+    return float(np.log(np.mean(ratio)) + np.mean(np.log(f)))
+
+
+def whittle_estimate(series: np.ndarray) -> WhittleResult:
+    """Fit H by discrete Whittle likelihood against the fGn spectrum.
+
+    The input should be a (count) process believed stationary; the paper
+    applies it to binned packet counts.
+    """
+    x = np.asarray(series, dtype=float)
+    lam, spec = periodogram(x)
+    m = lam.size
+
+    result = optimize.minimize_scalar(
+        _profiled_objective,
+        bounds=(_H_LO, _H_HI),
+        args=(lam, spec),
+        method="bounded",
+        options={"xatol": 1e-6},
+    )
+    h_hat = float(result.x)
+
+    # Profiled scale: sigma^2 = mean(I / f*) with f* the unit-scale density.
+    f = fgn_spectral_density(lam, h_hat)
+    sigma2 = float(np.mean(spec / f))
+
+    # Observed information of the full Whittle likelihood
+    #   l(H) = -sum_j [ log f_j(H) + I_j / f_j(H) ]  (with the scale folded
+    # into f); estimate the curvature of the profiled objective numerically.
+    dh = 1e-4
+    h_m = min(max(h_hat, _H_LO + dh), _H_HI - dh)
+    l0 = _profiled_objective(h_m, lam, spec)
+    lp = _profiled_objective(h_m + dh, lam, spec)
+    lmn = _profiled_objective(h_m - dh, lam, spec)
+    curvature = (lp - 2.0 * l0 + lmn) / dh**2
+    if curvature > 0:
+        std_error = float(1.0 / np.sqrt(m * curvature))
+    else:  # numerically flat likelihood (boundary solution)
+        std_error = float("inf")
+
+    return WhittleResult(
+        hurst=h_hat,
+        sigma2=sigma2,
+        std_error=std_error,
+        n=x.size,
+        log_likelihood=-float(result.fun) * m,
+    )

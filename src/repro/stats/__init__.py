@@ -1,0 +1,87 @@
+"""Statistical testing substrate: Appendix A's Poisson-testing methodology
+plus the tail diagnostics of Sections IV and VI."""
+
+from repro.stats.anderson_darling import (
+    CRITICAL_VALUES,
+    AndersonDarlingResult,
+    anderson_darling_exponential,
+    anderson_darling_statistic,
+)
+from repro.stats.descriptive import ArrivalSummary, summarize_arrivals
+from repro.stats.binomial import (
+    PassRateVerdict,
+    SignBiasVerdict,
+    binomial_lower_tail,
+    binomial_upper_tail,
+    pass_rate_verdict,
+    sign_bias_verdict,
+)
+from repro.stats.fitting import (
+    CANDIDATES,
+    FitReport,
+    best_fit,
+    compare_fits,
+    ks_distance,
+    log_likelihood,
+)
+from repro.stats.independence import (
+    IndependenceResult,
+    acf,
+    autocorrelation,
+    lag1_independence_test,
+)
+from repro.stats.poisson_tests import (
+    DEFAULT_MIN_ARRIVALS,
+    IntervalOutcome,
+    PoissonTestResult,
+    split_into_intervals,
+    evaluate_arrival_process,
+    evaluate_index_interarrivals,
+    evaluate_interval,
+)
+from repro.stats.tail import (
+    ConcentrationCurve,
+    concentration_curve,
+    empirical_ccdf,
+    exponential_top_share,
+    mean_exceedance_curve,
+    top_fraction_share,
+)
+
+__all__ = [
+    "CRITICAL_VALUES",
+    "DEFAULT_MIN_ARRIVALS",
+    "AndersonDarlingResult",
+    "ArrivalSummary",
+    "CANDIDATES",
+    "ConcentrationCurve",
+    "FitReport",
+    "IndependenceResult",
+    "IntervalOutcome",
+    "PassRateVerdict",
+    "PoissonTestResult",
+    "SignBiasVerdict",
+    "acf",
+    "anderson_darling_exponential",
+    "anderson_darling_statistic",
+    "autocorrelation",
+    "best_fit",
+    "binomial_lower_tail",
+    "binomial_upper_tail",
+    "compare_fits",
+    "concentration_curve",
+    "empirical_ccdf",
+    "exponential_top_share",
+    "ks_distance",
+    "log_likelihood",
+    "lag1_independence_test",
+    "mean_exceedance_curve",
+    "pass_rate_verdict",
+    "sign_bias_verdict",
+    "split_into_intervals",
+    "summarize_arrivals",
+    "evaluate_arrival_process",
+    "evaluate_index_interarrivals",
+    "evaluate_interval",
+    "top_fraction_share",
+]

@@ -1,0 +1,112 @@
+"""Exact binomial significance helpers for Appendix A's roll-up tests.
+
+Per-interval tests produce pass/fail outcomes; Appendix A then asks whether
+the number of passes across N intervals is plausible under
+Binomial(N, 0.95), and whether the signs of the lag-1 autocorrelations are
+plausible under Binomial(N, 0.5).  Both are exact one-sided binomial tail
+tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from repro.utils.validation import require_probability
+
+
+def binomial_lower_tail(successes: int, trials: int, p: float) -> float:
+    """P[K <= successes] for K ~ Binomial(trials, p)."""
+    _check(successes, trials)
+    require_probability(p, "p")
+    return float(stats.binom.cdf(successes, trials, p))
+
+
+def binomial_upper_tail(successes: int, trials: int, p: float) -> float:
+    """P[K >= successes] for K ~ Binomial(trials, p)."""
+    _check(successes, trials)
+    require_probability(p, "p")
+    return float(stats.binom.sf(successes - 1, trials, p))
+
+
+@dataclass(frozen=True)
+class PassRateVerdict:
+    """Is an observed per-interval pass count consistent with the expected
+    pass probability (0.95 for a 5%-significance per-interval test)?"""
+
+    successes: int
+    trials: int
+    expected_p: float
+    probability: float  # P[K <= successes] under the null
+
+    @property
+    def consistent(self) -> bool:
+        """False when so few intervals passed that the null is rejected
+        with 95% confidence (lower-tail probability < 5%)."""
+        return self.probability >= 0.05
+
+    @property
+    def pass_rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+
+def pass_rate_verdict(successes: int, trials: int, expected_p: float = 0.95) -> PassRateVerdict:
+    """Appendix A: "If we find that the probability of observing K successes
+    was less than 5%, then we conclude with 95% confidence that the arrival
+    process is inconsistent" with the per-interval null."""
+    _check(successes, trials)
+    return PassRateVerdict(
+        successes=successes,
+        trials=trials,
+        expected_p=expected_p,
+        probability=binomial_lower_tail(successes, trials, expected_p),
+    )
+
+
+@dataclass(frozen=True)
+class SignBiasVerdict:
+    """Are lag-1 autocorrelation signs consistent with a fair coin?"""
+
+    positives: int
+    negatives: int
+
+    @property
+    def trials(self) -> int:
+        return self.positives + self.negatives
+
+    @property
+    def positively_biased(self) -> bool:
+        """P[#positive >= observed] < 2.5% under Binomial(n, 0.5)."""
+        if self.trials == 0:
+            return False
+        return binomial_upper_tail(self.positives, self.trials, 0.5) < 0.025
+
+    @property
+    def negatively_biased(self) -> bool:
+        if self.trials == 0:
+            return False
+        return binomial_upper_tail(self.negatives, self.trials, 0.5) < 0.025
+
+    @property
+    def label(self) -> str:
+        """'+', '-', or '' — the annotation used in Fig. 2."""
+        if self.positively_biased:
+            return "+"
+        if self.negatively_biased:
+            return "-"
+        return ""
+
+
+def sign_bias_verdict(signs) -> SignBiasVerdict:
+    """Classify a collection of +1/-1 correlation signs (zeros ignored)."""
+    pos = sum(1 for s in signs if s > 0)
+    neg = sum(1 for s in signs if s < 0)
+    return SignBiasVerdict(positives=pos, negatives=neg)
+
+
+def _check(successes: int, trials: int) -> None:
+    if trials < 0:
+        raise ValueError(f"trials must be >= 0, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes must be in [0, {trials}], got {successes}")

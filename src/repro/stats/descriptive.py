@@ -1,0 +1,91 @@
+"""Descriptive statistics rows for arrival processes.
+
+A compact characterization used throughout the examples and reports: given
+event times, summarize the interarrival distribution (mean, CV, lag-1
+autocorrelation) and the count process (index of dispersion at a chosen bin
+width).  A Poisson process scores CV ~ 1, r1 ~ 0, IoD ~ 1; each of the
+paper's non-Poisson mechanisms leaves a distinct signature here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.independence import lag1_independence_test
+from repro.utils.binning import bin_counts
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ArrivalSummary:
+    """One arrival process's fingerprint."""
+
+    n_events: int
+    duration: float
+    rate: float
+    interarrival_mean: float
+    interarrival_cv: float
+    lag1_autocorrelation: float
+    index_of_dispersion: float
+    bin_width: float
+
+    @property
+    def poisson_like(self) -> bool:
+        """Rough screen (not a test — use evaluate_arrival_process for
+        that): CV and IoD near 1, negligible lag-1 correlation."""
+        return (
+            abs(self.interarrival_cv - 1.0) < 0.25
+            and abs(self.index_of_dispersion - 1.0) < 0.4
+            and abs(self.lag1_autocorrelation) < 0.1
+        )
+
+    def row(self) -> dict:
+        return {
+            "events": self.n_events,
+            "rate_per_s": self.rate,
+            "ia_mean_s": self.interarrival_mean,
+            "ia_cv": self.interarrival_cv,
+            "r1": self.lag1_autocorrelation,
+            "IoD": self.index_of_dispersion,
+            "poisson_like": self.poisson_like,
+        }
+
+
+def summarize_arrivals(
+    times,
+    bin_width: float = 60.0,
+    start: float | None = None,
+    end: float | None = None,
+) -> ArrivalSummary:
+    """Fingerprint an arrival process."""
+    require_positive(bin_width, "bin_width")
+    t = np.sort(np.asarray(times, dtype=float))
+    if t.size < 10:
+        raise ValueError("need at least 10 events to summarize")
+    lo = float(t[0]) if start is None else float(start)
+    hi = float(t[-1]) if end is None else float(end)
+    duration = hi - lo
+    if duration <= 0:
+        raise ValueError("empty observation window")
+    gaps = np.diff(t)
+    gaps = gaps[gaps >= 0]
+    mean = float(gaps.mean())
+    cv = float(gaps.std() / mean) if mean > 0 else float("inf")
+    r1 = lag1_independence_test(gaps).r1
+    counts = bin_counts(t, bin_width, start=lo, end=hi)
+    if counts.size >= 2 and counts.mean() > 0:
+        iod = float(counts.var() / counts.mean())
+    else:
+        iod = float("nan")
+    return ArrivalSummary(
+        n_events=int(t.size),
+        duration=duration,
+        rate=t.size / duration,
+        interarrival_mean=mean,
+        interarrival_cv=cv,
+        lag1_autocorrelation=r1,
+        index_of_dispersion=iod,
+        bin_width=bin_width,
+    )

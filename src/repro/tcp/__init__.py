@@ -1,0 +1,23 @@
+"""TCP substrate: Reno congestion control over a shared drop-tail bottleneck.
+
+Built for Section VII-C-2's discussion — FTPDATA packet timing "is
+intimately related to the dynamics of TCP's congestion control algorithms"
+— and Section VII-D's requirement that source-level simulation directly
+implement those algorithms.
+"""
+
+from repro.tcp.connection import RenoSender
+from repro.tcp.network import (
+    BottleneckSimulator,
+    SimulationResult,
+    TransferResult,
+    TransferSpec,
+)
+
+__all__ = [
+    "BottleneckSimulator",
+    "RenoSender",
+    "SimulationResult",
+    "TransferResult",
+    "TransferSpec",
+]

@@ -1,0 +1,136 @@
+"""TCP Reno-style congestion control state machine.
+
+Section VII-C-2: "the timing of FTPDATA packets transmitted on the network
+is intimately related to the dynamics of TCP's congestion control
+algorithms ... TCP's congestion control algorithms increase the TCP
+congestion window to probe for additional bandwidth, and reduce the
+congestion window again in response to congestion (packet drops)", and
+Section VII-D: realistic source-level simulation requires "a direct
+implementation of TCP's congestion control algorithms."
+
+This module implements the sender-side window dynamics the paper names:
+
+* slow start — cwnd += 1 per ACK until ssthresh;
+* congestion avoidance — cwnd += 1/cwnd per ACK (one segment per RTT);
+* multiplicative decrease — on a loss event, ssthresh = cwnd/2 and
+  cwnd = ssthresh (fast-recovery-style halving, one reaction per window);
+* a receiver-window cap.
+
+The state machine is transport-only; packet timing comes from the network
+simulator in :mod:`repro.tcp.network`, which supplies the ACK clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class RenoSender:
+    """Congestion-control state of one bulk-transfer TCP sender.
+
+    Parameters
+    ----------
+    total_packets:
+        Transfer size in segments; the connection closes after the last
+        segment is cumulatively acknowledged.
+    max_window:
+        Receiver-advertised window cap (segments).
+    initial_ssthresh:
+        Initial slow-start threshold (segments).
+    """
+
+    total_packets: int
+    max_window: float = 32.0
+    initial_ssthresh: float = 16.0
+
+    cwnd: float = field(default=1.0, init=False)
+    ssthresh: float = field(init=False)
+    next_seq: int = field(default=0, init=False)  # next segment to send
+    highest_acked: int = field(default=-1, init=False)
+    acked: set[int] = field(default_factory=set, init=False)
+    in_flight: int = field(default=0, init=False)
+    #: Sequence number that ends the current loss-recovery episode; further
+    #: losses within the same window do not halve cwnd again.
+    recovery_until: int = field(default=-1, init=False)
+    retransmit_queue: list[int] = field(default_factory=list, init=False)
+
+    def __post_init__(self):
+        if self.total_packets < 1:
+            raise ValueError("total_packets must be >= 1")
+        require_positive(self.max_window, "max_window")
+        self.ssthresh = float(self.initial_ssthresh)
+
+    # ------------------------------------------------------------------
+    @property
+    def window(self) -> float:
+        """Effective window: min(cwnd, receiver window)."""
+        return min(self.cwnd, self.max_window)
+
+    @property
+    def done(self) -> bool:
+        """Complete once every distinct segment has been acknowledged
+        (retransmitted segments may be acked out of order)."""
+        return len(self.acked) >= self.total_packets
+
+    def can_send(self) -> bool:
+        """May a new (or queued retransmit) segment enter the network?"""
+        if self.done:
+            return False
+        has_data = bool(self.retransmit_queue) or self.next_seq < self.total_packets
+        return has_data and self.in_flight < int(self.window)
+
+    # ------------------------------------------------------------------
+    def next_segment(self) -> int:
+        """Pop the segment number to transmit next (retransmits first)."""
+        if not self.can_send():
+            raise RuntimeError("window closed or transfer complete")
+        self.in_flight += 1
+        if self.retransmit_queue:
+            return self.retransmit_queue.pop(0)
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def on_ack(self, seq: int) -> None:
+        """Process a (cumulative-style) ACK for segment ``seq``."""
+        self.in_flight = max(0, self.in_flight - 1)
+        self.acked.add(seq)
+        if seq > self.highest_acked:
+            self.highest_acked = seq
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0  # slow start: exponential per RTT
+        else:
+            self.cwnd += 1.0 / self.cwnd  # congestion avoidance: linear
+        self.cwnd = min(self.cwnd, self.max_window)
+
+    def on_loss(self, seq: int) -> None:
+        """React to a fast-retransmit-detected segment loss (Reno halving).
+
+        Only the first loss per window triggers multiplicative decrease —
+        subsequent drops from the same congestion episode queue their
+        retransmits without further halving.
+        """
+        self.in_flight = max(0, self.in_flight - 1)
+        self.retransmit_queue.append(seq)
+        if seq > self.recovery_until:
+            self.ssthresh = max(self.cwnd / 2.0, 1.0)
+            self.cwnd = self.ssthresh
+            self.recovery_until = self.next_seq
+
+    def on_timeout(self, seq: int) -> None:
+        """React to a retransmission timeout.
+
+        Fast retransmit needs enough duplicate ACKs to fire; with a tiny
+        window the sender instead waits out the RTO and restarts from
+        slow start: ssthresh = cwnd/2, cwnd = 1.  Section VI notes the
+        resulting "1-2 s spacings that can occur internal to a single
+        FTPDATA connection due to TCP retransmission timeouts."
+        """
+        self.in_flight = max(0, self.in_flight - 1)
+        self.retransmit_queue.append(seq)
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.recovery_until = self.next_seq

@@ -1,0 +1,243 @@
+"""Event-driven network simulation: TCP senders over a shared bottleneck.
+
+The topology is the canonical one for studying the effects Section VII
+describes: N senders, each with its own two-way propagation delay, feeding
+one drop-tail bottleneck link.  The simulator produces the *packet
+departure timestamps at the bottleneck output* — what a link tracepoint
+like the LBL gateway would record — so the resulting processes can be fed
+straight into the Appendix A tests and the self-similarity toolkit.
+
+Dynamics reproduced (and asserted in tests):
+
+* self-clocking: "each packet is sent only after the TCP source receives an
+  acknowledgment for an earlier packet", giving back-to-back output spacing
+  of one service time during busy periods;
+* window growth/halving sawtooth ("long-term oscillations");
+* non-constant per-connection rate, across and within connections — the
+  reason multiplexed FTP traffic departs from the constant-rate M/G/inf
+  idealization.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tcp.connection import RenoSender
+from repro.utils.validation import require_nonnegative, require_positive
+
+# Event kinds, ordered for deterministic tie-breaking.
+_ARRIVE, _DEPART, _ACK = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One bulk transfer: start time, size, path delay, window cap, RTO."""
+
+    start_time: float
+    n_packets: int
+    rtt: float = 0.1  # two-way propagation (excluding queueing), seconds
+    max_window: float = 32.0
+    rto: float = 1.0  # retransmission timeout, seconds
+
+    def __post_init__(self):
+        require_nonnegative(self.start_time, "start_time")
+        require_positive(self.rtt, "rtt")
+        require_positive(self.rto, "rto")
+        if self.n_packets < 1:
+            raise ValueError("n_packets must be >= 1")
+
+
+@dataclass
+class TransferResult:
+    """Per-connection outcome."""
+
+    spec: TransferSpec
+    departure_times: list[float] = field(default_factory=list)
+    completion_time: float | None = None
+    packets_dropped: int = 0
+    timeouts: int = 0
+    cwnd_trace: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Delivered packets per second over the transfer's lifetime."""
+        if self.completion_time is None or not self.departure_times:
+            return 0.0
+        span = self.completion_time - self.spec.start_time
+        return self.spec.n_packets / span if span > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything observable at the bottleneck."""
+
+    transfers: list[TransferResult]
+    departure_times: np.ndarray  # merged, sorted link-output timestamps
+    departure_conn: np.ndarray  # conn index per departure (-1 = cross)
+    total_drops: int
+    bottleneck_rate: float
+    cross_traffic_drops: int = 0
+
+    def connection_times(self, index: int) -> np.ndarray:
+        return self.departure_times[self.departure_conn == index]
+
+    @property
+    def cross_traffic_times(self) -> np.ndarray:
+        """Departures of the unresponsive (UDP) cross-traffic, if any."""
+        return self.connection_times(-1)
+
+
+class BottleneckSimulator:
+    """Drop-tail bottleneck shared by Reno senders.
+
+    Parameters
+    ----------
+    rate:
+        Bottleneck service rate in packets/second.
+    buffer_packets:
+        Queue capacity (excluding the packet in service).  Arrivals to a
+        full queue are dropped; the sender learns of the loss one RTT later
+        (the ACK-clock detection delay) and reacts per Reno.
+    """
+
+    def __init__(self, rate: float, buffer_packets: int = 32):
+        require_positive(rate, "rate")
+        if buffer_packets < 1:
+            raise ValueError("buffer_packets must be >= 1")
+        self.rate = rate
+        self.buffer = buffer_packets
+        self.service = 1.0 / rate
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: list[TransferSpec],
+        horizon: float | None = None,
+        cross_traffic: np.ndarray | None = None,
+    ) -> SimulationResult:
+        """Simulate all transfers to completion (or ``horizon``).
+
+        ``cross_traffic`` injects unresponsive (UDP/MBone-style) packet
+        arrivals into the same drop-tail queue: they consume capacity and
+        buffer space but never back off — Section VII-C-2's competition
+        scenario ("only the FTP traffic will adjust to fit the available
+        bandwidth.  The UDP traffic will continue unimpeded").  Their
+        departures are reported under connection index -1.
+        """
+        if not specs:
+            raise ValueError("no transfers to simulate")
+        senders = [RenoSender(s.n_packets, max_window=s.max_window)
+                   for s in specs]
+        results = [TransferResult(spec=s) for s in specs]
+        queue_len = 0
+        busy_until = 0.0
+        total_drops = 0
+        merged_t: list[float] = []
+        merged_c: list[int] = []
+
+        counter = itertools.count()  # FIFO tie-break for simultaneous events
+        events: list[tuple[float, int, int, tuple]] = []
+
+        def push(t: float, kind: int, payload: tuple) -> None:
+            heapq.heappush(events, (t, kind, next(counter), payload))
+
+        def try_send(conn: int, now: float) -> None:
+            """Inject as many segments as the window currently allows."""
+            sender = senders[conn]
+            while sender.can_send():
+                seq = sender.next_segment()
+                # one-way propagation to the bottleneck: rtt/2 is split
+                # around the link; we lump sender->link into rtt/2.
+                push(now + specs[conn].rtt / 2.0, _ARRIVE, (conn, seq))
+
+        cross_drops = 0
+        if cross_traffic is not None:
+            for t in np.sort(np.asarray(cross_traffic, dtype=float)):
+                push(float(t), _ARRIVE, (-1, -1))
+
+        for i, s in enumerate(specs):
+            push(s.start_time, _ACK, (i, -1))  # kick-off pseudo-ack
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            if horizon is not None and now > horizon:
+                break
+            conn, seq = payload
+            if conn < 0:  # unresponsive cross-traffic packet
+                if kind == _ARRIVE:
+                    if queue_len < self.buffer:
+                        queue_len += 1
+                        start = max(now, busy_until)
+                        busy_until = start + self.service
+                        push(busy_until, _DEPART, (conn, seq))
+                    else:
+                        cross_drops += 1
+                elif kind == _DEPART:
+                    queue_len -= 1
+                    merged_t.append(now)
+                    merged_c.append(-1)
+                continue
+            sender = senders[conn]
+
+            if kind == _ACK:
+                if isinstance(seq, _Loss):
+                    if sender.window < 4.0:
+                        # too few duplicate ACKs for fast retransmit: the
+                        # sender sits through a full RTO before resuming
+                        # from slow start (Section VI's 1-2 s internal gaps)
+                        sender.on_timeout(int(seq))
+                        results[conn].timeouts += 1
+                        results[conn].cwnd_trace.append((now, sender.cwnd))
+                        push(now + specs[conn].rto, _ACK, (conn, -1))
+                        continue
+                    sender.on_loss(int(seq))
+                    results[conn].cwnd_trace.append((now, sender.cwnd))
+                elif seq >= 0:
+                    sender.on_ack(seq)
+                    results[conn].cwnd_trace.append((now, sender.cwnd))
+                if sender.done and results[conn].completion_time is None:
+                    results[conn].completion_time = now
+                    continue
+                try_send(conn, now)
+
+            elif kind == _ARRIVE:
+                nonfull = queue_len < self.buffer
+                if nonfull:
+                    queue_len += 1
+                    start = max(now, busy_until)
+                    busy_until = start + self.service
+                    push(busy_until, _DEPART, (conn, seq))
+                else:
+                    total_drops += 1
+                    results[conn].packets_dropped += 1
+                    # loss detected one RTT later via the duplicate-ACK clock
+                    push(now + specs[conn].rtt, _ACK, (conn, _Loss(seq)))
+
+            elif kind == _DEPART:
+                queue_len -= 1
+                results[conn].departure_times.append(now)
+                merged_t.append(now)
+                merged_c.append(conn)
+                # ACK returns after the reverse path: rtt/2
+                push(now + specs[conn].rtt / 2.0, _ACK, (conn, seq))
+
+        order = np.argsort(merged_t, kind="stable")
+        return SimulationResult(
+            transfers=results,
+            departure_times=np.asarray(merged_t)[order],
+            departure_conn=np.asarray(merged_c, dtype=np.int64)[order],
+            total_drops=total_drops,
+            cross_traffic_drops=cross_drops,
+            bottleneck_rate=self.rate,
+        )
+
+
+class _Loss(int):
+    """Marker wrapping a lost segment's number inside an ACK-kind event."""
+
+    def __new__(cls, seq: int):
+        return super().__new__(cls, seq)

@@ -1,0 +1,72 @@
+"""Trace substrate: data model, I/O, diurnal profiles, and the synthetic
+24-trace suite standing in for the paper's measurement datasets."""
+
+from repro.traces.diurnal import hourly_fractions, hourly_profile, hourly_rates
+from repro.traces.io import (
+    read_connection_trace,
+    read_packet_trace,
+    write_connection_trace,
+    write_packet_trace,
+)
+from repro.traces.protocols import (
+    FIG2_PROTOCOLS,
+    REGISTRY,
+    ArrivalNature,
+    Protocol,
+    lookup,
+)
+from repro.traces.records import ConnectionRecord, Direction, PacketRecord
+from repro.traces.synthesis import (
+    CONNECTION_TRACE_CONFIGS,
+    PACKET_TRACE_CONFIGS,
+    packet_suite,
+    standard_suite,
+    synthesize_connection_trace,
+    synthesize_packet_trace,
+)
+from repro.traces.periodic import (
+    PeriodicSource,
+    detect_periodic_sources,
+    remove_periodic_traffic,
+)
+from repro.traces.summary import (
+    ProtocolSummary,
+    bulk_vs_interactive_bytes,
+    characterize,
+    dominant_byte_protocol,
+)
+from repro.traces.trace import ConnectionTrace, PacketTrace, interarrival_times
+
+__all__ = [
+    "CONNECTION_TRACE_CONFIGS",
+    "FIG2_PROTOCOLS",
+    "PACKET_TRACE_CONFIGS",
+    "REGISTRY",
+    "ArrivalNature",
+    "ConnectionRecord",
+    "ConnectionTrace",
+    "Direction",
+    "PacketRecord",
+    "PacketTrace",
+    "PeriodicSource",
+    "ProtocolSummary",
+    "Protocol",
+    "bulk_vs_interactive_bytes",
+    "characterize",
+    "detect_periodic_sources",
+    "dominant_byte_protocol",
+    "hourly_fractions",
+    "hourly_profile",
+    "hourly_rates",
+    "interarrival_times",
+    "lookup",
+    "packet_suite",
+    "read_connection_trace",
+    "read_packet_trace",
+    "remove_periodic_traffic",
+    "standard_suite",
+    "synthesize_connection_trace",
+    "synthesize_packet_trace",
+    "write_connection_trace",
+    "write_packet_trace",
+]

@@ -1,0 +1,101 @@
+"""Diurnal (hour-of-day) rate profiles behind Fig. 1.
+
+Fig. 1 plots, per protocol, the fraction of a day's connections arriving in
+each hour.  The shapes the paper describes:
+
+* TELNET: "primarily during normal office hours, with a lunch-related dip
+  at noontime";
+* FTP sessions: "a similar hourly profile, but ... substantial renewal in
+  the evening hours, when presumably users take advantage of lower
+  networking delays";
+* NNTP: "a fairly constant rate throughout the day, only dipping somewhat
+  in the early morning hours";
+* SMTP: "a morning bias for the LBL site (west-coast U.S.) and an afternoon
+  bias for the Bellcore site (east-coast U.S.)".
+
+Profiles are unit-mean multipliers; multiply by a base hourly rate to get
+the piecewise-constant rates for :func:`repro.arrivals.piecewise_poisson`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_OFFICE_HOURS = np.array(
+    # 0   1    2    3    4    5    6    7    8    9   10   11
+    [0.25, 0.2, 0.15, 0.12, 0.12, 0.15, 0.3, 0.6, 1.3, 1.9, 2.2, 2.1,
+     # 12  13   14   15   16   17   18   19   20   21   22   23
+     1.6, 2.0, 2.2, 2.1, 1.9, 1.5, 0.9, 0.7, 0.6, 0.5, 0.4, 0.3]
+)
+
+_FTP_EVENING = np.array(
+    [0.35, 0.3, 0.25, 0.2, 0.2, 0.25, 0.4, 0.7, 1.2, 1.7, 1.9, 1.8,
+     1.4, 1.7, 1.9, 1.8, 1.6, 1.3, 1.1, 1.2, 1.3, 1.2, 0.9, 0.6]
+)
+
+_NNTP_FLAT = np.array(
+    [0.95, 0.9, 0.8, 0.7, 0.65, 0.7, 0.8, 0.95, 1.05, 1.1, 1.15, 1.15,
+     1.1, 1.15, 1.15, 1.1, 1.1, 1.05, 1.05, 1.05, 1.05, 1.05, 1.0, 1.0]
+)
+
+_SMTP_MORNING = np.array(
+    [0.3, 0.25, 0.2, 0.2, 0.25, 0.4, 0.8, 1.4, 2.0, 2.3, 2.2, 1.9,
+     1.5, 1.6, 1.6, 1.5, 1.4, 1.1, 0.8, 0.7, 0.6, 0.5, 0.45, 0.35]
+)
+
+_SMTP_AFTERNOON = np.array(
+    [0.3, 0.25, 0.2, 0.2, 0.25, 0.35, 0.6, 0.9, 1.3, 1.6, 1.8, 1.9,
+     1.7, 2.0, 2.2, 2.2, 2.0, 1.6, 1.1, 0.9, 0.7, 0.6, 0.5, 0.4]
+)
+
+_WWW_OFFICE = np.array(
+    [0.3, 0.25, 0.2, 0.18, 0.18, 0.25, 0.4, 0.8, 1.4, 1.9, 2.1, 2.0,
+     1.7, 1.9, 2.1, 2.0, 1.8, 1.4, 1.0, 0.8, 0.7, 0.6, 0.5, 0.4]
+)
+
+_PROFILES: dict[tuple[str, str], np.ndarray] = {
+    ("TELNET", "west"): _OFFICE_HOURS,
+    ("RLOGIN", "west"): _OFFICE_HOURS,
+    ("X11", "west"): _OFFICE_HOURS,
+    ("FTP", "west"): _FTP_EVENING,
+    ("FTPDATA", "west"): _FTP_EVENING,
+    ("NNTP", "west"): _NNTP_FLAT,
+    ("SMTP", "west"): _SMTP_MORNING,
+    ("SMTP", "east"): _SMTP_AFTERNOON,
+    ("WWW", "west"): _WWW_OFFICE,
+}
+
+
+def hourly_profile(protocol: str, site: str = "west") -> np.ndarray:
+    """Unit-mean 24-hour rate multipliers for a protocol at a site.
+
+    ``site`` is "west" (LBL-like) or "east" (Bellcore-like); only SMTP
+    differs between the two, per the paper's time-zone observation.
+    """
+    key = (protocol.upper(), site)
+    profile = _PROFILES.get(key)
+    if profile is None:
+        profile = _PROFILES.get((protocol.upper(), "west"))
+    if profile is None:
+        profile = np.ones(24)
+    return profile / profile.mean()
+
+
+def hourly_fractions(protocol: str, site: str = "west") -> np.ndarray:
+    """Fraction of a day's connections in each hour — Fig. 1's y-axis."""
+    p = hourly_profile(protocol, site)
+    return p / p.sum()
+
+
+def hourly_rates(
+    protocol: str, mean_rate: float, n_hours: int, site: str = "west"
+) -> np.ndarray:
+    """Per-hour arrival rates for ``n_hours`` hours at ``mean_rate``
+    events/second on average, tiling the diurnal profile across days."""
+    if mean_rate < 0:
+        raise ValueError(f"mean_rate must be >= 0, got {mean_rate}")
+    if n_hours < 0:
+        raise ValueError(f"n_hours must be >= 0, got {n_hours}")
+    profile = hourly_profile(protocol, site)
+    tiled = np.tile(profile, int(np.ceil(n_hours / 24.0)))[:n_hours]
+    return mean_rate * tiled

@@ -1,0 +1,115 @@
+"""Plain-text trace I/O.
+
+A simple whitespace-delimited format, one record per line with a one-line
+header, in the spirit of the reduced ASCII traces distributed by the
+Internet Traffic Archive.  Round-tripping is exact up to float formatting.
+
+Connection trace format::
+
+    #repro-connections v1
+    start duration protocol bytes_orig bytes_resp orig_host resp_host session
+
+Packet trace format::
+
+    #repro-packets v1
+    timestamp protocol connection direction size user_data
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TextIO
+
+from repro.traces.records import ConnectionRecord, Direction, PacketRecord
+from repro.traces.trace import ConnectionTrace, PacketTrace
+
+_CONN_HEADER = "#repro-connections v1"
+_PKT_HEADER = "#repro-packets v1"
+
+
+def write_connection_trace(trace: ConnectionTrace, path: str | os.PathLike) -> None:
+    """Write a connection trace to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(_CONN_HEADER + "\n")
+        for i in range(len(trace)):
+            r = trace.record(i)
+            sid = -1 if r.session_id is None else r.session_id
+            fh.write(
+                f"{r.start_time:.6f} {r.duration:.6f} {r.protocol} "
+                f"{r.bytes_orig} {r.bytes_resp} {r.orig_host} {r.resp_host} {sid}\n"
+            )
+
+
+def read_connection_trace(path: str | os.PathLike, name: str | None = None) -> ConnectionTrace:
+    """Read a connection trace written by :func:`write_connection_trace`."""
+    with open(path) as fh:
+        _expect_header(fh, _CONN_HEADER, path)
+        records = []
+        for lineno, line in enumerate(fh, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 8:
+                raise ValueError(f"{path}:{lineno}: expected 8 fields, got {len(parts)}")
+            sid = int(parts[7])
+            records.append(
+                ConnectionRecord(
+                    start_time=float(parts[0]),
+                    duration=float(parts[1]),
+                    protocol=parts[2],
+                    bytes_orig=int(parts[3]),
+                    bytes_resp=int(parts[4]),
+                    orig_host=int(parts[5]),
+                    resp_host=int(parts[6]),
+                    session_id=None if sid < 0 else sid,
+                )
+            )
+    return ConnectionTrace(name or _name_from(path), records)
+
+
+def write_packet_trace(trace: PacketTrace, path: str | os.PathLike) -> None:
+    """Write a packet trace to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(_PKT_HEADER + "\n")
+        for i in range(len(trace)):
+            p = trace.record(i)
+            fh.write(
+                f"{p.timestamp:.6f} {p.protocol} {p.connection_id} "
+                f"{int(p.direction)} {p.size} {int(p.user_data)}\n"
+            )
+
+
+def read_packet_trace(path: str | os.PathLike, name: str | None = None) -> PacketTrace:
+    """Read a packet trace written by :func:`write_packet_trace`."""
+    with open(path) as fh:
+        _expect_header(fh, _PKT_HEADER, path)
+        packets = []
+        for lineno, line in enumerate(fh, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 6:
+                raise ValueError(f"{path}:{lineno}: expected 6 fields, got {len(parts)}")
+            packets.append(
+                PacketRecord(
+                    timestamp=float(parts[0]),
+                    protocol=parts[1],
+                    connection_id=int(parts[2]),
+                    direction=Direction(int(parts[3])),
+                    size=int(parts[4]),
+                    user_data=bool(int(parts[5])),
+                )
+            )
+    return PacketTrace(name or _name_from(path), packets)
+
+
+def _expect_header(fh: TextIO, expected: str, path) -> None:
+    header = fh.readline().rstrip("\n")
+    if header != expected:
+        raise ValueError(
+            f"{path}: bad header {header!r}; expected {expected!r}"
+        )
+
+
+def _name_from(path) -> str:
+    return os.path.splitext(os.path.basename(os.fspath(path)))[0]

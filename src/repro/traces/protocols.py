@@ -1,0 +1,65 @@
+"""TCP protocol registry.
+
+The paper analyzes seven application protocols plus two supporting cases
+(RLOGIN and X11, used in Section III's session-vs-connection discussion).
+Each protocol carries the classification the paper's analysis hinges on:
+whether its *connection* arrivals reflect user-initiated sessions
+(expected Poisson) or machine/within-session activity (expected clustered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ArrivalNature(Enum):
+    """Why connections of a protocol arrive when they do."""
+
+    USER_SESSION = "user-session"  # a human starting to use the network
+    WITHIN_SESSION = "within-session"  # a user doing something new mid-session
+    MACHINE = "machine"  # timer- or flooding-driven
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """One TCP application protocol as treated by the paper."""
+
+    name: str
+    port: int
+    nature: ArrivalNature
+    bulk: bool  # bulk-transfer (vs interactive) payload
+
+    @property
+    def expected_poisson_sessions(self) -> bool:
+        """Section III's finding: only user-session arrivals are Poisson."""
+        return self.nature is ArrivalNature.USER_SESSION
+
+
+TELNET = Protocol("TELNET", 23, ArrivalNature.USER_SESSION, bulk=False)
+RLOGIN = Protocol("RLOGIN", 513, ArrivalNature.USER_SESSION, bulk=False)
+FTP = Protocol("FTP", 21, ArrivalNature.USER_SESSION, bulk=False)  # control conn
+FTPDATA = Protocol("FTPDATA", 20, ArrivalNature.WITHIN_SESSION, bulk=True)
+SMTP = Protocol("SMTP", 25, ArrivalNature.MACHINE, bulk=True)
+NNTP = Protocol("NNTP", 119, ArrivalNature.MACHINE, bulk=True)
+WWW = Protocol("WWW", 80, ArrivalNature.WITHIN_SESSION, bulk=True)
+X11 = Protocol("X11", 6000, ArrivalNature.WITHIN_SESSION, bulk=False)
+OTHER = Protocol("OTHER", 0, ArrivalNature.MACHINE, bulk=True)
+
+#: All protocols, keyed by name.
+REGISTRY: dict[str, Protocol] = {
+    p.name: p
+    for p in (TELNET, RLOGIN, FTP, FTPDATA, SMTP, NNTP, WWW, X11, OTHER)
+}
+
+#: The six protocols whose connection arrivals Fig. 2 tests (FTPDATA bursts
+#: are tested as a seventh, derived process).
+FIG2_PROTOCOLS = ("TELNET", "FTP", "FTPDATA", "SMTP", "NNTP", "WWW")
+
+
+def lookup(name: str) -> Protocol:
+    """Resolve a protocol by (case-insensitive) name."""
+    key = name.upper()
+    if key not in REGISTRY:
+        raise KeyError(f"unknown protocol {name!r}; known: {sorted(REGISTRY)}")
+    return REGISTRY[key]

@@ -1,0 +1,91 @@
+"""Record types for trace data.
+
+``ConnectionRecord`` mirrors what a TCP SYN/FIN trace yields per connection
+(Section II: "SYN/FIN packets are enough to measure connection start times
+..., durations, TCP protocol, participating hosts, and data bytes
+transferred in each direction").  ``PacketRecord`` mirrors one row of a
+packet-level trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Direction(IntEnum):
+    """Which side of the connection sent a packet."""
+
+    ORIGINATOR = 0
+    RESPONDER = 1
+
+
+@dataclass(frozen=True)
+class ConnectionRecord:
+    """One TCP connection as seen in a SYN/FIN trace.
+
+    Attributes
+    ----------
+    start_time:
+        Connection establishment time, seconds from trace start.
+    duration:
+        Seconds from first SYN to last FIN.
+    protocol:
+        Application protocol name (see :mod:`repro.traces.protocols`).
+    bytes_orig, bytes_resp:
+        Data bytes sent by originator / responder.
+    orig_host, resp_host:
+        Opaque host identifiers.
+    session_id:
+        Groups connections belonging to one user session — e.g. the FTPDATA
+        connections spawned by one FTP control connection.  None when the
+        connection *is* the session.
+    """
+
+    start_time: float
+    duration: float
+    protocol: str
+    bytes_orig: int = 0
+    bytes_resp: int = 0
+    orig_host: int = 0
+    resp_host: int = 0
+    session_id: int | None = None
+
+    def __post_init__(self):
+        if not self.start_time >= 0:  # also rejects NaN
+            raise ValueError(f"start_time must be >= 0, got {self.start_time}")
+        if not self.duration >= 0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.bytes_orig < 0 or self.bytes_resp < 0:
+            raise ValueError("byte counts must be >= 0")
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_orig + self.bytes_resp
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One packet in a packet-level trace.
+
+    ``user_data`` distinguishes payload-carrying packets from pure acks;
+    Section IV's TELNET analysis drops originator packets "consisting of no
+    user data ('pure ack')".
+    """
+
+    timestamp: float
+    protocol: str
+    connection_id: int
+    direction: Direction = Direction.ORIGINATOR
+    size: int = 1
+    user_data: bool = True
+
+    def __post_init__(self):
+        if not self.timestamp >= 0:  # also rejects NaN
+            raise ValueError(f"timestamp must be >= 0, got {self.timestamp}")
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")

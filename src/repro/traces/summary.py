@@ -1,0 +1,88 @@
+"""Per-protocol trace characterization.
+
+Section II points readers to companion papers "for details regarding the
+characteristics of the traffic in each dataset, including the number of
+connections and bytes due to each TCP protocol."  This module produces that
+characterization for any trace: connection counts, byte totals, byte
+shares, duration statistics — and the paper's headline observation that
+"FTPDATA connections currently carry the bulk of the data bytes in wide
+area networks" (Section VI, citing [6]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.trace import ConnectionTrace
+
+
+@dataclass(frozen=True)
+class ProtocolSummary:
+    """Characterization of one protocol's traffic within a trace."""
+
+    protocol: str
+    connections: int
+    total_bytes: int
+    byte_share: float
+    connection_share: float
+    median_duration: float
+    mean_bytes_per_connection: float
+
+    def row(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "conns": self.connections,
+            "conn_share": self.connection_share,
+            "MB": self.total_bytes / 1e6,
+            "byte_share": self.byte_share,
+            "median_dur_s": self.median_duration,
+            "KB_per_conn": self.mean_bytes_per_connection / 1e3,
+        }
+
+
+def characterize(trace: ConnectionTrace) -> list[ProtocolSummary]:
+    """Summarize a connection trace per protocol, largest byte share first."""
+    if len(trace) == 0:
+        raise ValueError("cannot characterize an empty trace")
+    grand_bytes = max(trace.total_bytes(), 1)
+    grand_conns = len(trace)
+    out = []
+    for proto in trace.protocol_names:
+        mask = trace.protocol_mask(proto)
+        n = int(mask.sum())
+        b = trace.total_bytes(proto)
+        out.append(
+            ProtocolSummary(
+                protocol=proto,
+                connections=n,
+                total_bytes=b,
+                byte_share=b / grand_bytes,
+                connection_share=n / grand_conns,
+                median_duration=float(np.median(trace.durations[mask])),
+                mean_bytes_per_connection=b / n if n else 0.0,
+            )
+        )
+    out.sort(key=lambda s: s.total_bytes, reverse=True)
+    return out
+
+
+def dominant_byte_protocol(trace: ConnectionTrace) -> str:
+    """The protocol carrying the most bytes (FTPDATA, in the paper's era)."""
+    return characterize(trace)[0].protocol
+
+
+def bulk_vs_interactive_bytes(trace: ConnectionTrace) -> tuple[int, int]:
+    """(bulk, interactive) byte totals, classified via the protocol
+    registry's ``bulk`` flag."""
+    from repro.traces.protocols import REGISTRY
+
+    bulk = interactive = 0
+    for s in characterize(trace):
+        proto = REGISTRY.get(s.protocol)
+        if proto is not None and proto.bulk:
+            bulk += s.total_bytes
+        else:
+            interactive += s.total_bytes
+    return bulk, interactive

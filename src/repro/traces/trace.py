@@ -1,0 +1,248 @@
+"""Trace containers: column-oriented storage with record-level access.
+
+Wide-area traces are large (the paper's LBL SYN/FIN traces hold hundreds of
+thousands of connections; the packet traces millions of packets), so both
+containers store parallel numpy arrays internally and materialize
+:class:`ConnectionRecord` / :class:`PacketRecord` objects only on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.selfsim.counts import CountProcess
+from repro.traces.records import ConnectionRecord, Direction, PacketRecord
+
+
+class ConnectionTrace:
+    """A SYN/FIN-style trace: one row per TCP connection."""
+
+    def __init__(self, name: str, records: Iterable[ConnectionRecord]):
+        recs = sorted(records, key=lambda r: r.start_time)
+        self.name = name
+        self.start_times = np.array([r.start_time for r in recs], dtype=float)
+        self.durations = np.array([r.duration for r in recs], dtype=float)
+        self.protocols = np.array([r.protocol for r in recs], dtype=object)
+        self.bytes_orig = np.array([r.bytes_orig for r in recs], dtype=np.int64)
+        self.bytes_resp = np.array([r.bytes_resp for r in recs], dtype=np.int64)
+        self.orig_hosts = np.array([r.orig_host for r in recs], dtype=np.int64)
+        self.resp_hosts = np.array([r.resp_host for r in recs], dtype=np.int64)
+        self.session_ids = np.array(
+            [-1 if r.session_id is None else r.session_id for r in recs],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.start_times.size)
+
+    def __iter__(self) -> Iterator[ConnectionRecord]:
+        return (self.record(i) for i in range(len(self)))
+
+    def record(self, i: int) -> ConnectionRecord:
+        """Materialize row ``i`` as a :class:`ConnectionRecord`."""
+        sid = int(self.session_ids[i])
+        return ConnectionRecord(
+            start_time=float(self.start_times[i]),
+            duration=float(self.durations[i]),
+            protocol=str(self.protocols[i]),
+            bytes_orig=int(self.bytes_orig[i]),
+            bytes_resp=int(self.bytes_resp[i]),
+            orig_host=int(self.orig_hosts[i]),
+            resp_host=int(self.resp_hosts[i]),
+            session_id=None if sid < 0 else sid,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Span from trace start (time 0) to the last connection start."""
+        return float(self.start_times[-1]) if len(self) else 0.0
+
+    @property
+    def protocol_names(self) -> list[str]:
+        return sorted(set(self.protocols.tolist()))
+
+    def protocol_mask(self, protocol: str) -> np.ndarray:
+        return self.protocols == protocol.upper()
+
+    def arrival_times(self, protocol: str | None = None) -> np.ndarray:
+        """Connection start times, optionally for one protocol."""
+        if protocol is None:
+            return self.start_times.copy()
+        return self.start_times[self.protocol_mask(protocol)]
+
+    def connection_count(self, protocol: str | None = None) -> int:
+        if protocol is None:
+            return len(self)
+        return int(self.protocol_mask(protocol).sum())
+
+    def total_bytes(self, protocol: str | None = None) -> int:
+        mask = slice(None) if protocol is None else self.protocol_mask(protocol)
+        return int(self.bytes_orig[mask].sum() + self.bytes_resp[mask].sum())
+
+    def subset(self, mask: np.ndarray, name: str | None = None) -> "ConnectionTrace":
+        """A new trace holding the rows selected by a boolean mask."""
+        out = ConnectionTrace.__new__(ConnectionTrace)
+        out.name = name or self.name
+        for attr in ("start_times", "durations", "protocols", "bytes_orig",
+                     "bytes_resp", "orig_hosts", "resp_hosts", "session_ids"):
+            setattr(out, attr, getattr(self, attr)[mask])
+        return out
+
+    def sessions(self, protocol: str) -> dict[int, np.ndarray]:
+        """Group one protocol's connections by session id.
+
+        Returns session_id -> sorted row indices; rows without a session id
+        are excluded.  Used to analyze FTPDATA connections within FTP
+        sessions (Section VI).
+        """
+        mask = self.protocol_mask(protocol) & (self.session_ids >= 0)
+        idx = np.flatnonzero(mask)
+        out: dict[int, np.ndarray] = {}
+        for sid in np.unique(self.session_ids[idx]):
+            rows = idx[self.session_ids[idx] == sid]
+            out[int(sid)] = rows[np.argsort(self.start_times[rows])]
+        return out
+
+    def hourly_counts(self, protocol: str | None = None) -> np.ndarray:
+        """Connections per hour-of-day (24 values), the raw data of Fig. 1."""
+        times = self.arrival_times(protocol)
+        hours = (times // 3600.0).astype(int) % 24
+        return np.bincount(hours, minlength=24)[:24]
+
+
+class PacketTrace:
+    """A packet-level trace stored as parallel arrays."""
+
+    def __init__(self, name: str, packets: Iterable[PacketRecord] | None = None,
+                 **arrays):
+        self.name = name
+        if packets is not None:
+            pkts = sorted(packets, key=lambda p: p.timestamp)
+            self.timestamps = np.array([p.timestamp for p in pkts], dtype=float)
+            self.protocols = np.array([p.protocol for p in pkts], dtype=object)
+            self.connection_ids = np.array(
+                [p.connection_id for p in pkts], dtype=np.int64
+            )
+            self.directions = np.array(
+                [int(p.direction) for p in pkts], dtype=np.int8
+            )
+            self.sizes = np.array([p.size for p in pkts], dtype=np.int64)
+            self.user_data = np.array([p.user_data for p in pkts], dtype=bool)
+        else:
+            self.timestamps = np.asarray(arrays["timestamps"], dtype=float)
+            n = self.timestamps.size
+            order = np.argsort(self.timestamps, kind="stable")
+            self.timestamps = self.timestamps[order]
+            self.protocols = np.asarray(
+                arrays.get("protocols", np.full(n, "OTHER", dtype=object)),
+                dtype=object,
+            )[order]
+            self.connection_ids = np.asarray(
+                arrays.get("connection_ids", np.zeros(n)), dtype=np.int64
+            )[order]
+            self.directions = np.asarray(
+                arrays.get("directions", np.zeros(n)), dtype=np.int8
+            )[order]
+            self.sizes = np.asarray(
+                arrays.get("sizes", np.ones(n)), dtype=np.int64
+            )[order]
+            self.user_data = np.asarray(
+                arrays.get("user_data", np.ones(n, dtype=bool)), dtype=bool
+            )[order]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.timestamps.size)
+
+    def record(self, i: int) -> PacketRecord:
+        return PacketRecord(
+            timestamp=float(self.timestamps[i]),
+            protocol=str(self.protocols[i]),
+            connection_id=int(self.connection_ids[i]),
+            direction=Direction(int(self.directions[i])),
+            size=int(self.sizes[i]),
+            user_data=bool(self.user_data[i]),
+        )
+
+    @property
+    def duration(self) -> float:
+        return float(self.timestamps[-1]) if len(self) else 0.0
+
+    def select(
+        self,
+        protocol: str | None = None,
+        direction: Direction | None = None,
+        user_data_only: bool = False,
+    ) -> np.ndarray:
+        """Boolean mask for the requested packet subset."""
+        mask = np.ones(len(self), dtype=bool)
+        if protocol is not None:
+            mask &= self.protocols == protocol.upper()
+        if direction is not None:
+            mask &= self.directions == int(direction)
+        if user_data_only:
+            mask &= self.user_data
+        return mask
+
+    def packet_times(
+        self,
+        protocol: str | None = None,
+        direction: Direction | None = None,
+        user_data_only: bool = False,
+    ) -> np.ndarray:
+        return self.timestamps[self.select(protocol, direction, user_data_only)]
+
+    def connection_packet_times(self, connection_id: int) -> np.ndarray:
+        return self.timestamps[self.connection_ids == connection_id]
+
+    def count_process(
+        self,
+        bin_width: float,
+        protocol: str | None = None,
+        direction: Direction | None = None,
+        user_data_only: bool = False,
+        start: float = 0.0,
+        end: float | None = None,
+        weight_by_size: bool = False,
+    ) -> CountProcess:
+        """Bin the selected packets into a :class:`CountProcess`.
+
+        ``weight_by_size=True`` produces a *byte* process (bytes per bin)
+        instead of a packet-count process — the quantity Figs. 10-11 plot.
+        """
+        mask = self.select(protocol, direction, user_data_only)
+        times = self.timestamps[mask]
+        stop = self.duration if end is None else end
+        if not weight_by_size:
+            return CountProcess.from_times(times, bin_width, start=start,
+                                           end=stop)
+        from repro.utils.binning import bin_edges
+
+        edges = bin_edges(start, stop, bin_width)
+        if len(edges) < 2:
+            return CountProcess(np.zeros(0), bin_width)
+        totals, _ = np.histogram(times, bins=edges,
+                                 weights=self.sizes[mask].astype(float))
+        return CountProcess(totals, bin_width)
+
+    def connections(
+        self, protocol: str | None = None
+    ) -> dict[int, np.ndarray]:
+        """Map connection_id -> packet timestamps, optionally per protocol."""
+        mask = self.select(protocol)
+        out: dict[int, np.ndarray] = {}
+        ids = self.connection_ids[mask]
+        ts = self.timestamps[mask]
+        for cid in np.unique(ids):
+            out[int(cid)] = ts[ids == cid]
+        return out
+
+
+def interarrival_times(times: Sequence[float]) -> np.ndarray:
+    """Sorted interarrival gaps of a set of event times."""
+    t = np.sort(np.asarray(times, dtype=float))
+    return np.diff(t)

@@ -1,0 +1,88 @@
+"""Binning of event times into count processes, and aggregation of counts.
+
+The paper's variance-time analysis (Section IV, Fig. 5) works on *count
+processes*: the number of packet arrivals in consecutive fixed-width bins.
+``bin_counts`` builds the unaggregated process; ``aggregate`` implements the
+"smoothing" at aggregation level M described in the paper (averaging M
+adjacent observations).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+
+def bin_edges(start: float, end: float, width: float) -> np.ndarray:
+    """Edges of consecutive bins of ``width`` covering ``[start, end)``.
+
+    The final bin is dropped if it would extend past ``end``; the analysis in
+    the paper always uses whole bins (72 000 bins of 0.1 s for a 2 h trace).
+    """
+    require_positive(width, "width")
+    if end < start:
+        raise ValueError(f"end ({end}) must be >= start ({start})")
+    n_bins = int(np.floor((end - start) / width + 1e-9))
+    return start + width * np.arange(n_bins + 1)
+
+
+def bin_counts(
+    times: Sequence[float],
+    width: float,
+    start: float | None = None,
+    end: float | None = None,
+) -> np.ndarray:
+    """Count events per bin of ``width`` seconds.
+
+    Parameters
+    ----------
+    times:
+        Event timestamps (seconds); need not be sorted.
+    width:
+        Bin width in seconds.
+    start, end:
+        Observation window.  Defaults to ``min(times)`` / ``max(times)``.
+        Events outside the window are discarded; an event exactly at the
+        final bin's right edge is included in that bin (the numpy histogram
+        closed-right convention for the last bin).
+
+    Returns
+    -------
+    Integer array of per-bin event counts (possibly empty).
+    """
+    arr = np.asarray(times, dtype=float)
+    if arr.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    lo = float(arr.min()) if start is None else float(start)
+    hi = float(arr.max()) if end is None else float(end)
+    edges = bin_edges(lo, hi, width)
+    if len(edges) < 2:
+        return np.zeros(0, dtype=np.int64)
+    counts, _ = np.histogram(arr, bins=edges)
+    return counts.astype(np.int64)
+
+
+def aggregate(counts: Sequence[float], level: int, *, how: str = "mean") -> np.ndarray:
+    """Aggregate a count process at level ``level``.
+
+    Following the paper's variance-time construction, consecutive groups of
+    ``level`` observations are reduced to a single value.  ``how="mean"``
+    (the paper's smoothing) averages them; ``how="sum"`` totals them, which is
+    equivalent up to a factor of ``level`` and occasionally more natural.
+    Trailing observations that do not fill a complete group are dropped.
+    """
+    if level < 1:
+        raise ValueError(f"level must be >= 1, got {level}")
+    arr = np.asarray(counts, dtype=float)
+    n = (arr.size // level) * level
+    if n == 0:
+        return np.zeros(0, dtype=float)
+    blocks = arr[:n].reshape(-1, level)
+    if how == "mean":
+        return blocks.mean(axis=1)
+    if how == "sum":
+        return blocks.sum(axis=1)
+    raise ValueError(f"how must be 'mean' or 'sum', got {how!r}")

@@ -1,0 +1,173 @@
+"""Tests for M/G/infinity (Appendices D-E), ON/OFF sources, and the
+clustered arrival generators used for the non-Poisson protocols."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrivals import (
+    MGInfinity,
+    OnOffSource,
+    asymptotic_hurst,
+    cascade_arrivals,
+    compound_poisson_cluster,
+    expected_hurst,
+    is_long_range_dependent,
+    lognormal_mg_infinity,
+    multiplex_onoff,
+    pareto_autocovariance,
+    pareto_mg_infinity,
+    timer_driven_arrivals,
+)
+from repro.distributions import Exponential, Log2Normal, Pareto
+
+
+class TestMGInfinity:
+    def test_stationary_mean_poisson_marginal(self):
+        """Appendix D: E[X] = rho * beta * a / (beta - 1) for Pareto service."""
+        model = pareto_mg_infinity(rho=2.0, location=1.0, shape=1.5)
+        assert model.stationary_mean == pytest.approx(2.0 * 1.5 / 0.5)
+        x = model.simulate(20000, dt=1.0, seed=1, warmup=2000.0)
+        assert x.mean() == pytest.approx(model.stationary_mean, rel=0.15)
+
+    def test_marginal_variance_equals_mean(self):
+        """Poisson marginals: Var[X] ~= E[X]."""
+        model = MGInfinity(3.0, Exponential(2.0))
+        x = model.simulate(50000, dt=1.0, seed=2)
+        assert x.var() == pytest.approx(x.mean(), rel=0.15)
+
+    def test_counts_nonnegative(self):
+        model = pareto_mg_infinity(1.0, 1.0, 1.4)
+        x = model.simulate(1000, dt=1.0, seed=3, warmup=500.0)
+        assert np.all(x >= 0)
+
+    def test_closed_form_matches_numeric_autocovariance(self):
+        model = pareto_mg_infinity(rho=1.0, location=1.0, shape=1.6)
+        ks = np.array([2.0, 5.0, 20.0])
+        closed = pareto_autocovariance(1.0, 1.0, 1.6, ks)
+        numeric = model.autocovariance(ks, upper_q=1 - 1e-9)
+        assert np.allclose(closed, numeric, rtol=0.05)
+
+    def test_autocovariance_power_law_decay(self):
+        """r(k) ~ k^(1-beta): slope on log-log is 1 - beta."""
+        ks = np.array([10.0, 100.0, 1000.0])
+        r = pareto_autocovariance(1.0, 1.0, 1.5, ks)
+        slopes = np.diff(np.log(r)) / np.diff(np.log(ks))
+        assert np.allclose(slopes, -0.5, atol=1e-6)
+
+    def test_autocovariance_at_zero_is_mean(self):
+        """r(0) = rho * E[service] = Var of the Poisson marginal."""
+        r0 = pareto_autocovariance(2.0, 1.0, 1.5, 0.0)
+        assert r0 == pytest.approx(2.0 * 1.5 / 0.5)
+
+    def test_simulated_autocovariance_tracks_closed_form(self):
+        model = pareto_mg_infinity(rho=5.0, location=1.0, shape=1.5)
+        x = model.simulate(200000, dt=1.0, seed=4, warmup=20000.0).astype(float)
+        xc = x - x.mean()
+        for k in (1, 4):
+            emp = float(np.mean(xc[:-k] * xc[k:]))
+            theory = pareto_autocovariance(5.0, 1.0, 1.5, float(k))
+            assert emp == pytest.approx(theory, rel=0.35)
+
+    def test_pareto_closed_form_requires_finite_mean(self):
+        with pytest.raises(ValueError):
+            pareto_autocovariance(1.0, 1.0, 0.9, 1.0)
+
+
+class TestLRDClassification:
+    def test_pareto_is_lrd(self):
+        assert is_long_range_dependent(Pareto(1.0, 1.5))
+        assert is_long_range_dependent(Pareto(1.0, 1.9))
+
+    def test_light_pareto_not_lrd(self):
+        assert not is_long_range_dependent(Pareto(1.0, 3.0))
+
+    def test_lognormal_not_lrd(self):
+        """Appendix E's result."""
+        assert not is_long_range_dependent(Log2Normal(math.log2(100), 2.24))
+
+    def test_exponential_not_lrd_numeric_path(self):
+        assert not is_long_range_dependent(Exponential(5.0), k_max=1e4)
+
+    def test_lognormal_model_constructor(self):
+        m = lognormal_mg_infinity(1.0, 3.0, 1.0)
+        assert isinstance(m.service, Log2Normal)
+
+    def test_asymptotic_hurst(self):
+        assert asymptotic_hurst(1.5) == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            asymptotic_hurst(2.5)
+
+
+class TestOnOff:
+    def test_intervals_cover_window(self):
+        src = OnOffSource.pareto(rate=2.0)
+        ivs = src.intervals(1000.0, seed=5)
+        for s, e in ivs:
+            assert 0.0 <= s <= e <= 1000.0
+
+    def test_counts_bounded_by_rate(self):
+        src = OnOffSource.pareto(rate=3.0)
+        c = src.counts(100, 10.0, seed=6)
+        assert np.all(c <= 3.0 * 10.0 + 1e-9)
+        assert np.all(c >= 0)
+
+    def test_multiplex_mean_grows_linearly(self):
+        c1 = multiplex_onoff(5, 200, 10.0, seed=7)
+        c2 = multiplex_onoff(20, 200, 10.0, seed=8)
+        assert c2.mean() > 2.0 * c1.mean()
+
+    def test_expected_hurst(self):
+        assert expected_hurst(1.2, 1.6) == pytest.approx(0.9)
+        with pytest.raises(ValueError):
+            expected_hurst(2.5, 2.5)
+
+    def test_bad_source_count(self):
+        with pytest.raises(ValueError):
+            multiplex_onoff(0, 10, 1.0)
+
+
+class TestClusterArrivals:
+    def test_compound_cluster_burstier_than_poisson(self):
+        """Cluster arrivals have higher count variance than Poisson of the
+        same mean — the mechanism behind SMTP/NNTP failing the tests."""
+        from repro.utils import bin_counts
+
+        gap = Exponential(0.5)
+        size = Pareto(1.0, 1.2)
+        t = compound_poisson_cluster(0.05, 50000.0, size, gap, seed=9)
+        c = bin_counts(t, width=10.0, start=0.0, end=50000.0)
+        # index of dispersion > 1 signals over-dispersion vs Poisson
+        assert c.var() / c.mean() > 1.2
+
+    def test_cluster_times_in_window_sorted(self):
+        t = compound_poisson_cluster(0.1, 1000.0, Pareto(1.0, 1.5), Exponential(1.0), seed=10)
+        assert np.all(np.diff(t) >= 0)
+        assert np.all((t >= 0) & (t < 1000.0))
+
+    def test_timer_driven_period(self):
+        t = timer_driven_arrivals(60.0, 3600.0, seed=11)
+        assert t.size == 60
+        assert np.allclose(np.diff(t), 60.0)
+
+    def test_timer_driven_batches(self):
+        t = timer_driven_arrivals(100.0, 1000.0, batch_size=3, batch_gap=1.0, seed=12)
+        assert t.size == 30
+
+    def test_timer_driven_jitter_perturbs(self):
+        t = timer_driven_arrivals(60.0, 3600.0, jitter_sd=5.0, seed=13)
+        assert not np.allclose(np.diff(t), 60.0)
+
+    def test_timer_bad_period(self):
+        with pytest.raises(ValueError):
+            timer_driven_arrivals(0.0, 100.0)
+
+    def test_cascade_spawns_more_than_seeds(self):
+        seeds_only = cascade_arrivals(0.1, 10000.0, 0.0, Exponential(1.0), seed=14)
+        with_spawn = cascade_arrivals(0.1, 10000.0, 0.7, Exponential(1.0), seed=14)
+        assert with_spawn.size > seeds_only.size
+
+    def test_cascade_bad_probability(self):
+        with pytest.raises(ValueError):
+            cascade_arrivals(0.1, 100.0, 1.0, Exponential(1.0))

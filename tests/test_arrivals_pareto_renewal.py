@@ -1,0 +1,165 @@
+"""Tests for the Appendix C pseudo-self-similar Pareto renewal process."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrivals import (
+    burst_lull_summary,
+    burst_termination_bounds,
+    expected_burst_length,
+    lull_length_bounds,
+    pareto_renewal_arrivals,
+    pareto_renewal_counts,
+    steady_state_empty_probability,
+)
+
+
+class TestArrivalGeneration:
+    def test_monotone_times(self):
+        t = pareto_renewal_arrivals(1000, shape=1.0, seed=1)
+        assert np.all(np.diff(t) > 0)
+
+    def test_gaps_respect_location(self):
+        t = pareto_renewal_arrivals(500, shape=1.2, location=2.0, seed=2)
+        gaps = np.diff(np.concatenate([[0.0], t]))
+        assert np.all(gaps >= 2.0)
+
+    def test_zero_count(self):
+        assert pareto_renewal_arrivals(0, shape=1.0).size == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            pareto_renewal_arrivals(-1, shape=1.0)
+
+
+class TestCountProcess:
+    def test_shape_and_dtype(self):
+        c = pareto_renewal_counts(500, bin_width=10.0, shape=1.0, seed=3)
+        assert c.shape == (500,)
+        assert c.dtype == np.int64
+
+    def test_counts_nonnegative(self):
+        c = pareto_renewal_counts(200, bin_width=100.0, shape=0.9, seed=4)
+        assert np.all(c >= 0)
+
+    def test_reproducible(self):
+        a = pareto_renewal_counts(100, bin_width=10.0, shape=1.1, seed=5)
+        b = pareto_renewal_counts(100, bin_width=10.0, shape=1.1, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_matches_direct_binning_for_light_tail(self):
+        """For beta = 3 (finite mean 1.5a) counts should average ~b/mean."""
+        c = pareto_renewal_counts(1000, bin_width=30.0, shape=3.0, seed=6)
+        assert c.mean() == pytest.approx(30.0 / 1.5, rel=0.1)
+
+    def test_zero_bins(self):
+        assert pareto_renewal_counts(0, bin_width=1.0, shape=1.0).size == 0
+
+
+class TestBurstLullSummary:
+    def test_simple_runs(self):
+        s = burst_lull_summary(np.array([1, 2, 0, 0, 0, 3, 0]))
+        assert s.burst_lengths.tolist() == [2, 1]
+        assert s.lull_lengths.tolist() == [3, 1]
+
+    def test_all_occupied(self):
+        s = burst_lull_summary(np.array([1, 1, 1]))
+        assert s.burst_lengths.tolist() == [3]
+        assert s.lull_lengths.size == 0
+
+    def test_all_empty(self):
+        s = burst_lull_summary(np.array([0, 0]))
+        assert s.lull_lengths.tolist() == [2]
+
+    def test_empty_input(self):
+        s = burst_lull_summary(np.array([]))
+        assert s.mean_burst == 0.0
+        assert s.mean_lull == 0.0
+
+    def test_partition_property(self):
+        rng = np.random.default_rng(7)
+        counts = rng.integers(0, 3, size=500)
+        s = burst_lull_summary(counts)
+        assert s.burst_lengths.sum() + s.lull_lengths.sum() == 500
+
+    def test_occupied_fraction(self):
+        s = burst_lull_summary(np.array([1, 0, 1, 0]))
+        assert s.occupied_fraction == pytest.approx(0.5)
+
+
+class TestAppendixCClosedForms:
+    def test_termination_bounds_ordering(self):
+        lo, hi = burst_termination_bounds(10.0, 1.0, 1.0)
+        assert lo == pytest.approx((1.0 / 20.0) ** 1.0)
+        assert hi == pytest.approx((1.0 / 10.0) ** 1.0)
+        assert lo < hi
+
+    def test_expected_burst_beta2_linear(self):
+        assert expected_burst_length(100.0, 1.0, 2.0) == pytest.approx(100.0)
+        assert expected_burst_length(1000.0, 1.0, 2.0) == pytest.approx(1000.0)
+
+    def test_expected_burst_beta1_logarithmic(self):
+        b1 = expected_burst_length(1e3, 1.0, 1.0)
+        b2 = expected_burst_length(1e7, 1.0, 1.0)
+        assert b1 == pytest.approx(math.log(1e3))
+        # growing b by 10^4 only grows bursts by a factor ~2.33
+        assert b2 / b1 == pytest.approx(7 / 3, rel=0.01)
+
+    def test_expected_burst_beta_half_constant(self):
+        assert expected_burst_length(1e3, 1.0, 0.5) == 2.0
+        assert expected_burst_length(1e9, 1.0, 0.5) == 2.0
+
+    def test_bin_smaller_than_location(self):
+        assert expected_burst_length(0.5, 1.0, 1.0) == 1.0
+
+    def test_lull_bounds_invariant_in_bins(self):
+        """Lull lengths in *bins* are b-invariant: bounds scale with b."""
+        lo1, hi1 = lull_length_bounds(10.0, 1.0, 1.0)
+        lo2, hi2 = lull_length_bounds(1000.0, 1.0, 1.0)
+        assert lo1.location == 10.0 and hi1.location == 20.0
+        assert lo2.location == 1000.0 and hi2.location == 2000.0
+        # normalized by b, identical distributions
+        assert lo1.location / 10.0 == lo2.location / 1000.0
+        assert lo1.shape == lo2.shape
+
+    def test_steady_state_empty(self):
+        assert steady_state_empty_probability(1.0) == 0.0
+        assert steady_state_empty_probability(0.5) == 0.0
+        assert math.isnan(steady_state_empty_probability(1.5))
+
+
+class TestVisualSelfSimilarity:
+    """The empirical claims behind Figs. 14-15."""
+
+    def test_burst_growth_slow_for_beta1(self):
+        """Mean burst length grows only ~logarithmically with bin size."""
+        s_small = burst_lull_summary(
+            pareto_renewal_counts(1000, bin_width=1e3, shape=1.0, seed=8)
+        )
+        s_large = burst_lull_summary(
+            pareto_renewal_counts(1000, bin_width=1e6, shape=1.0, seed=9)
+        )
+        ratio = s_large.mean_burst / s_small.mean_burst
+        # paper saw 2.6x for 10^3 -> 10^7; 10^3 -> 10^6 must stay modest
+        assert ratio < 4.0
+
+    def test_lull_scale_invariance_beta1(self):
+        """Mean lull length (in bins) is roughly invariant in b."""
+        s_small = burst_lull_summary(
+            pareto_renewal_counts(1000, bin_width=1e3, shape=1.0, seed=10)
+        )
+        s_large = burst_lull_summary(
+            pareto_renewal_counts(1000, bin_width=1e6, shape=1.0, seed=11)
+        )
+        assert s_small.mean_lull > 0 and s_large.mean_lull > 0
+        ratio = s_large.mean_lull / s_small.mean_lull
+        assert 0.3 < ratio < 3.0
+
+    def test_beta2_smooths_quickly(self):
+        """For beta = 2 large bins are almost always occupied."""
+        s = burst_lull_summary(
+            pareto_renewal_counts(500, bin_width=1e3, shape=2.0, seed=12)
+        )
+        assert s.occupied_fraction > 0.95

@@ -1,0 +1,118 @@
+"""Tests for repro.arrivals.poisson."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import (
+    exponential_interarrival_times,
+    homogeneous_poisson,
+    piecewise_poisson,
+    poisson_fixed_count,
+    thinned_poisson,
+)
+
+
+class TestHomogeneousPoisson:
+    def test_sorted_within_window(self):
+        t = homogeneous_poisson(5.0, 100.0, seed=1)
+        assert np.all(np.diff(t) >= 0)
+        assert np.all((t >= 0) & (t < 100.0))
+
+    def test_count_near_expectation(self):
+        t = homogeneous_poisson(10.0, 1000.0, seed=2)
+        # N ~ Poisson(10000): 5 sigma = 500
+        assert abs(t.size - 10000) < 500
+
+    def test_zero_rate(self):
+        assert homogeneous_poisson(0.0, 100.0, seed=3).size == 0
+
+    def test_zero_duration(self):
+        assert homogeneous_poisson(5.0, 0.0, seed=4).size == 0
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            homogeneous_poisson(-1.0, 10.0)
+
+    def test_interarrivals_exponential_mean(self):
+        t = homogeneous_poisson(2.0, 5000.0, seed=5)
+        gaps = np.diff(t)
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.05)
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            homogeneous_poisson(1.0, 50.0, seed=6), homogeneous_poisson(1.0, 50.0, seed=6)
+        )
+
+
+class TestPoissonFixedCount:
+    def test_exact_count(self):
+        assert poisson_fixed_count(137, 100.0, seed=7).size == 137
+
+    def test_sorted(self):
+        t = poisson_fixed_count(50, 10.0, seed=8)
+        assert np.all(np.diff(t) >= 0)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            poisson_fixed_count(-1, 10.0)
+
+    def test_uniform_marginal(self):
+        t = poisson_fixed_count(20000, 1.0, seed=9)
+        assert np.mean(t) == pytest.approx(0.5, abs=0.01)
+
+
+class TestPiecewisePoisson:
+    def test_rate_steps_respected(self):
+        # 0 arrivals in silent hours, ~3600 in busy hour
+        t = piecewise_poisson([0.0, 1.0, 0.0], interval=3600.0, seed=10)
+        assert np.all((t >= 3600.0) & (t < 7200.0))
+        assert abs(t.size - 3600) < 300
+
+    def test_empty_rates(self):
+        assert piecewise_poisson([], seed=11).size == 0
+
+    def test_total_duration(self):
+        t = piecewise_poisson([1.0] * 4, interval=600.0, seed=12)
+        assert t.max() < 2400.0
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            piecewise_poisson([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_arrivals_sorted_after_concat(self, rates):
+        t = piecewise_poisson(rates, interval=10.0, seed=13)
+        assert np.all(np.diff(t) >= 0)
+
+
+class TestThinnedPoisson:
+    def test_matches_homogeneous_when_constant(self):
+        t = thinned_poisson(lambda x: np.full_like(x, 2.0), 2.0, 2000.0, seed=14)
+        assert abs(t.size - 4000) < 400
+
+    def test_respects_zero_rate_regions(self):
+        def rate(x):
+            return np.where(x < 50.0, 0.0, 4.0)
+
+        t = thinned_poisson(rate, 4.0, 100.0, seed=15)
+        assert np.all(t >= 50.0)
+
+    def test_rate_above_max_raises(self):
+        with pytest.raises(ValueError):
+            thinned_poisson(lambda x: np.full_like(x, 3.0), 1.0, 100.0, seed=16)
+
+
+class TestExponentialGaps:
+    def test_mean(self):
+        g = exponential_interarrival_times(50000, 1.1, seed=17)
+        assert np.mean(g) == pytest.approx(1.1, rel=0.03)
+
+    def test_count(self):
+        assert exponential_interarrival_times(7, 1.0, seed=18).size == 7
+
+    def test_bad_mean(self):
+        with pytest.raises(ValueError):
+            exponential_interarrival_times(5, 0.0)

@@ -1,0 +1,160 @@
+"""Tests for FTPDATA burst coalescing and the FTP session model (Section VI)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BURST_SPACING_SECONDS,
+    FtpSessionModel,
+    burst_concentration,
+    burst_tail_summary,
+    coalesce_bursts,
+    intra_session_spacings,
+    trace_bursts,
+)
+from repro.traces import ConnectionTrace
+
+
+class TestCoalesceBursts:
+    def test_single_connection_single_burst(self):
+        bursts = coalesce_bursts([0.0], [2.0], [100])
+        assert len(bursts) == 1
+        assert bursts[0].n_connections == 1
+        assert bursts[0].total_bytes == 100
+
+    def test_close_connections_merge(self):
+        # conn ends at 2.0; next starts at 4.0 -> spacing 2.0 <= 4 s
+        bursts = coalesce_bursts([0.0, 4.0], [2.0, 1.0], [10, 20])
+        assert len(bursts) == 1
+        assert bursts[0].n_connections == 2
+        assert bursts[0].total_bytes == 30
+
+    def test_distant_connections_split(self):
+        # spacing = 10 - 2 = 8 > 4 s
+        bursts = coalesce_bursts([0.0, 10.0], [2.0, 1.0], [10, 20])
+        assert len(bursts) == 2
+
+    def test_boundary_spacing_exactly_cutoff(self):
+        # spacing exactly 4.0 -> same burst (<= rule)
+        bursts = coalesce_bursts([0.0, 5.0], [1.0, 1.0], [1, 1])
+        assert len(bursts) == 1
+
+    def test_unsorted_input_handled(self):
+        bursts = coalesce_bursts([10.0, 0.0], [1.0, 2.0], [5, 7])
+        assert len(bursts) == 2
+        assert bursts[0].start_time == 0.0
+
+    def test_burst_times(self):
+        bursts = coalesce_bursts([0.0, 3.0], [2.0, 4.0], [1, 1])
+        assert bursts[0].start_time == 0.0
+        assert bursts[0].end_time == 7.0
+        assert bursts[0].duration == 7.0
+
+    def test_empty(self):
+        assert coalesce_bursts([], [], []) == []
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            coalesce_bursts([0.0], [1.0, 2.0], [1])
+
+    def test_alternate_cutoff_footnote(self):
+        """The paper: a 2 s cutoff gives 'virtually identical results' —
+        here: it can only split, never merge, relative to 4 s."""
+        starts = np.array([0.0, 2.5, 9.0, 12.0])
+        durs = np.ones(4)
+        sizes = np.ones(4, dtype=int)
+        b4 = coalesce_bursts(starts, durs, sizes, spacing=4.0)
+        b2 = coalesce_bursts(starts, durs, sizes, spacing=2.0)
+        assert len(b2) >= len(b4)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=40),
+        st.floats(min_value=0.5, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_invariants(self, starts, spacing):
+        durs = np.ones(len(starts))
+        sizes = np.ones(len(starts), dtype=int)
+        bursts = coalesce_bursts(starts, durs, sizes, spacing=spacing)
+        # every connection lands in exactly one burst
+        assert sum(b.n_connections for b in bursts) == len(starts)
+        assert sum(b.total_bytes for b in bursts) == len(starts)
+        # bursts are time-ordered and non-overlapping in start
+        ss = [b.start_time for b in bursts]
+        assert ss == sorted(ss)
+
+
+class TestSessionModel:
+    @pytest.fixture(scope="class")
+    def records(self):
+        model = FtpSessionModel(sessions_per_hour=120.0)
+        return model.synthesize(6 * 3600.0, seed=1)
+
+    def test_contains_both_protocols(self, records):
+        protos = {r.protocol for r in records}
+        assert protos == {"FTP", "FTPDATA"}
+
+    def test_every_data_connection_has_session(self, records):
+        for r in records:
+            if r.protocol == "FTPDATA":
+                assert r.session_id is not None
+
+    def test_sessions_have_control_connection(self, records):
+        control = {r.session_id for r in records if r.protocol == "FTP"}
+        data = {r.session_id for r in records if r.protocol == "FTPDATA"}
+        assert data <= control
+
+    def test_trace_bursts_roundtrip(self, records):
+        trace = ConnectionTrace("ftp", records)
+        bursts = trace_bursts(trace)
+        assert len(bursts) >= 1
+        total_data = trace.total_bytes("FTPDATA")
+        assert sum(b.total_bytes for b in bursts) == total_data
+
+    def test_heavy_tailed_burst_sizes(self):
+        """The headline: top 0.5% of bursts holds far more than 3%
+        (the exponential benchmark) of the bytes."""
+        model = FtpSessionModel(sessions_per_hour=400.0)
+        records = model.synthesize(24 * 3600.0, seed=2)
+        bursts = trace_bursts(ConnectionTrace("ftp", records))
+        summary = burst_tail_summary(bursts)
+        assert summary.n_bursts > 1000
+        assert summary.share_top_half_percent > 0.10
+        assert summary.dominated_by_tail()
+
+    def test_tail_shape_in_paper_range(self):
+        model = FtpSessionModel(sessions_per_hour=400.0)
+        records = model.synthesize(24 * 3600.0, seed=3)
+        bursts = trace_bursts(ConnectionTrace("ftp", records))
+        shape = burst_tail_summary(bursts).tail_shape
+        assert shape is not None
+        assert 0.7 < shape < 1.7  # paper fit: 0.9 <= beta <= 1.4
+
+    def test_spacing_distribution_bimodal_anchor(self):
+        """Fig. 8: intra-burst spacings sit below the 4 s cutoff,
+        inter-burst gaps above — both modes must be present."""
+        model = FtpSessionModel(sessions_per_hour=200.0)
+        records = model.synthesize(12 * 3600.0, seed=4)
+        spacings = intra_session_spacings(ConnectionTrace("ftp", records))
+        assert spacings.size > 100
+        below = np.mean(spacings <= BURST_SPACING_SECONDS)
+        assert 0.15 < below < 0.95
+        assert np.quantile(spacings, 0.95) > 10.0
+
+    def test_concentration_curve(self, records):
+        bursts = trace_bursts(ConnectionTrace("ftp", records))
+        curve = burst_concentration(bursts)
+        assert curve.share_at(1.0) == pytest.approx(1.0)
+
+    def test_session_starts_override(self):
+        model = FtpSessionModel(sessions_per_hour=10.0)
+        recs = model.synthesize(3600.0, seed=5,
+                                session_starts=np.array([100.0, 200.0]))
+        sessions = {r.session_id for r in recs}
+        assert sessions == {0, 1}
+
+    def test_burst_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            burst_tail_summary([])

@@ -1,0 +1,117 @@
+"""Tests for the Section IV TELNET synthesis schemes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConnectionSpec,
+    Scheme,
+    clustering_score,
+    connection_packet_times,
+    multiplexed_telnet,
+    synthesize_packet_arrivals,
+)
+
+
+class TestConnectionPacketTimes:
+    def test_counts_match_spec(self):
+        spec = ConnectionSpec(start_time=10.0, n_packets=50)
+        for scheme in (Scheme.TCPLIB, Scheme.EXP):
+            t = connection_packet_times(spec, scheme, seed=1)
+            assert t.size == 50
+            assert np.all(t > 10.0)
+
+    def test_var_exp_respects_duration(self):
+        spec = ConnectionSpec(5.0, 100, duration=60.0)
+        t = connection_packet_times(spec, Scheme.VAR_EXP, seed=2)
+        assert t.size == 100
+        assert np.all((t >= 5.0) & (t < 65.0))
+
+    def test_var_exp_requires_duration(self):
+        with pytest.raises(ValueError):
+            connection_packet_times(ConnectionSpec(0.0, 5), Scheme.VAR_EXP)
+
+    def test_zero_packets(self):
+        assert connection_packet_times(
+            ConnectionSpec(0.0, 0), Scheme.TCPLIB
+        ).size == 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionSpec(-1.0, 5)
+        with pytest.raises(ValueError):
+            ConnectionSpec(0.0, -5)
+
+    def test_tcplib_more_clustered_than_exp(self):
+        """Fig. 4's visual claim, quantified: a much larger share of Tcplib
+        gaps fall below 1 s than exponential gaps at similar mean."""
+        spec = ConnectionSpec(0.0, 2000)
+        t_tcp = connection_packet_times(spec, Scheme.TCPLIB, seed=3)
+        t_exp = connection_packet_times(spec, Scheme.EXP, seed=4)
+        assert clustering_score(t_tcp, 0.2) > clustering_score(t_exp, 0.2) + 0.15
+
+
+class TestSynthesizeTrace:
+    def test_ids_and_order(self):
+        specs = [ConnectionSpec(0.0, 10), ConnectionSpec(5.0, 10)]
+        times, ids = synthesize_packet_arrivals(specs, Scheme.EXP, seed=5)
+        assert times.size == 20
+        assert np.all(np.diff(times) >= 0)
+        assert set(ids.tolist()) == {0, 1}
+
+    def test_horizon_truncation(self):
+        specs = [ConnectionSpec(0.0, 1000)]
+        times, _ = synthesize_packet_arrivals(specs, Scheme.EXP, seed=6,
+                                              horizon=100.0)
+        assert np.all(times < 100.0)
+        assert times.size < 1000
+
+    def test_empty(self):
+        times, ids = synthesize_packet_arrivals([], Scheme.TCPLIB)
+        assert times.size == ids.size == 0
+
+
+class TestMultiplexing:
+    """The Section IV experiment: mean ~equal, Tcplib variance ~2.5x."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        tcp = multiplexed_telnet(100, 600.0, Scheme.TCPLIB, seed=7)
+        exp = multiplexed_telnet(100, 600.0, Scheme.EXP, seed=8)
+        return tcp, exp
+
+    def test_means_comparable(self, results):
+        tcp, exp = results
+        # paper: both means ~92 packets/s (100 sources / 1.1 s mean gap)
+        assert tcp.mean == pytest.approx(exp.mean, rel=0.15)
+        assert 70 < exp.mean < 110
+
+    def test_tcplib_variance_much_larger(self, results):
+        tcp, exp = results
+        assert tcp.variance > 1.5 * exp.variance
+
+    def test_exp_variance_near_poisson(self, results):
+        _, exp = results
+        # multiplexed renewal exp sources ~ Poisson: var ~ mean
+        assert exp.variance == pytest.approx(exp.mean, rel=0.35)
+
+    def test_var_exp_rejected(self):
+        with pytest.raises(ValueError):
+            multiplexed_telnet(10, 60.0, Scheme.VAR_EXP)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            multiplexed_telnet(0, 60.0)
+        with pytest.raises(ValueError):
+            multiplexed_telnet(10, 0.0)
+
+
+class TestClusteringScore:
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            clustering_score(np.array([1.0]))
+
+    def test_range(self):
+        rng = np.random.default_rng(9)
+        s = clustering_score(np.cumsum(rng.exponential(1.0, 100)))
+        assert 0.0 <= s <= 1.0

@@ -1,0 +1,93 @@
+"""Tests for arrival-process fingerprints and the report formatting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import (
+    compound_poisson_cluster,
+    homogeneous_poisson,
+    timer_driven_arrivals,
+)
+from repro.distributions import Exponential, Pareto
+from repro.experiments.report import (
+    ascii_sparkline,
+    format_series,
+    format_table,
+    format_value,
+)
+from repro.stats import summarize_arrivals
+
+
+class TestSummarizeArrivals:
+    def test_poisson_fingerprint(self):
+        t = homogeneous_poisson(0.5, 20000.0, seed=1)
+        s = summarize_arrivals(t, bin_width=60.0)
+        assert s.poisson_like
+        assert s.rate == pytest.approx(0.5, rel=0.1)
+        assert s.interarrival_cv == pytest.approx(1.0, abs=0.1)
+
+    def test_timer_fingerprint(self):
+        t = timer_driven_arrivals(30.0, 20000.0, jitter_sd=0.5, seed=2)
+        s = summarize_arrivals(t, bin_width=60.0)
+        assert not s.poisson_like
+        assert s.interarrival_cv < 0.2  # clockwork
+        assert s.index_of_dispersion < 0.5  # under-dispersed
+
+    def test_cluster_fingerprint(self):
+        t = compound_poisson_cluster(0.02, 50000.0, Pareto(1.0, 1.2),
+                                     Exponential(0.5), seed=3)
+        s = summarize_arrivals(t, bin_width=60.0)
+        assert not s.poisson_like
+        assert s.index_of_dispersion > 1.5  # over-dispersed
+
+    def test_row_keys(self):
+        t = homogeneous_poisson(1.0, 1000.0, seed=4)
+        row = summarize_arrivals(t).row()
+        assert {"events", "rate_per_s", "ia_cv", "IoD"} <= set(row)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize_arrivals([1.0, 2.0])
+        with pytest.raises(ValueError):
+            summarize_arrivals(np.ones(20), bin_width=0.0)
+
+
+class TestFormatting:
+    def test_format_value_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_format_value_float_ranges(self):
+        assert format_value(0.0) == "0"
+        assert format_value(1234567.0) == "1.23e+06"
+        assert format_value(0.25) == "0.25"
+        assert format_value(1e-5) == "1e-05"
+
+    def test_format_table_alignment(self):
+        out = format_table([{"a": 1, "bb": True}, {"a": 22, "bb": False}],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="X")
+
+    def test_format_table_column_selection(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_format_series_thins_long_input(self):
+        x = np.arange(500.0)
+        out = format_series(x, x**2, "x", "y", max_rows=10)
+        assert len(out.splitlines()) <= 13
+
+    def test_sparkline_shapes(self):
+        assert ascii_sparkline(np.zeros(10)) == " " * 10
+        line = ascii_sparkline(np.arange(100.0), width=20)
+        assert len(line) == 20
+        assert line[-1] in "%@"
+
+    def test_sparkline_empty(self):
+        assert ascii_sparkline(np.zeros(0)) == ""

@@ -1,0 +1,448 @@
+"""Tests for the distribution substrate (repro.distributions)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    DiscretePareto,
+    EmpiricalDistribution,
+    Exponential,
+    Log2Normal,
+    LogExtreme,
+    Pareto,
+    Weibull,
+    empirical_cdf,
+    geometric_mean,
+    hill_estimator,
+    is_heavy_tailed_estimate,
+    moment_summary,
+    tail_fit,
+)
+
+ALL_CONTINUOUS = [
+    Exponential(1.1),
+    Pareto(1.0, 1.5),
+    Pareto(0.5, 0.9),
+    Log2Normal(math.log2(100), 2.24),
+    LogExtreme(math.log2(100), math.log2(3.5)),
+    Weibull(2.0, 0.7),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_CONTINUOUS, ids=lambda d: f"{d.name}")
+class TestDistributionContract:
+    """Properties every continuous distribution must satisfy."""
+
+    def test_cdf_monotone(self, dist):
+        x = np.geomspace(1e-3, 1e4, 200)
+        c = dist.cdf(x)
+        assert np.all(np.diff(c) >= -1e-12)
+        assert np.all((c >= 0) & (c <= 1))
+
+    def test_sf_complements_cdf(self, dist):
+        x = np.geomspace(1e-2, 1e3, 50)
+        assert np.allclose(dist.sf(x) + dist.cdf(x), 1.0, atol=1e-10)
+
+    def test_ppf_roundtrip(self, dist):
+        q = np.linspace(0.01, 0.99, 25)
+        assert np.allclose(dist.cdf(dist.ppf(q)), q, atol=1e-6)
+
+    def test_ppf_rejects_bad_quantiles(self, dist):
+        with pytest.raises(ValueError):
+            dist.ppf(1.5)
+
+    def test_sampling_matches_cdf(self, dist):
+        """KS-style check: empirical CDF of samples tracks the analytic CDF."""
+        s = dist.sample(20000, seed=123)
+        x, f = empirical_cdf(s)
+        # Compare at interior deciles to avoid infinite-tail noise.
+        for q in (0.1, 0.3, 0.5, 0.7, 0.9):
+            target = float(dist.ppf(q))
+            emp = np.searchsorted(x, target) / x.size
+            assert emp == pytest.approx(q, abs=0.02)
+
+    def test_sampling_reproducible(self, dist):
+        a = dist.sample(10, seed=9)
+        b = dist.sample(10, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_pdf_nonnegative(self, dist):
+        x = np.geomspace(1e-3, 1e3, 100)
+        assert np.all(dist.pdf(x) >= 0)
+
+    def test_pdf_integrates_to_one(self, dist):
+        lo = float(dist.ppf(1e-6)) if dist.cdf(1e-9) < 1e-6 else 1e-9
+        hi = float(dist.ppf(1.0 - 1e-4))
+        x = np.geomspace(max(lo, 1e-9), hi, 20001)
+        mass = np.trapezoid(dist.pdf(x), x)
+        assert mass == pytest.approx(1.0, abs=0.01)
+
+
+class TestExponential:
+    def test_moments(self):
+        d = Exponential(2.0)
+        assert d.mean == 2.0
+        assert d.variance == 4.0
+        assert d.rate == 0.5
+
+    def test_memoryless_cmex(self):
+        d = Exponential(1.3)
+        assert d.cmex(0.5) == pytest.approx(1.3)
+        assert d.cmex(10.0) == pytest.approx(1.3)
+
+    def test_fit_recovers_mean(self):
+        s = Exponential(1.1).sample(50000, seed=4)
+        assert Exponential.fit(s).mean == pytest.approx(1.1, rel=0.05)
+
+    def test_fit_geometric(self):
+        d = Exponential(1.0)
+        s = d.sample(100000, seed=5)
+        fitted = Exponential.fit_geometric(s)
+        assert geometric_mean(s) == pytest.approx(fitted.geometric_mean_value, rel=0.05)
+
+    def test_geometric_mean_closed_form(self):
+        d = Exponential(3.0)
+        s = d.sample(200000, seed=6)
+        assert geometric_mean(s) == pytest.approx(d.geometric_mean_value, rel=0.02)
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError):
+            Exponential.fit([])
+
+
+class TestPareto:
+    def test_infinite_mean_for_beta_below_one(self):
+        assert Pareto(1.0, 0.9).mean == math.inf
+        assert Pareto(1.0, 1.0).mean == math.inf
+
+    def test_finite_mean(self):
+        d = Pareto(2.0, 3.0)
+        assert d.mean == pytest.approx(3.0)
+
+    def test_infinite_variance_for_beta_below_two(self):
+        assert Pareto(1.0, 1.5).variance == math.inf
+        assert Pareto(1.0, 3.0).variance < math.inf
+
+    def test_cdf_below_location_is_zero(self):
+        d = Pareto(2.0, 1.5)
+        assert d.cdf(1.9) == 0.0
+        assert d.sf(1.0) == 1.0
+
+    def test_scale_invariance(self):
+        """P[X > 2x] / P[X > x] is constant in x (Appendix B)."""
+        d = Pareto(1.0, 1.2)
+        xs = np.array([2.0, 5.0, 50.0, 500.0])
+        ratios = d.sf(2 * xs) / d.sf(xs)
+        assert np.allclose(ratios, ratios[0])
+
+    def test_truncation_invariance(self):
+        """X | X > x0 is Pareto with same shape, location x0 (eq. 2)."""
+        d = Pareto(1.0, 1.3)
+        t = d.truncated_from_below(5.0)
+        assert t.shape == d.shape
+        assert t.location == 5.0
+        x = np.array([6.0, 10.0, 100.0])
+        cond = d.sf(x) / d.sf(5.0)
+        assert np.allclose(cond, t.sf(x))
+
+    def test_truncation_below_location_is_noop(self):
+        d = Pareto(2.0, 1.0)
+        t = d.truncated_from_below(1.0)
+        assert t.location == 2.0
+
+    def test_cmex_linear(self):
+        """CMEX(x) = x / (beta - 1) for beta > 1 (Appendix B)."""
+        d = Pareto(1.0, 3.0)
+        assert d.cmex(4.0) == pytest.approx(2.0)
+        assert d.cmex(8.0) == pytest.approx(4.0)
+
+    def test_cmex_infinite_for_heavy_shape(self):
+        assert Pareto(1.0, 0.9).cmex(5.0) == math.inf
+
+    def test_cmex_numeric_agrees_with_closed_form(self):
+        d = Pareto(1.0, 2.5)
+        numeric = Distribution_cmex_numeric(d, 3.0)
+        assert numeric == pytest.approx(d.cmex(3.0), rel=0.05)
+
+    def test_mle_fit(self):
+        d = Pareto(2.0, 1.4)
+        s = d.sample(100000, seed=7)
+        fit = Pareto.fit(s)
+        assert fit.shape == pytest.approx(1.4, rel=0.05)
+        assert fit.location == pytest.approx(2.0, rel=0.01)
+
+    def test_truncated_mean_monotone_in_upper(self):
+        d = Pareto(1.0, 0.9)
+        m1 = d.truncated_mean(10.0)
+        m2 = d.truncated_mean(1000.0)
+        assert m2 > m1  # infinite-mean regime: grows without bound
+
+    def test_truncated_mean_beta1_log_growth(self):
+        d = Pareto(1.0, 1.0)
+        assert d.truncated_mean(math.e) == pytest.approx(1.0 + 1.0, rel=0.01)
+
+    def test_samples_respect_location(self):
+        s = Pareto(3.0, 1.1).sample(1000, seed=8)
+        assert np.all(s >= 3.0)
+
+
+class TestHillEstimator:
+    def test_recovers_pareto_shape(self):
+        s = Pareto(1.0, 1.2).sample(50000, seed=10)
+        est = hill_estimator(s, k=2000)
+        assert est == pytest.approx(1.2, rel=0.1)
+
+    def test_tail_fit_on_mixture(self):
+        """Body exponential + Pareto tail: fit only sees the tail."""
+        rng = np.random.default_rng(11)
+        body = Exponential(1.0).sample(45000, seed=rng)
+        tail = Pareto(10.0, 0.95).sample(5000, seed=rng)
+        fit = tail_fit(np.concatenate([body, tail]), tail_fraction=0.05)
+        assert 0.7 < fit.shape < 1.3
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            hill_estimator([1.0, 2.0, 3.0], k=3)
+
+
+class TestLog2Normal:
+    def test_paper_parameters(self):
+        d = Log2Normal.paxson_telnet_packets()
+        assert d.log2_mean == pytest.approx(math.log2(100))
+        assert d.log2_sd == pytest.approx(2.24)
+
+    def test_median(self):
+        d = Log2Normal(math.log2(100), 2.24)
+        assert d.median == pytest.approx(100.0, rel=1e-6)
+
+    def test_moments_against_samples(self):
+        d = Log2Normal(3.0, 0.5)
+        s = d.sample(200000, seed=12)
+        assert np.mean(s) == pytest.approx(d.mean, rel=0.02)
+
+    def test_not_heavy_tailed(self):
+        assert not Log2Normal(1.0, 1.0).is_heavy_tailed()
+
+    def test_fit_roundtrip(self):
+        d = Log2Normal(5.0, 1.5)
+        s = d.sample(50000, seed=13)
+        fit = Log2Normal.fit(s)
+        assert fit.log2_mean == pytest.approx(5.0, abs=0.05)
+        assert fit.log2_sd == pytest.approx(1.5, abs=0.05)
+
+    def test_tail_lighter_than_pareto(self):
+        """Appendix E: log-normal tail eventually below any power law."""
+        d = Log2Normal(0.0, 1.0)
+        p = Pareto(1.0, 5.0)  # even a light power law
+        x = 1e6
+        assert d.sf(x) < p.sf(x)
+
+
+class TestLogExtreme:
+    def test_paper_parameters(self):
+        d = LogExtreme.paxson_telnet_bytes()
+        assert d.alpha == pytest.approx(math.log2(100))
+        assert d.beta == pytest.approx(math.log2(3.5))
+
+    def test_log2_median(self):
+        d = LogExtreme(5.0, 2.0)
+        # median of Gumbel = alpha - beta ln(ln 2)
+        assert d.log2_median == pytest.approx(5.0 - 2.0 * math.log(math.log(2.0)))
+
+    def test_mean_infinite_when_scale_large(self):
+        # beta * ln2 >= 1 <=> beta >= 1.4427
+        assert LogExtreme(1.0, 2.0).mean == math.inf
+
+    def test_mean_finite_when_scale_small(self):
+        d = LogExtreme(2.0, 0.5)
+        s = d.sample(500000, seed=14)
+        assert np.mean(s) == pytest.approx(d.mean, rel=0.05)
+
+    def test_fit_roundtrip(self):
+        d = LogExtreme(6.6, 1.8)
+        s = d.sample(100000, seed=15)
+        fit = LogExtreme.fit(s)
+        assert fit.alpha == pytest.approx(6.6, abs=0.1)
+        assert fit.beta == pytest.approx(1.8, abs=0.1)
+
+
+class TestWeibull:
+    def test_mean_variance(self):
+        d = Weibull(1.0, 1.0)  # equals Exponential(1)
+        assert d.mean == pytest.approx(1.0)
+        assert d.variance == pytest.approx(1.0)
+
+    def test_subexponential_flag(self):
+        assert Weibull(1.0, 0.5).is_subexponential()
+        assert not Weibull(1.0, 2.0).is_subexponential()
+
+    def test_matches_exponential_at_shape_one(self):
+        w, e = Weibull(2.0, 1.0), Exponential(2.0)
+        x = np.linspace(0.1, 10, 50)
+        assert np.allclose(w.cdf(x), e.cdf(x))
+
+
+class TestDiscretePareto:
+    def test_pmf_values(self):
+        d = DiscretePareto()
+        assert d.pmf(0) == pytest.approx(1 / 2)
+        assert d.pmf(1) == pytest.approx(1 / 6)
+        assert d.pmf(2) == pytest.approx(1 / 12)
+
+    def test_pmf_sums_to_one(self):
+        d = DiscretePareto()
+        n = np.arange(0, 200000)
+        assert d.pmf(n).sum() == pytest.approx(1.0, abs=1e-4)
+
+    def test_cdf_telescopes(self):
+        d = DiscretePareto()
+        assert d.cdf(0) == pytest.approx(0.5)
+        assert d.cdf(2) == pytest.approx(0.75)
+
+    def test_infinite_mean(self):
+        assert DiscretePareto().mean == math.inf
+
+    def test_samples_integer_nonnegative(self):
+        s = DiscretePareto().sample(1000, seed=16)
+        assert s.dtype == np.int64
+        assert np.all(s >= 0)
+
+    def test_sample_median_near_one(self):
+        s = DiscretePareto().sample(50000, seed=17)
+        # P[X=0] = 1/2, so median is 0 or 1
+        assert np.median(s) <= 1
+
+
+class TestEmpiricalDistribution:
+    def test_requires_full_probability_span(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([0.1, 1.0], [1.0, 2.0])
+
+    def test_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([0.0, 0.5, 1.0], [1.0, 2.0])
+
+    def test_log_interp_requires_positive(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([0.0, 1.0], [0.0, 1.0], log_interp=True)
+
+    def test_ppf_cdf_roundtrip(self):
+        d = EmpiricalDistribution([0.0, 0.5, 1.0], [1.0, 10.0, 100.0])
+        q = np.linspace(0.0, 1.0, 21)
+        assert np.allclose(d.cdf(d.ppf(q)), q, atol=1e-9)
+
+    def test_from_samples_resamples_distribution(self):
+        src = Exponential(2.0)
+        d = EmpiricalDistribution.from_samples(src.sample(50000, seed=18))
+        s = d.sample(50000, seed=19)
+        assert np.mean(s) == pytest.approx(2.0, rel=0.05)
+
+    def test_support(self):
+        d = EmpiricalDistribution([0.0, 1.0], [0.5, 8.0])
+        assert d.support == (0.5, 8.0)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_samples_within_support(self, seed):
+        d = EmpiricalDistribution([0.0, 0.3, 1.0], [0.1, 1.0, 50.0])
+        s = d.sample(100, seed=seed)
+        assert np.all((s >= 0.1) & (s <= 50.0))
+
+
+class TestHelpers:
+    def test_empirical_cdf_shape(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        assert x.tolist() == [1.0, 2.0, 3.0]
+        assert f.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empirical_cdf_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_moment_summary_keys(self):
+        s = moment_summary([1.0, 2.0, 3.0])
+        assert s["mean"] == pytest.approx(2.0)
+        assert "geometric_mean" in s
+
+    def test_heavy_tail_detector_pareto_vs_uniform(self):
+        rng = np.random.default_rng(20)
+        heavy = Pareto(1.0, 1.1).sample(20000, seed=21)
+        light = rng.uniform(0, 1, 20000)
+        assert is_heavy_tailed_estimate(heavy)
+        assert not is_heavy_tailed_estimate(light)
+
+
+def Distribution_cmex_numeric(dist, x):
+    """Call the generic numeric CMEX path (bypassing closed-form override)."""
+    from repro.distributions.base import Distribution
+
+    return Distribution.cmex(dist, x)
+
+
+class TestTruncated:
+    def test_finite_mean_from_infinite_mean_base(self):
+        from repro.distributions import Truncated
+
+        base = Pareto(1.0, 0.9)  # infinite mean
+        t = Truncated(base, 1000.0)
+        assert math.isfinite(t.mean)
+        assert 1.0 < t.mean < 1000.0
+
+    def test_cdf_reaches_one_at_upper(self):
+        from repro.distributions import Truncated
+
+        t = Truncated(Exponential(2.0), 5.0)
+        assert float(t.cdf(5.0)) == pytest.approx(1.0)
+        assert float(t.cdf(10.0)) == 1.0
+
+    def test_ppf_roundtrip(self):
+        from repro.distributions import Truncated
+
+        t = Truncated(Pareto(1.0, 1.2), 100.0)
+        q = np.linspace(0.01, 0.99, 20)
+        assert np.allclose(t.cdf(t.ppf(q)), q, atol=1e-9)
+
+    def test_samples_bounded(self):
+        from repro.distributions import Truncated
+
+        t = Truncated(Pareto(1.0, 0.5), 50.0)
+        s = t.sample(5000, seed=1)
+        assert np.all((s >= 1.0) & (s <= 50.0))
+
+    def test_truncated_mass(self):
+        from repro.distributions import Truncated
+
+        base = Pareto(1.0, 1.0)
+        t = Truncated(base, 10.0)
+        assert t.truncated_mass == pytest.approx(0.1)
+
+    def test_conditional_law_matches_rejection_sampling(self):
+        from repro.distributions import Truncated
+
+        base = Exponential(1.0)
+        t = Truncated(base, 2.0)
+        raw = base.sample(200000, seed=2)
+        accepted = raw[raw <= 2.0]
+        s = t.sample(accepted.size, seed=3)
+        assert np.mean(s) == pytest.approx(np.mean(accepted), rel=0.02)
+
+    def test_no_mass_raises(self):
+        from repro.distributions import Truncated
+
+        with pytest.raises(ValueError):
+            Truncated(Pareto(10.0, 1.0), 5.0)  # upper below the support

@@ -1,0 +1,162 @@
+"""Edge-case coverage for public APIs the main test files exercise only on
+their happy paths."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DiscretePareto,
+    EmpiricalDistribution,
+    Exponential,
+    Pareto,
+)
+from repro.selfsim import CountProcess, default_levels, fgn_spectral_density
+from repro.stats import (
+    binomial_lower_tail,
+    evaluate_interval,
+    exponential_top_share,
+    sign_bias_verdict,
+)
+from repro.traces import (
+    ConnectionRecord,
+    ConnectionTrace,
+    PacketTrace,
+    lookup,
+)
+from repro.utils import aggregate, bin_counts
+
+
+class TestCountProcessEdges:
+    def test_slice_outside_range_empty(self):
+        cp = CountProcess(np.arange(10.0), 1.0)
+        assert cp.slice_time(100.0, 200.0).n_bins == 0
+
+    def test_slice_negative_start_clamped(self):
+        cp = CountProcess(np.arange(10.0), 1.0)
+        assert cp.slice_time(-5.0, 3.0).n_bins == 3
+
+    def test_empty_process_stats(self):
+        cp = CountProcess(np.zeros(0), 1.0)
+        assert cp.mean == 0.0
+        assert cp.variance == 0.0
+        assert cp.total == 0.0
+
+    def test_index_of_dispersion_zero_mean_raises(self):
+        with pytest.raises(ValueError):
+            CountProcess(np.zeros(5), 1.0).index_of_dispersion
+
+    def test_default_levels_tiny_but_valid(self):
+        lv = default_levels(100)
+        assert lv[0] == 1 and lv[-1] == 2
+
+
+class TestDistributionEdges:
+    def test_exponential_ppf_extremes(self):
+        d = Exponential(1.0)
+        assert float(d.ppf(0.0)) == 0.0
+        assert float(d.ppf(1.0)) == math.inf
+
+    def test_pareto_ppf_one_is_inf(self):
+        assert float(Pareto(1.0, 1.0).ppf(1.0)) == math.inf
+
+    def test_pareto_variance_edge_shapes(self):
+        assert Pareto(1.0, 2.0).variance == math.inf
+        assert Pareto(1.0, 2.1).variance < math.inf
+
+    def test_empirical_linear_interp_cdf(self):
+        d = EmpiricalDistribution([0.0, 1.0], [0.0, 10.0], log_interp=False)
+        assert float(d.cdf(5.0)) == pytest.approx(0.5)
+        assert float(d.cdf(-1.0)) == 0.0
+        assert float(d.cdf(11.0)) == 1.0
+
+    def test_empirical_from_samples_two_points(self):
+        d = EmpiricalDistribution.from_samples([1.0, 3.0])
+        assert float(d.ppf(0.5)) == pytest.approx(2.0)
+
+    def test_discrete_pareto_ppf_zero(self):
+        assert float(DiscretePareto().ppf(0.0)) == 0.0
+
+    def test_fgn_spectrum_at_pi(self):
+        f = fgn_spectral_density(np.array([np.pi]), 0.7)
+        assert np.isfinite(f[0]) and f[0] > 0
+
+
+class TestStatsEdges:
+    def test_evaluate_interval_small_n(self):
+        # 8 arrivals: minimum viable for the pipeline's default
+        t = np.sort(np.random.default_rng(1).uniform(0, 100, 9))
+        out = evaluate_interval(t)
+        assert out.n_arrivals == 9
+
+    def test_binomial_zero_trials(self):
+        assert binomial_lower_tail(0, 0, 0.5) == pytest.approx(1.0)
+
+    def test_sign_bias_single_observation(self):
+        assert sign_bias_verdict([1]).label == ""
+
+    def test_exponential_top_share_monotone(self):
+        fs = np.linspace(0.001, 1.0, 50)
+        ys = [exponential_top_share(f) for f in fs]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+
+
+class TestTraceEdges:
+    def test_protocol_mask_case_insensitive(self):
+        tr = ConnectionTrace("t", [ConnectionRecord(0.0, 1.0, "TELNET")])
+        assert tr.protocol_mask("telnet").sum() == 1
+
+    def test_arrival_times_missing_protocol_empty(self):
+        tr = ConnectionTrace("t", [ConnectionRecord(0.0, 1.0, "TELNET")])
+        assert tr.arrival_times("WWW").size == 0
+
+    def test_sessions_without_ids_empty(self):
+        tr = ConnectionTrace("t", [ConnectionRecord(0.0, 1.0, "FTPDATA")])
+        assert tr.sessions("FTPDATA") == {}
+
+    def test_packet_trace_empty_duration(self):
+        assert PacketTrace("p", []).duration == 0.0
+
+    def test_packet_trace_stable_sort_preserves_ties(self):
+        pt = PacketTrace("p", timestamps=[1.0, 1.0, 1.0],
+                         connection_ids=[3, 1, 2])
+        assert pt.connection_ids.tolist() == [3, 1, 2]
+
+    def test_lookup_other(self):
+        assert lookup("other").port == 0
+
+
+class TestUtilsEdges:
+    def test_bin_counts_event_at_final_edge_included(self):
+        # numpy's histogram closes the last bin on the right
+        counts = bin_counts([2.0], width=1.0, start=0.0, end=2.0)
+        assert counts.tolist() == [0, 1]
+
+    def test_bin_counts_event_beyond_end_excluded(self):
+        counts = bin_counts([2.5], width=1.0, start=0.0, end=2.0)
+        assert counts.sum() == 0
+
+    def test_bin_counts_event_at_start_included(self):
+        counts = bin_counts([0.0], width=1.0, start=0.0, end=2.0)
+        assert counts[0] == 1
+
+    def test_aggregate_exact_multiple(self):
+        out = aggregate(np.arange(9.0), 3)
+        assert out.tolist() == [1.0, 4.0, 7.0]
+
+    def test_aggregate_preserves_dtype_as_float(self):
+        out = aggregate(np.array([1, 2], dtype=int), 1)
+        assert out.dtype == float
+
+
+class TestCliEdges:
+    def test_main_run_unknown_returns_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "not-an-experiment"]) == 2
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

@@ -1,0 +1,157 @@
+"""Tests for Figs. 12-15, the appendices, and the delay experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    appendix_c,
+    appendix_d,
+    appendix_e,
+    delay_experiment,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    scale_comparison,
+)
+
+
+class TestFig12And13:
+    @pytest.fixture(scope="class")
+    def lbl(self):
+        return fig12(seed=8, traces=("LBL PKT-1", "LBL PKT-4"), hours=0.5)
+
+    @pytest.fixture(scope="class")
+    def wrl(self):
+        return fig13(seed=9, hours=0.5)
+
+    def test_large_scale_correlations_everywhere(self, lbl, wrl):
+        """Section VII-D: every trace exhibits large-scale correlations
+        (variance-time slope decisively shallower than -1)."""
+        assert lbl.all_show_large_scale_correlations
+        assert wrl.all_show_large_scale_correlations
+
+    def test_hurst_estimates_elevated(self, lbl):
+        for r in lbl.rows_:
+            assert r.whittle_hurst > 0.55
+            assert r.vt_hurst > 0.55
+
+    def test_ci_bounds_ordered(self, lbl):
+        for r in lbl.rows_:
+            lo, hi = r.whittle_ci
+            assert lo < r.whittle_hurst < hi
+
+    def test_wrl_has_four_rows(self, wrl):
+        assert len(wrl.rows_) == 4
+
+    def test_render(self, lbl, wrl):
+        assert "Fig. 12" in lbl.render()
+        assert "Fig. 13" in wrl.render()
+
+
+class TestFig14And15:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return fig14(seed=9, n_seeds=5)
+
+    def test_panel_count(self, small):
+        assert len(small.panels) == 5
+
+    def test_bursts_and_lulls_present(self, small):
+        """The beta=1 process alternates bursts and lulls at every scale."""
+        assert small.mean_burst > 1.0
+        assert small.mean_lull > 1.0
+        assert 0.05 < small.occupied_fraction < 0.95
+
+    def test_burst_length_near_theory(self, small):
+        """Appendix C: E[burst] ~ log(b/a) = log(10^3) ~ 6.9 bins."""
+        assert 2.0 < small.mean_burst < 25.0
+
+    def test_scale_comparison_matches_paper(self):
+        """Burst ratio modest, lull ratio near 1 across a 10^3x scale jump
+        (the paper saw 2.6 / 1.2 across 10^4x)."""
+        sc = scale_comparison(seed=10, large_b=1e6, n_seeds=4, n_bins=600)
+        assert 1.0 < sc.burst_ratio < 4.5
+        assert 0.2 < sc.lull_ratio < 3.0
+        assert "burst ratio" in sc.render()
+
+    def test_fig15_uses_large_bins(self):
+        r = fig15(seed=11, n_bins=60, n_seeds=2)
+        assert r.bin_width == 1e7
+        assert len(r.panels) == 2
+
+    def test_render(self, small):
+        assert "Pareto" in small.render()
+
+
+class TestAppendixC:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return appendix_c(seed=1, n_bins=2000)
+
+    def test_all_regimes_confirmed(self, result):
+        assert result.regime_confirmed(2.0)
+        assert result.regime_confirmed(1.0)
+        assert result.regime_confirmed(0.5)
+
+    def test_lull_invariance(self, result):
+        """Median lull (in bins) roughly invariant in b for beta = 1.
+
+        (The *mean* lull is a poor statistic here: lull lengths are
+        Pareto(beta=1)-tailed with infinite mean, so sample means fluctuate
+        wildly; the distributional invariance shows in the quantiles.)"""
+        lulls = [r["median_lull"] for r in result.rows_ if r["beta"] == 1.0]
+        assert max(lulls) / min(lulls) < 5.0
+
+    def test_render(self, result):
+        assert "Appendix C" in result.render()
+
+
+class TestAppendixD:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return appendix_d(seed=2, n_steps=32768)
+
+    def test_marginal_mean_matches(self, result):
+        assert result.marginal_mean_measured == pytest.approx(
+            result.marginal_mean_theory, rel=0.15
+        )
+
+    def test_autocovariance_tracks_closed_form(self, result):
+        for c, s in zip(result.closed_form[:3], result.simulated[:3]):
+            assert s == pytest.approx(c, rel=0.6)
+
+    def test_hurst_elevated(self, result):
+        """Whittle's fGn-shape assumption biases the estimate on M/G/inf
+        counts, but H must sit decisively above 1/2 and near theory."""
+        assert result.whittle_hurst > 0.6
+        assert result.hurst_theory == pytest.approx(0.75)
+
+    def test_render(self, result):
+        assert "Appendix D" in result.render()
+
+
+class TestAppendixE:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return appendix_e()
+
+    def test_lognormal_summable(self, result):
+        assert result.lognormal_summable
+
+    def test_pareto_nonsummable(self, result):
+        assert result.pareto_nonsummable
+
+    def test_increments_behave(self, result):
+        assert result.pareto_increments[-1] > result.pareto_increments[0]
+        assert result.lognormal_increments[-1] < result.lognormal_increments[0]
+
+    def test_render(self, result):
+        assert "Appendix E" in result.render()
+
+
+class TestDelayExperiment:
+    def test_ratio_above_one(self):
+        r = delay_experiment(seed=3, n_connections=40, duration=600.0)
+        assert r.comparison.mean_delay_ratio > 1.3
+        assert "delay" in r.render().lower()

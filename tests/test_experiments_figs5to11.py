@@ -1,0 +1,168 @@
+"""Tests for Figs. 5-11 experiment modules."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig05, fig06, fig07, fig08, fig09, fig10, fig11
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig05(seed=7, duration=7200.0)
+
+    def test_four_curves(self, result):
+        assert set(result.curves) == {"TRACE", "TCPLIB", "EXP", "VAR-EXP"}
+
+    def test_tcplib_tracks_trace(self, result):
+        """Fig. 5: 'the variance of the TCPLIB scheme agrees closely with
+        the trace data'."""
+        v = result.variance_at(50)
+        assert v["TCPLIB"] == pytest.approx(v["TRACE"], rel=0.35)
+
+    def test_exp_schemes_lose_variance(self, result):
+        """'both EXP and VAR-EXP exhibit far less variance' over mid scales."""
+        for level in (10, 50, 200):
+            v = result.variance_at(level)
+            assert v["EXP"] < v["TRACE"]
+            assert v["VAR-EXP"] < v["TRACE"]
+
+    def test_trace_slope_shallower_than_poisson(self, result):
+        assert result.slopes(max_level=1000)["TRACE"] > -0.8
+
+    def test_curves_converge_at_large_m(self, result):
+        """'At very large time scales we again get agreement' (the coarse
+        bins lump each connection into a point)."""
+        top = result.variance_at(int(result.levels[-1]))
+        assert top["EXP"] == pytest.approx(top["TRACE"], rel=0.8)
+
+    def test_render(self, result):
+        assert "Fig. 5" in result.render()
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06(seed=7, duration=7200.0)
+
+    def test_means_match(self, result):
+        """Paper: 59 vs 57 packets per 5 s."""
+        assert result.trace_mean == pytest.approx(result.exp_mean, rel=0.1)
+
+    def test_trace_variance_larger(self, result):
+        """Paper: 672 vs 260."""
+        assert result.variance_ratio > 1.25
+
+    def test_series_lengths_match(self, result):
+        assert result.trace_series.size == result.exp_series.size
+
+    def test_render(self, result):
+        assert "Fig. 6" in result.render()
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07(seed=4, n_replicates=3)
+
+    def test_replicate_count(self, result):
+        assert len(result.model_curves) == 3
+
+    def test_model_agrees_with_trace(self, result):
+        """Paper: 'In general the agreement is quite good'."""
+        assert result.max_log_gap(max_level=500) < 0.45
+
+    def test_shared_levels(self, result):
+        for c in result.model_curves:
+            assert np.array_equal(c.levels, result.levels)
+
+    def test_render(self, result):
+        assert "Fig. 7" in result.render()
+
+
+class TestFig08:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig08(seed=5, traces=("LBL-1", "LBL-5", "UCB"), hours=24)
+
+    def test_cdfs_present_and_monotone(self, result):
+        assert len(result.cdfs) == 3
+        for cdf in result.cdfs.values():
+            assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_both_modes_present(self, result):
+        """Fig. 8's bimodality: intra-burst mass below the 4 s cutoff and a
+        heavy inter-burst tail above it."""
+        for share in result.sub_cutoff_share.values():
+            assert 0.1 < share < 0.95
+
+    def test_tails_heavier_than_exponential(self, result):
+        assert all(result.tail_heavier_than_exponential.values())
+
+    def test_render(self, result):
+        assert "Fig. 8" in result.render()
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09(seed=6, traces=("LBL-6", "LBL-7", "UK"), hours=48)
+
+    def test_rows_present(self, result):
+        assert len(result.rows_) == 3
+
+    def test_top_half_percent_in_paper_band(self, result):
+        """Paper: 30-60% of bytes in the top 0.5% of bursts."""
+        for r in result.rows_:
+            assert 0.10 < r.share_top_half_percent < 0.75
+
+    def test_concentration_monotone(self, result):
+        for r in result.rows_:
+            assert (r.share_top_half_percent <= r.share_top_two_percent
+                    <= r.share_top_ten_percent)
+
+    def test_far_exceeds_exponential(self, result):
+        assert result.all_dominated_by_tail
+        assert result.exponential_benchmark == pytest.approx(0.0315, abs=0.003)
+
+    def test_tail_shapes_heavy(self, result):
+        for r in result.rows_:
+            if r.tail_shape is not None:
+                assert 0.6 < r.tail_shape < 2.0
+
+    def test_render(self, result):
+        assert "Fig. 9" in result.render()
+
+
+class TestFig10And11:
+    @pytest.fixture(scope="class")
+    def lbl(self):
+        return fig10(seed=7, traces=("LBL PKT-1", "LBL PKT-2"))
+
+    @pytest.fixture(scope="class")
+    def wrl(self):
+        return fig11(seed=8)
+
+    def test_shares_ordered(self, lbl):
+        for r in lbl.rows_:
+            assert 0.0 <= r.top05_share <= r.top2_share <= 1.0
+
+    def test_tail_dominance(self, lbl):
+        """Top 2% of bursts holds a large multiple of its fair share."""
+        for r in lbl.rows_:
+            assert r.top2_share > 0.08
+
+    def test_minute_attribution_conserves_bytes(self, lbl):
+        for r in lbl.rows_:
+            assert np.all(r.top2_minutes <= r.minutes + 1e-6)
+
+    def test_wrl_has_more_bursts(self, lbl, wrl):
+        """Paper: the DEC WRL traces have considerably more bursts, so
+        large-number laws stabilize the tail shares."""
+        assert min(r.n_bursts for r in wrl.rows_) > min(
+            r.n_bursts for r in lbl.rows_
+        )
+
+    def test_render(self, lbl, wrl):
+        assert "Fig. 10" in lbl.render()
+        assert "Fig. 11" in wrl.render()

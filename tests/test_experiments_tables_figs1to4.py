@@ -1,0 +1,151 @@
+"""Tests for Tables I/II and Figs. 1-4 experiment modules."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig01, fig02, fig03, fig04, table1, table2
+
+
+class TestTables:
+    def test_table1_rows_and_render(self):
+        r = table1(seed=0, names=["UK", "BC"], hours=6)
+        assert len(r.rows) == 2
+        assert r.rows[0]["dataset"] == "UK"
+        assert r.rows[0]["synth_conns"] > 0
+        assert "Table I" in r.render()
+
+    def test_table2_rows_and_render(self):
+        r = table2(seed=0, names=["LBL PKT-1"], hours=0.25)
+        assert len(r.rows) == 1
+        row = r.rows[0]
+        assert row["telnet_pkts"] > 0
+        assert row["ftpdata_pkts"] >= 0
+        assert "Table II" in r.render()
+
+    def test_table2_flags_all_link_level(self):
+        r = table2(seed=1, names=["LBL PKT-4"], hours=0.25)
+        assert r.rows[0]["all_link_level"] is True
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01(seed=0, traces=("LBL-1", "LBL-2"), hours=48)
+
+    def test_fractions_normalized(self, result):
+        for proto, f in result.fractions.items():
+            assert f.sum() == pytest.approx(1.0, abs=0.01)
+
+    def test_telnet_lunch_dip(self, result):
+        assert result.telnet_lunch_dip
+
+    def test_ftp_evening_renewal(self, result):
+        """FTP's evening share exceeds TELNET's (Fig. 1 narrative)."""
+        assert result.ftp_evening_share > 1.2
+
+    def test_nntp_flattest(self, result):
+        nntp_flat = result.nntp_flatness
+        telnet = result.fractions["TELNET"]
+        telnet_flat = telnet.max() / telnet.min()
+        assert nntp_flat < telnet_flat
+
+    def test_smtp_morning_bias_west(self, result):
+        assert result.smtp_morning_bias
+
+    def test_render_contains_all_protocols(self, result):
+        text = result.render()
+        for proto in ("TELNET", "FTP", "NNTP", "SMTP"):
+            assert proto in text
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig02(seed=4, traces=("LBL-1", "LBL-2"), hours=48)
+
+    def test_telnet_poisson_both_scales(self, result):
+        for interval in (3600.0, 600.0):
+            assert result.consistency_rate("TELNET", interval) >= 0.5
+
+    def test_ftp_sessions_poisson(self, result):
+        assert result.consistency_rate("FTP", 3600.0) >= 0.5
+
+    def test_ftpdata_never_poisson(self, result):
+        assert result.consistency_rate("FTPDATA", 3600.0) == 0.0
+        assert result.consistency_rate("FTPDATA", 600.0) == 0.0
+
+    def test_nntp_never_poisson(self, result):
+        assert result.consistency_rate("NNTP", 3600.0) == 0.0
+
+    def test_smtp_not_poisson_hourly(self, result):
+        assert result.consistency_rate("SMTP", 3600.0) == 0.0
+
+    def test_bursts_closer_to_poisson_than_raw_ftpdata(self, result):
+        """Section III: coalescing into bursts 'improves the 10 min Poisson
+        fit somewhat'."""
+        burst_cells = [c for c in result.cells
+                       if c.protocol == "FTPDATA-BURSTS" and c.interval == 600.0]
+        raw_cells = [c for c in result.cells
+                     if c.protocol == "FTPDATA" and c.interval == 600.0]
+        burst_rate = np.mean([c.result.exponential_pass_rate for c in burst_cells])
+        raw_rate = np.mean([c.result.exponential_pass_rate for c in raw_cells])
+        assert burst_rate > raw_rate
+
+    def test_smtp_positive_correlation_tendency(self, result):
+        smtp = [c for c in result.cells if c.protocol == "SMTP"]
+        labels = [c.result.correlation_label for c in smtp]
+        assert "+" in labels and "-" not in labels
+
+    def test_render(self, result):
+        assert "Fig. 2" in result.render()
+
+
+class TestFig03:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig03(seed=1, duration=7200.0)
+
+    def test_cdfs_monotone(self, result):
+        for curve in (result.tcplib_cdf, result.trace_cdf,
+                      result.exp_geometric_cdf, result.exp_arithmetic_cdf):
+            assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_tcplib_tracks_trace_above_100ms(self, result):
+        """Paper: 'Above 0.1 s, the agreement is quite good'."""
+        assert result.agreement_above_100ms < 0.08
+
+    def test_exponential_underestimates_tail(self, result):
+        assert result.exp_underestimates_tail
+
+    def test_trace_moments_plausible(self, result):
+        assert 0.7 < result.trace_mean < 1.6
+        assert 0.1 < result.trace_geometric_mean < 0.45
+
+    def test_render(self, result):
+        assert "Fig. 3" in result.render()
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig04(seed=2)
+
+    def test_packet_counts_near_paper(self, result):
+        """Paper: 1,926 Tcplib vs 2,204 exponential arrivals in 2000 s."""
+        assert 1200 < result.n_tcplib < 2600
+        assert 1500 < result.n_exp < 2600
+
+    def test_tcplib_more_clustered(self, result):
+        assert result.clustering_ratio > 1.5
+
+    def test_multiplexed_means_match(self, result):
+        """Paper: both aggregate means ~92 per 1 s bin."""
+        assert result.mux_mean_tcplib == pytest.approx(result.mux_mean_exp,
+                                                       rel=0.1)
+
+    def test_multiplexed_variance_ratio_near_paper(self, result):
+        """Paper: 240 / 97 ~= 2.5."""
+        assert 1.6 < result.variance_ratio < 4.5
+
+    def test_render(self, result):
+        assert "Fig. 4" in result.render()

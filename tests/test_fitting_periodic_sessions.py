@@ -1,0 +1,162 @@
+"""Tests for model selection, periodic-traffic handling, and the Section III
+side experiments (X11 sessions, weather-map preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import homogeneous_poisson, timer_driven_arrivals
+from repro.distributions import Exponential, LogExtreme, LogLogistic, Log2Normal, Pareto
+from repro.experiments import weathermap, x11_sessions
+from repro.stats.fitting import best_fit, compare_fits, ks_distance, log_likelihood
+from repro.traces import ConnectionRecord, ConnectionTrace
+from repro.traces.periodic import detect_periodic_sources, remove_periodic_traffic
+
+
+class TestModelSelection:
+    def test_exponential_data_picks_exponential_by_aic(self):
+        """KS alone cannot separate a Weibull(shape~1) from the exponential
+        it nests; AIC's parameter penalty can."""
+        s = Exponential(2.0).sample(20000, seed=1)
+        assert best_fit(s, criterion="aic").name == "exponential"
+        # and by KS the exponential is still in the top two
+        names = [r.name for r in compare_fits(s)[:2]]
+        assert "exponential" in names
+
+    def test_pareto_data_picks_pareto(self):
+        s = Pareto(1.0, 1.3).sample(20000, seed=2)
+        assert best_fit(s, ["exponential", "pareto", "log2-normal"]).name == "pareto"
+
+    def test_lognormal_beats_logextreme_on_lognormal_data(self):
+        """Section V's adjudication for packet counts."""
+        s = Log2Normal(np.log2(100), 2.24).sample(20000, seed=3)
+        reports = compare_fits(s, ["log-extreme", "log2-normal"])
+        assert reports[0].name == "log2-normal"
+
+    def test_logextreme_beats_lognormal_on_logextreme_data(self):
+        """...and for byte counts."""
+        s = LogExtreme.paxson_telnet_bytes().sample(20000, seed=4)
+        reports = compare_fits(s, ["log-extreme", "log2-normal"])
+        assert reports[0].name == "log-extreme"
+
+    def test_loglogistic_recognized(self):
+        s = LogLogistic(3.0, 2.0).sample(20000, seed=5)
+        reports = compare_fits(s, ["exponential", "log-logistic", "weibull"])
+        assert reports[0].name == "log-logistic"
+
+    def test_reports_sorted_by_ks(self):
+        s = Exponential(1.0).sample(5000, seed=6)
+        reports = compare_fits(s)
+        ks = [r.ks_statistic for r in reports]
+        assert ks == sorted(ks)
+
+    def test_aic_penalizes_parameters(self):
+        s = Exponential(1.0).sample(5000, seed=7)
+        rep = compare_fits(s, ["exponential"])[0]
+        assert rep.aic == pytest.approx(2 - 2 * rep.log_likelihood)
+
+    def test_ks_distance_zero_for_own_cdf(self):
+        d = Exponential(1.0)
+        s = np.sort(d.sample(100000, seed=8))
+        assert ks_distance(s, d) < 0.01
+
+    def test_log_likelihood_minus_inf_outside_support(self):
+        assert log_likelihood(np.array([0.5]), Pareto(1.0, 2.0)) == float("-inf")
+
+    def test_unknown_candidate(self):
+        with pytest.raises(KeyError):
+            compare_fits(np.ones(100) + np.arange(100), ["cauchy"])
+
+    def test_small_sample_raises(self):
+        with pytest.raises(ValueError):
+            compare_fits([1.0, 2.0])
+
+
+def _trace_with_timer(user_rate=20.0, hours=24, batch=1, seed=0):
+    rng = np.random.default_rng(seed)
+    end = hours * 3600.0
+    recs = [
+        ConnectionRecord(float(t), 10.0, "FTP",
+                         orig_host=int(rng.integers(0, 50)),
+                         resp_host=int(rng.integers(50, 100)))
+        for t in homogeneous_poisson(user_rate / 3600.0, end, seed=rng)
+    ]
+    recs += [
+        ConnectionRecord(float(t), 10.0, "FTP", orig_host=900, resp_host=901)
+        for t in timer_driven_arrivals(1800.0, end, jitter_sd=10.0,
+                                       batch_size=batch, batch_gap=1.5,
+                                       seed=rng)
+    ]
+    return ConnectionTrace("timer-demo", recs)
+
+
+class TestPeriodicDetection:
+    def test_detects_plain_timer(self):
+        sources = detect_periodic_sources(_trace_with_timer(batch=1))
+        assert len(sources) == 1
+        assert sources[0].orig_host == 900
+        assert sources[0].period == pytest.approx(1800.0, rel=0.05)
+
+    def test_detects_batched_timer(self):
+        sources = detect_periodic_sources(_trace_with_timer(batch=4))
+        assert len(sources) == 1
+        assert sources[0].period == pytest.approx(1800.0, rel=0.05)
+
+    def test_no_false_positive_on_poisson(self):
+        rng = np.random.default_rng(3)
+        recs = [
+            ConnectionRecord(float(t), 10.0, "FTP",
+                             orig_host=5, resp_host=6)
+            for t in homogeneous_poisson(40.0 / 3600.0, 48 * 3600.0, seed=rng)
+        ]
+        assert detect_periodic_sources(ConnectionTrace("poisson", recs)) == []
+
+    def test_removal_preserves_other_traffic(self):
+        trace = _trace_with_timer(batch=2)
+        cleaned, removed = remove_periodic_traffic(trace, "FTP")
+        assert len(removed) == 1
+        assert len(cleaned) == len(trace) - removed[0].n_connections
+
+    def test_removal_noop_when_nothing_periodic(self):
+        rng = np.random.default_rng(4)
+        recs = [ConnectionRecord(float(t), 1.0, "FTP", orig_host=1, resp_host=2)
+                for t in homogeneous_poisson(0.01, 48 * 3600.0, seed=rng)]
+        trace = ConnectionTrace("clean", recs)
+        cleaned, removed = remove_periodic_traffic(trace, "FTP")
+        assert removed == []
+        assert len(cleaned) == len(trace)
+
+    def test_min_connections_guard(self):
+        with pytest.raises(ValueError):
+            detect_periodic_sources(_trace_with_timer(), min_connections=2)
+
+
+class TestX11Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return x11_sessions(seed=0)
+
+    def test_conjecture_confirmed(self, result):
+        """The paper's conjecture: session arrivals Poisson, connection
+        arrivals not."""
+        assert result.conjecture_confirmed
+
+    def test_render(self, result):
+        assert "X11" in result.render()
+
+
+class TestWeathermapExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return weathermap(seed=0)
+
+    def test_periodic_job_detected(self, result):
+        assert len(result.removed) == 1
+        assert result.removed[0].period == pytest.approx(600.0, rel=0.05)
+
+    def test_removal_restores_poisson_verdict(self, result):
+        assert not result.with_periodic.poisson_consistent
+        assert result.without_periodic.poisson_consistent
+        assert result.removal_matters
+
+    def test_render(self, result):
+        assert "weather-map" in result.render()

@@ -1,0 +1,92 @@
+"""Whole-suite integration: the paper's central dichotomy must hold across
+every Table-I trace, not just the few the faster tests sample.
+
+This is the reproduction's capstone check — Section III's conclusion
+("user-initiated TCP session arrivals ... are well-modeled as Poisson
+processes with fixed hourly rates, but other connection arrivals deviate
+considerably") evaluated over all 15 synthesized datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.stats import evaluate_arrival_process
+from repro.traces import (
+    CONNECTION_TRACE_CONFIGS,
+    remove_periodic_traffic,
+    synthesize_connection_trace,
+)
+
+HOURS = 24
+
+
+@pytest.fixture(scope="module")
+def suite():
+    traces = {}
+    for i, name in enumerate(CONNECTION_TRACE_CONFIGS):
+        traces[name] = synthesize_connection_trace(name, seed=1000 + i,
+                                                   hours=HOURS)
+    return traces
+
+
+def _verdicts(suite, protocol, interval=3600.0, min_events=150):
+    out = {}
+    for name, trace in suite.items():
+        times = trace.arrival_times(protocol)
+        if times.size < min_events:
+            continue
+        try:
+            res = evaluate_arrival_process(times, interval, start=0.0,
+                                           end=HOURS * 3600.0)
+        except ValueError:
+            continue
+        out[name] = res
+    return out
+
+
+class TestSectionThreeAcrossTheSuite:
+    def test_telnet_poisson_on_nearly_every_trace(self, suite):
+        verdicts = _verdicts(suite, "TELNET")
+        assert len(verdicts) >= 12
+        passing = sum(r.poisson_consistent for r in verdicts.values())
+        # the roll-up itself is a 5%-level test per trace; allow one miss
+        assert passing >= len(verdicts) - 1
+
+    def test_ftp_sessions_poisson_after_weathermap_removal(self, suite):
+        passing = total = 0
+        for name, trace in suite.items():
+            cleaned, _ = remove_periodic_traffic(trace, "FTP")
+            times = cleaned.arrival_times("FTP")
+            if times.size < 150:
+                continue
+            res = evaluate_arrival_process(times, 3600.0, start=0.0,
+                                           end=HOURS * 3600.0)
+            total += 1
+            passing += res.poisson_consistent
+        assert total >= 10
+        assert passing >= total - 1
+
+    def test_ftpdata_fails_everywhere(self, suite):
+        verdicts = _verdicts(suite, "FTPDATA")
+        assert len(verdicts) >= 10
+        assert not any(r.poisson_consistent for r in verdicts.values())
+
+    def test_nntp_fails_everywhere(self, suite):
+        verdicts = _verdicts(suite, "NNTP")
+        assert len(verdicts) >= 8
+        assert not any(r.poisson_consistent for r in verdicts.values())
+
+    def test_smtp_fails_everywhere(self, suite):
+        verdicts = _verdicts(suite, "SMTP")
+        assert len(verdicts) >= 8
+        assert not any(r.poisson_consistent for r in verdicts.values())
+
+    def test_smtp_correlation_skews_positive(self, suite):
+        verdicts = _verdicts(suite, "SMTP")
+        labels = [r.correlation_label for r in verdicts.values()]
+        assert labels.count("+") > labels.count("-")
+
+    def test_every_trace_nonempty_with_expected_protocols(self, suite):
+        for name, trace in suite.items():
+            assert len(trace) > 500, name
+            assert "TELNET" in trace.protocol_names, name

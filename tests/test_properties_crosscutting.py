@@ -1,0 +1,171 @@
+"""Cross-cutting hypothesis property tests.
+
+These exercise invariants that hold across whole families of inputs:
+distribution quantile round-trips, aggregation conservation, FIFO queue
+ordering, burst-coalescing partitions, TCP delivery guarantees, and
+experiment reproducibility under a fixed seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import coalesce_bursts
+from repro.distributions import (
+    Exponential,
+    LogExtreme,
+    LogLogistic,
+    Log2Normal,
+    Pareto,
+    Weibull,
+)
+from repro.queueing import fifo_queue, strict_priority_queue
+from repro.selfsim import farima_autocovariance, fgn_autocovariance
+from repro.tcp import BottleneckSimulator, TransferSpec
+
+DIST_STRATEGY = st.sampled_from(["exponential", "pareto", "log2normal",
+                                 "logextreme", "loglogistic", "weibull"])
+
+
+def make_dist(name: str, a: float, b: float):
+    return {
+        "exponential": lambda: Exponential(a),
+        "pareto": lambda: Pareto(a, b),
+        "log2normal": lambda: Log2Normal(np.log2(a * 10), b),
+        "logextreme": lambda: LogExtreme(np.log2(a * 10), b),
+        "loglogistic": lambda: LogLogistic(a, b),
+        "weibull": lambda: Weibull(a, b),
+    }[name]()
+
+
+class TestDistributionProperties:
+    @given(DIST_STRATEGY,
+           st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=0.3, max_value=3.0),
+           st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=120, deadline=None)
+    def test_quantile_roundtrip(self, name, a, b, q):
+        d = make_dist(name, a, b)
+        x = float(np.atleast_1d(d.ppf(q))[0])
+        assume(np.isfinite(x))
+        back = float(np.atleast_1d(d.cdf(x))[0])
+        assert back == pytest.approx(q, abs=1e-6)
+
+    @given(DIST_STRATEGY,
+           st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=0.3, max_value=3.0),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_samples_in_support_and_reproducible(self, name, a, b, seed):
+        d = make_dist(name, a, b)
+        s1 = d.sample(50, seed=seed)
+        s2 = d.sample(50, seed=seed)
+        assert np.array_equal(s1, s2)
+        assert np.all(s1 >= 0)
+        assert np.all(np.isfinite(s1))
+
+    @given(st.floats(min_value=0.51, max_value=0.99),
+           st.integers(min_value=2, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_fgn_autocovariance_positive_and_decreasing(self, h, lag):
+        g = fgn_autocovariance(h, lag)
+        assert np.all(g[1:] > 0)
+        assert np.all(np.diff(g[1:]) <= 1e-12)
+
+    @given(st.floats(min_value=0.01, max_value=0.45),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=60, deadline=None)
+    def test_farima_acvf_positive_for_positive_d(self, d, lag):
+        g = farima_autocovariance(d, lag)
+        assert g[0] > 0
+        assert np.all(g[1:] > 0)
+
+
+class TestQueueProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=60),
+           st.floats(min_value=0.01, max_value=5.0))
+    @settings(max_examples=80, deadline=None)
+    def test_fifo_waits_nonnegative_and_bounded(self, arrivals, service):
+        res = fifo_queue(arrivals, service)
+        assert np.all(res.waiting_times >= 0)
+        # nobody waits longer than (n-1) services
+        assert res.waiting_times.max() <= service * len(arrivals)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=50.0),
+                    min_size=1, max_size=40),
+           st.lists(st.floats(min_value=0.0, max_value=50.0),
+                    min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_priority_serves_everyone_once(self, high, low):
+        res = strict_priority_queue(np.array(high), np.array(low), 0.1)
+        assert res.high_delays.size == len(high)
+        assert res.low_delays.size == len(low)
+        # strict priority: delays at least one service time
+        assert np.all(res.high_delays >= 0.1 - 1e-9)
+        assert np.all(res.low_delays >= 0.1 - 1e-9)
+
+
+class TestBurstProperties:
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=500),
+                              st.floats(min_value=0.01, max_value=20),
+                              st.integers(min_value=1, max_value=10**6)),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0.5, max_value=8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_coalescing_is_a_partition(self, rows, spacing):
+        starts = [r[0] for r in rows]
+        durs = [r[1] for r in rows]
+        sizes = [r[2] for r in rows]
+        bursts = coalesce_bursts(starts, durs, sizes, spacing=spacing)
+        assert sum(b.n_connections for b in bursts) == len(rows)
+        assert sum(b.total_bytes for b in bursts) == sum(sizes)
+        # bursts ordered, each with start <= end
+        for b in bursts:
+            assert b.start_time <= b.end_time
+        assert all(x.start_time <= y.start_time
+                   for x, y in zip(bursts, bursts[1:]))
+
+    @given(st.lists(st.floats(min_value=0, max_value=100),
+                    min_size=2, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_larger_spacing_never_more_bursts(self, starts):
+        durs = np.ones(len(starts))
+        sizes = np.ones(len(starts), dtype=int)
+        small = coalesce_bursts(starts, durs, sizes, spacing=1.0)
+        large = coalesce_bursts(starts, durs, sizes, spacing=10.0)
+        assert len(large) <= len(small)
+
+
+class TestTcpProperties:
+    @given(st.integers(min_value=10, max_value=400),
+           st.floats(min_value=0.02, max_value=0.3),
+           st.integers(min_value=2, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_every_segment_delivered(self, n_packets, rtt, buffer_packets):
+        sim = BottleneckSimulator(rate=200.0, buffer_packets=buffer_packets)
+        res = sim.run([TransferSpec(0.0, n_packets, rtt=rtt, max_window=24)])
+        t = res.transfers[0]
+        assert t.completion_time is not None
+        assert len(t.departure_times) >= n_packets
+        assert np.all(np.diff(res.departure_times) >= -1e-12)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_given_spec(self, _seed):
+        sim = BottleneckSimulator(rate=150.0, buffer_packets=8)
+        spec = [TransferSpec(0.0, 300, rtt=0.1)]
+        a = sim.run(spec)
+        b = sim.run(spec)
+        assert np.array_equal(a.departure_times, b.departure_times)
+
+
+class TestExperimentReproducibility:
+    @pytest.mark.parametrize("name", ["fig04", "fig14", "appendix_e"])
+    def test_same_seed_same_rows(self, name):
+        from repro.experiments import REGISTRY
+
+        fn = REGISTRY[name]
+        a, b = fn(seed=11), fn(seed=11)
+        assert a.rows() == b.rows()

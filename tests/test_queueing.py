@@ -1,0 +1,108 @@
+"""Tests for the queueing substrate and the Section IV delay experiment."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import homogeneous_poisson
+from repro.core import Scheme
+from repro.queueing import (
+    fifo_queue,
+    md1_mean_wait,
+    mm1_mean_wait,
+    multiplexed_arrival_stream,
+    telnet_delay_experiment,
+)
+
+
+class TestFifoQueue:
+    def test_no_contention_no_wait(self):
+        # arrivals 10 s apart, service 1 s: nobody waits
+        res = fifo_queue(np.arange(0.0, 100.0, 10.0), 1.0)
+        assert np.all(res.waiting_times == 0.0)
+        assert res.mean_delay == pytest.approx(1.0)
+
+    def test_back_to_back_arrivals_queue_up(self):
+        # all arrive at t=0, service 1 s: waits 0,1,2,...
+        res = fifo_queue(np.zeros(5), 1.0)
+        assert res.waiting_times.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_lindley_recursion_hand_example(self):
+        arrivals = np.array([0.0, 0.5, 3.0])
+        res = fifo_queue(arrivals, 1.0)
+        # W2 = max(0, 0 + 1 - 0.5) = 0.5; W3 = max(0, 0.5 + 1 - 2.5) = 0
+        assert res.waiting_times.tolist() == [0.0, 0.5, 0.0]
+
+    def test_per_packet_service_times(self):
+        res = fifo_queue([0.0, 0.1], np.array([1.0, 0.5]))
+        assert res.waiting_times[1] == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fifo_queue([], 1.0)
+        with pytest.raises(ValueError):
+            fifo_queue([0.0, 1.0], np.array([1.0]))
+        with pytest.raises(ValueError):
+            fifo_queue([0.0], -1.0)
+
+    def test_mm1_agreement(self):
+        """Simulated M/M/1 mean wait matches the closed form."""
+        rng = np.random.default_rng(1)
+        arrivals = homogeneous_poisson(0.7, 200000.0, seed=rng)
+        service = rng.exponential(1.0, size=arrivals.size)
+        res = fifo_queue(arrivals, service)
+        assert res.mean_wait == pytest.approx(mm1_mean_wait(0.7, 1.0), rel=0.1)
+
+    def test_md1_agreement(self):
+        arrivals = homogeneous_poisson(0.7, 200000.0, seed=2)
+        res = fifo_queue(arrivals, 1.0)
+        assert res.mean_wait == pytest.approx(md1_mean_wait(0.7, 1.0), rel=0.1)
+
+    def test_md1_half_of_mm1(self):
+        """Classic PK result: deterministic service halves the wait."""
+        assert md1_mean_wait(0.5, 1.0) == pytest.approx(mm1_mean_wait(0.5, 1.0) / 2)
+
+    def test_unstable_closed_forms_raise(self):
+        with pytest.raises(ValueError):
+            mm1_mean_wait(1.0, 1.0)
+        with pytest.raises(ValueError):
+            md1_mean_wait(2.0, 1.0)
+
+
+class TestArrivalStream:
+    def test_stream_sorted_in_window(self):
+        t = multiplexed_arrival_stream(Scheme.TCPLIB, 10, 300.0, seed=3)
+        assert np.all(np.diff(t) >= 0)
+        assert np.all((t >= 0) & (t < 300.0))
+
+    def test_rates_comparable_between_schemes(self):
+        t1 = multiplexed_arrival_stream(Scheme.TCPLIB, 50, 600.0, seed=4)
+        t2 = multiplexed_arrival_stream(Scheme.EXP, 50, 600.0, seed=5)
+        assert t1.size == pytest.approx(t2.size, rel=0.25)
+
+    def test_var_exp_rejected(self):
+        with pytest.raises(ValueError):
+            multiplexed_arrival_stream(Scheme.VAR_EXP, 5, 60.0)
+
+
+class TestDelayExperiment:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return telnet_delay_experiment(
+            n_connections=60, duration=1200.0, utilization=0.85, seed=6
+        )
+
+    def test_matched_utilization(self, comparison):
+        assert comparison.tcplib.utilization == pytest.approx(0.85, rel=0.05)
+        assert comparison.exponential.utilization == pytest.approx(0.85, rel=0.05)
+
+    def test_tcplib_delay_larger(self, comparison):
+        """Section IV's claim: exponential interarrivals significantly
+        underestimate average packet delay."""
+        assert comparison.mean_delay_ratio > 1.3
+
+    def test_tail_delay_larger_too(self, comparison):
+        assert comparison.p99_delay_ratio > 1.2
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            telnet_delay_experiment(utilization=1.0)

@@ -1,0 +1,172 @@
+"""Tests for the Section VIII implication experiments (priority starvation,
+admission control) and the Section VII-C-2 M/G/k variant."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import homogeneous_poisson, simulate_mgk
+from repro.distributions import Exponential, LogLogistic, Pareto
+from repro.queueing import admission_experiment, strict_priority_queue
+from repro.selfsim import fgn_sample
+
+
+class TestStrictPriority:
+    def test_high_class_unaffected_by_low(self):
+        rng = np.random.default_rng(1)
+        high = np.sort(rng.uniform(0, 100, 200))
+        low = np.sort(rng.uniform(0, 100, 200))
+        with_low = strict_priority_queue(high, low, 0.1)
+        alone = strict_priority_queue(high, np.array([]), 0.1)
+        # non-preemptive: at most one extra service time of interference
+        assert with_low.mean_high_delay <= alone.mean_high_delay + 0.1 + 1e-9
+
+    def test_low_class_waits_behind_high(self):
+        high = np.zeros(10)  # burst of 10 high packets at t=0
+        low = np.array([0.0])
+        res = strict_priority_queue(high, low, 1.0)
+        assert res.low_delays[0] == pytest.approx(11.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            strict_priority_queue(np.array([]), np.array([]), 1.0)
+
+    def test_lrd_high_class_starves_low_longer(self):
+        """Section VIII: LRD high-priority bursts starve the low class for
+        long periods, compared to Poisson high-priority traffic of the same
+        mean rate."""
+        n = 4000
+        rng = np.random.default_rng(2)
+        # high class: fGn-modulated arrival counts vs Poisson, same mean
+        lam = np.maximum(fgn_sample(n, 0.9, seed=3) * 4.0 + 6.0, 0.0)
+        lrd_counts = rng.poisson(lam)
+        poisson_counts = rng.poisson(6.0, n)
+
+        def to_times(counts):
+            times = []
+            for i, c in enumerate(counts):
+                if c:
+                    times.append(i + rng.random(c))
+            return np.sort(np.concatenate(times))
+
+        low = np.sort(rng.uniform(0, n, int(n * 1.5)))
+        service = 1.0 / 10.0  # capacity 10/s vs mean load 6 + 1.5
+        res_lrd = strict_priority_queue(to_times(lrd_counts), low, service)
+        res_poi = strict_priority_queue(to_times(poisson_counts), low, service)
+        assert res_lrd.longest_low_starvation > 2.0 * res_poi.longest_low_starvation
+        assert res_lrd.p99_low_delay > res_poi.p99_low_delay
+
+    def test_utilization_sane(self):
+        high = np.arange(0.0, 100.0, 1.0)
+        low = np.arange(0.5, 100.0, 1.0)
+        res = strict_priority_queue(high, low, 0.3)
+        assert 0.5 < res.utilization <= 1.01
+
+
+class TestAdmissionControl:
+    def _counts(self, kind, n=6000, mean=50.0):
+        rng = np.random.default_rng(7)
+        if kind == "poisson":
+            return rng.poisson(mean, n).astype(float)
+        lam = np.maximum(fgn_sample(n, 0.9, seed=8) * 12.0 + mean, 0.0)
+        return rng.poisson(lam).astype(float)
+
+    def test_lrd_misleads_more_often(self):
+        """Section VIII: a recent-measurement policy is 'easily misled
+        following a long period of fairly low traffic rates' when the
+        measured class is long-range dependent."""
+        cap, flow = 70.0, 10.0
+        poisson = admission_experiment(self._counts("poisson"), cap, flow)
+        lrd = admission_experiment(self._counts("lrd"), cap, flow)
+        assert lrd.misled_rate > 2.0 * max(poisson.misled_rate, 0.001)
+
+    def test_tight_capacity_rejects(self):
+        counts = self._counts("poisson")
+        res = admission_experiment(counts, capacity=52.0, flow_rate=10.0)
+        assert res.admission_rate < 0.6
+
+    def test_loose_capacity_admits(self):
+        counts = self._counts("poisson")
+        res = admission_experiment(counts, capacity=100.0, flow_rate=5.0)
+        assert res.admission_rate > 0.9
+        assert res.misled_rate < 0.1
+
+    def test_short_series_raises(self):
+        with pytest.raises(ValueError):
+            admission_experiment(np.ones(50), 10.0, 1.0)
+
+
+class TestMGk:
+    def test_mmk_matches_erlang_c_queue(self):
+        """M/M/6 with offered load 5: Erlang-C gives Lq ~ 2.9."""
+        r = simulate_mgk(5.0, Exponential(1.0), k=6, n_steps=60000, seed=2)
+        assert r.mean_queue == pytest.approx(2.94, rel=0.35)
+        assert r.utilization == pytest.approx(5.0 / 6.0, rel=0.05)
+
+    def test_large_k_recovers_mg_infinity_mean(self):
+        """k >> offered load: busy-server count ~ M/G/inf occupancy."""
+        r = simulate_mgk(5.0, Pareto(1.0, 1.5), k=500, n_steps=30000,
+                         seed=3, warmup=30000.0)
+        assert r.in_service.mean() == pytest.approx(15.0, rel=0.1)
+        assert r.mean_queue == pytest.approx(0.0, abs=0.01)
+
+    def test_finite_k_keeps_large_scale_correlations(self):
+        """The paper: limited capacity 'does not eliminate the underlying
+        large-scale correlations'."""
+        r = simulate_mgk(5.0, Pareto(1.0, 1.5), k=25, n_steps=30000,
+                         seed=4, warmup=30000.0)
+        x = r.in_service.astype(float)
+        xc = x - x.mean()
+        ac50 = float(np.mean(xc[:-50] * xc[50:])) / x.var()
+        assert ac50 > 0.03  # Poisson counts would be ~0
+
+    def test_waiting_room_grows_when_saturated(self):
+        r = simulate_mgk(5.0, Exponential(1.0), k=4, n_steps=5000, seed=5)
+        assert r.mean_queue > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_mgk(0.0, Exponential(1.0), 1, 10)
+        with pytest.raises(ValueError):
+            simulate_mgk(1.0, Exponential(1.0), 0, 10)
+        with pytest.raises(ValueError):
+            simulate_mgk(1.0, Exponential(1.0), 1, 0)
+
+
+class TestLogLogistic:
+    def test_median_is_scale(self):
+        d = LogLogistic(5.0, 2.0)
+        assert float(d.ppf(0.5)) == pytest.approx(5.0)
+
+    def test_mean_closed_form(self):
+        d = LogLogistic(2.0, 3.0)
+        s = d.sample(500000, seed=6)
+        assert np.mean(s) == pytest.approx(d.mean, rel=0.03)
+
+    def test_infinite_moments(self):
+        import math
+
+        assert LogLogistic(1.0, 1.0).mean == math.inf
+        assert LogLogistic(1.0, 2.0).variance == math.inf
+
+    def test_power_law_tail(self):
+        d = LogLogistic(1.0, 1.5)
+        xs = np.array([10.0, 100.0])
+        ratio = d.sf(xs[1]) / d.sf(xs[0])
+        assert ratio == pytest.approx(10.0 ** (-1.5), rel=0.05)
+
+    def test_heavier_than_exponential(self):
+        """Fig. 8: spacing tails 'much heavier than exponential'."""
+        ll = LogLogistic(1.0, 2.0)
+        ex = Exponential(ll.mean)
+        assert ll.sf(20.0) > ex.sf(20.0)
+
+    def test_fit_roundtrip(self):
+        d = LogLogistic(3.0, 2.5)
+        fit = LogLogistic.fit(d.sample(100000, seed=7))
+        assert fit.scale == pytest.approx(3.0, rel=0.05)
+        assert fit.shape == pytest.approx(2.5, rel=0.1)
+
+    def test_cdf_ppf_roundtrip(self):
+        d = LogLogistic(2.0, 1.3)
+        q = np.linspace(0.05, 0.95, 10)
+        assert np.allclose(d.cdf(d.ppf(q)), q)

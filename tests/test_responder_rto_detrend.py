@@ -1,0 +1,200 @@
+"""Tests for the TELNET responder model (the paper's future work), TCP
+retransmission timeouts (Section VI's 1-2 s internal gaps), diurnal
+detrending (Section VII's nonstationarity caveat), and the ASCII plot."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import homogeneous_poisson
+from repro.core import FullTelModel, TelnetResponderModel
+from repro.experiments.report import ascii_loglog
+from repro.selfsim import (
+    CountProcess,
+    fgn_sample,
+    nonstationarity_check,
+    remove_cycle,
+)
+from repro.tcp import BottleneckSimulator, TransferSpec
+from repro.traces import Direction
+
+
+class TestTelnetResponder:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return TelnetResponderModel()
+
+    def test_every_keystroke_echoed(self, model):
+        t = np.arange(0.0, 100.0, 1.0)
+        resp_t, resp_s = model.respond(t, seed=1, echo_delay=0.1)
+        # at least one response packet per originator packet
+        assert resp_t.size >= t.size
+        assert np.sum(resp_s == model.echo_bytes) == t.size
+
+    def test_echo_delay_applied(self, model):
+        t = np.array([5.0])
+        resp_t, _ = model.respond(t, seed=2, echo_delay=0.25)
+        assert np.all(resp_t >= 5.25 - 1e-9)
+
+    def test_responder_bytes_dominate(self, model):
+        """The stylized fact: responder bytes >> originator bytes."""
+        ratio = model.byte_ratio_estimate(seed=3)
+        assert 10.0 < ratio < 200.0
+
+    def test_empty_input(self, model):
+        resp_t, resp_s = model.respond(np.zeros(0), seed=4)
+        assert resp_t.size == resp_s.size == 0
+
+    def test_sorted_output(self, model):
+        t = homogeneous_poisson(1.0, 500.0, seed=5)
+        resp_t, _ = model.respond(t, seed=6)
+        assert np.all(np.diff(resp_t) >= 0)
+
+    def test_no_commands_means_echoes_only(self):
+        m = TelnetResponderModel(command_probability=0.0)
+        t = np.arange(0.0, 50.0, 1.0)
+        resp_t, resp_s = m.respond(t, seed=7, echo_delay=0.1)
+        assert resp_t.size == t.size
+        assert np.all(resp_s == m.echo_bytes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelnetResponderModel(command_probability=1.5)
+        with pytest.raises(ValueError):
+            TelnetResponderModel(output_rate=0.0)
+
+    def test_fulltel_integration(self):
+        trace = FullTelModel(200.0).synthesize(1800.0, seed=8,
+                                               include_responder=True)
+        orig = trace.select(direction=Direction.ORIGINATOR)
+        resp = trace.select(direction=Direction.RESPONDER)
+        assert resp.sum() >= orig.sum()  # echoes alone match 1:1
+        byte_ratio = trace.sizes[resp].sum() / trace.sizes[orig].sum()
+        assert byte_ratio > 10.0
+        assert np.all(trace.timestamps < 1800.0)
+
+    def test_fulltel_default_is_originator_only(self):
+        trace = FullTelModel(200.0).synthesize(600.0, seed=9)
+        assert trace.select(direction=Direction.RESPONDER).sum() == 0
+
+
+class TestTcpTimeouts:
+    def test_timeouts_occur_under_heavy_loss(self):
+        """A tiny buffer shared by many senders forces windows below the
+        fast-retransmit threshold, triggering RTOs."""
+        sim = BottleneckSimulator(rate=80.0, buffer_packets=3)
+        specs = [TransferSpec(0.0, 800, rtt=0.1, max_window=32, rto=1.0)
+                 for _ in range(6)]
+        res = sim.run(specs)
+        assert sum(t.timeouts for t in res.transfers) > 0
+
+    def test_timeout_creates_second_scale_gaps(self):
+        """Section VI: '1-2 s spacings that can occur internal to a single
+        FTPDATA connection due to TCP retransmission timeouts'."""
+        sim = BottleneckSimulator(rate=80.0, buffer_packets=3)
+        specs = [TransferSpec(0.0, 800, rtt=0.1, max_window=32, rto=1.0)
+                 for _ in range(6)]
+        res = sim.run(specs)
+        # per-connection internal gaps in the 0.8-2.5 s band
+        found = False
+        for i in range(len(specs)):
+            gaps = np.diff(res.connection_times(i))
+            if np.any((gaps > 0.8) & (gaps < 2.5)):
+                found = True
+        assert found
+
+    def test_timeout_resets_to_slow_start(self):
+        from repro.tcp import RenoSender
+
+        s = RenoSender(1000, initial_ssthresh=64.0)
+        s.cwnd = 8.0
+        q = s.next_segment()
+        s.on_timeout(q)
+        assert s.cwnd == 1.0
+        assert s.ssthresh == pytest.approx(4.0)
+        assert s.next_segment() == q  # retransmit first
+
+    def test_no_timeouts_with_large_windows(self):
+        sim = BottleneckSimulator(rate=500.0, buffer_packets=64)
+        res = sim.run([TransferSpec(0.0, 2000, rtt=0.1, max_window=32)])
+        assert res.transfers[0].timeouts == 0
+
+    def test_rto_validation(self):
+        with pytest.raises(ValueError):
+            TransferSpec(0.0, 10, rto=0.0)
+
+
+class TestDetrending:
+    def _cyclic_poisson(self, n, period, seed):
+        rng = np.random.default_rng(seed)
+        phase = np.arange(n) % period
+        rate = 20.0 * (1.0 + 0.8 * np.sin(2 * np.pi * phase / period))
+        return rng.poisson(np.maximum(rate, 0.1)).astype(float)
+
+    def test_remove_cycle_flattens_phase_means(self):
+        x = self._cyclic_poisson(6000, 100, seed=1)
+        d = remove_cycle(x, 100)
+        phases = d[: (d.size // 100) * 100].reshape(-1, 100).mean(axis=0)
+        assert phases.std() / phases.mean() < 0.05
+
+    def test_subtract_mode(self):
+        x = self._cyclic_poisson(6000, 100, seed=2)
+        d = remove_cycle(x, 100, how="subtract")
+        assert d.mean() == pytest.approx(x[:6000].mean(), rel=0.01)
+
+    def test_cyclic_poisson_flagged_nonstationary(self):
+        """A pure rate cycle mimics LRD on the VT plot; detrending
+        reveals it."""
+        x = self._cyclic_poisson(20000, 500, seed=3)
+        check = nonstationarity_check(CountProcess(x, 1.0), 500)
+        assert check.raw_slope > -0.8  # looks LRD before detrending
+        assert check.looks_nonstationary
+
+    def test_true_lrd_survives_detrending(self):
+        x = fgn_sample(20000, 0.85, seed=4) * 3.0 + 30.0
+        check = nonstationarity_check(CountProcess(x, 1.0), 500)
+        assert not check.looks_nonstationary
+        assert check.detrended_slope > -0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            remove_cycle(np.ones(10), 1)
+        with pytest.raises(ValueError):
+            remove_cycle(np.ones(10), 8)
+        with pytest.raises(ValueError):
+            remove_cycle(np.ones(100), 10, how="magic")
+
+
+class TestAsciiLogLog:
+    def test_renders_grid_and_legend(self):
+        x = np.geomspace(1, 1000, 20)
+        out = ascii_loglog(x, {"TRACE": 1.0 / x, "EXP": 0.5 / x})
+        lines = out.splitlines()
+        assert len(lines) == 19  # 18 rows + axis line
+        assert "T=TRACE" in lines[-1]
+        assert any("T" in line for line in lines[:-1])
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            ascii_loglog(np.array([1.0, 2.0]), {"A": np.array([5.0, 5.0])})
+
+
+class TestPureAcks:
+    def test_acks_present_and_filterable(self):
+        """Section IV filters originator packets 'consisting of no user
+        data (pure ack)'; the responder-enabled synthesis must emit them."""
+        from repro.core import FullTelModel
+
+        tr = FullTelModel(200.0).synthesize(1800.0, seed=8,
+                                            include_responder=True)
+        orig_all = int(tr.select(direction=Direction.ORIGINATOR).sum())
+        orig_data = int(tr.select(direction=Direction.ORIGINATOR,
+                                  user_data_only=True).sum())
+        assert orig_all > orig_data  # pure acks exist
+        acks = tr.select(direction=Direction.ORIGINATOR) & ~tr.user_data
+        assert np.all(tr.sizes[acks] == 0)
+
+    def test_no_acks_without_responder(self):
+        from repro.core import FullTelModel
+
+        tr = FullTelModel(200.0).synthesize(600.0, seed=9)
+        assert np.all(tr.user_data)

@@ -1,0 +1,146 @@
+"""Tests for count processes and variance-time analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import homogeneous_poisson
+from repro.selfsim import (
+    CountProcess,
+    default_levels,
+    fgn_sample,
+    hurst_from_variance_time,
+    poisson_reference,
+    variance_time_curve,
+)
+
+
+class TestCountProcess:
+    def test_from_times(self):
+        cp = CountProcess.from_times([0.05, 0.15, 0.17], 0.1, start=0.0, end=0.3)
+        assert cp.counts.tolist() == [1.0, 2.0, 0.0]
+        assert cp.duration == pytest.approx(0.3)
+
+    def test_total_and_mean(self):
+        cp = CountProcess([1, 2, 3], 1.0)
+        assert cp.total == 6.0
+        assert cp.mean == 2.0
+
+    def test_normalized_variance(self):
+        cp = CountProcess([0, 4], 1.0)
+        assert cp.normalized_variance == pytest.approx(4.0 / 4.0)
+
+    def test_normalized_variance_empty_raises(self):
+        with pytest.raises(ValueError):
+            CountProcess([0, 0], 1.0).normalized_variance
+
+    def test_index_of_dispersion_poisson_near_one(self):
+        t = homogeneous_poisson(50.0, 2000.0, seed=1)
+        cp = CountProcess.from_times(t, 1.0, start=0.0, end=2000.0)
+        assert cp.index_of_dispersion == pytest.approx(1.0, abs=0.15)
+
+    def test_aggregated_preserves_mean(self):
+        cp = CountProcess(np.arange(100, dtype=float), 0.1)
+        agg = cp.aggregated(10)
+        assert agg.mean == pytest.approx(cp.mean)
+        assert agg.bin_width == pytest.approx(1.0)
+
+    def test_rebinned_preserves_total(self):
+        cp = CountProcess(np.ones(100), 0.1)
+        reb = cp.rebinned(10)
+        assert reb.total == pytest.approx(100.0)
+
+    def test_slice_time(self):
+        cp = CountProcess(np.arange(10, dtype=float), 1.0)
+        s = cp.slice_time(2.0, 5.0)
+        assert s.counts.tolist() == [2.0, 3.0, 4.0]
+
+    def test_bad_bin_width(self):
+        with pytest.raises(ValueError):
+            CountProcess([1.0], 0.0)
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_aggregation_mass_invariant(self, level):
+        rng = np.random.default_rng(level)
+        cp = CountProcess(rng.poisson(5, size=200).astype(float), 0.5)
+        reb = cp.rebinned(level)
+        whole = (200 // level) * level
+        assert reb.total == pytest.approx(float(cp.counts[:whole].sum()))
+
+
+class TestDefaultLevels:
+    def test_starts_at_one(self):
+        lv = default_levels(10000)
+        assert lv[0] == 1
+
+    def test_respects_min_blocks(self):
+        lv = default_levels(1000, min_blocks=8)
+        assert lv[-1] <= 125
+
+    def test_too_few_bins_raises(self):
+        with pytest.raises(ValueError):
+            default_levels(4)
+
+
+class TestVarianceTime:
+    def test_poisson_slope_minus_one(self):
+        """Poisson counts: variance decays like 1/M (slope -1)."""
+        t = homogeneous_poisson(20.0, 20000.0, seed=2)
+        cp = CountProcess.from_times(t, 0.1, start=0.0, end=20000.0)
+        curve = variance_time_curve(cp)
+        assert curve.slope() == pytest.approx(-1.0, abs=0.08)
+
+    def test_poisson_hurst_half(self):
+        t = homogeneous_poisson(20.0, 20000.0, seed=3)
+        cp = CountProcess.from_times(t, 0.1, start=0.0, end=20000.0)
+        assert hurst_from_variance_time(cp) == pytest.approx(0.5, abs=0.06)
+
+    def test_fgn_slope_2h_minus_2(self):
+        """fGn of known H: slope must be ~2H - 2."""
+        for h in (0.6, 0.8):
+            x = fgn_sample(65536, h, seed=int(h * 10)) + 10.0
+            cp = CountProcess(x, 1.0)
+            curve = variance_time_curve(cp, normalized=False)
+            assert curve.slope() == pytest.approx(2 * h - 2, abs=0.12)
+
+    def test_iid_variance_scaling_exact_relationship(self):
+        """For i.i.d. counts Var[X^(M)] = Var[X]/M exactly in expectation."""
+        rng = np.random.default_rng(4)
+        cp = CountProcess(rng.poisson(10, 100000).astype(float), 1.0)
+        curve = variance_time_curve(cp, levels=[1, 10, 100], normalized=False)
+        assert curve.variances[1] == pytest.approx(curve.variances[0] / 10, rel=0.1)
+        assert curve.variances[2] == pytest.approx(curve.variances[0] / 100, rel=0.25)
+
+    def test_normalization_divides_by_squared_mean(self):
+        rng = np.random.default_rng(5)
+        counts = rng.poisson(4, 5000).astype(float)
+        cp = CountProcess(counts, 0.1)
+        c_norm = variance_time_curve(cp, levels=[1])
+        c_raw = variance_time_curve(cp, levels=[1], normalized=False)
+        assert c_norm.variances[0] == pytest.approx(
+            c_raw.variances[0] / cp.mean**2
+        )
+
+    def test_poisson_reference_line(self):
+        rng = np.random.default_rng(6)
+        cp = CountProcess(rng.poisson(4, 5000).astype(float), 0.1)
+        curve = variance_time_curve(cp, levels=[1, 10, 100])
+        ref = poisson_reference(curve)
+        assert ref[0] == pytest.approx(curve.variances[0])
+        assert ref[1] == pytest.approx(curve.variances[0] / 10)
+
+    def test_bad_levels(self):
+        cp = CountProcess(np.ones(100), 1.0)
+        with pytest.raises(ValueError):
+            variance_time_curve(cp, levels=[0, 5])
+        with pytest.raises(ValueError):
+            variance_time_curve(cp, levels=[1, 100])  # leaves < 2 blocks
+
+    def test_slope_range_too_narrow_raises(self):
+        rng = np.random.default_rng(7)
+        cp = CountProcess(rng.poisson(4, 1000).astype(float), 0.1)
+        curve = variance_time_curve(cp)
+        with pytest.raises(ValueError):
+            curve.slope(min_level=10**9)

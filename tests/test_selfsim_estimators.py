@@ -1,0 +1,254 @@
+"""Tests for fGn synthesis, Whittle, Beran, R/S, and periodogram estimators."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import pareto_mg_infinity
+from repro.selfsim import (
+    CountProcess,
+    beran_goodness_of_fit,
+    fgn_autocovariance,
+    fgn_sample,
+    fgn_spectral_density,
+    fractional_brownian_motion,
+    hurst_panel,
+    periodogram,
+    periodogram_hurst,
+    rescaled_range,
+    rs_analysis,
+    whittle_estimate,
+    whittle_with_gof,
+)
+
+
+class TestFgnAutocovariance:
+    def test_lag_zero_is_sigma2(self):
+        g = fgn_autocovariance(0.7, 5, sigma2=2.5)
+        assert g[0] == pytest.approx(2.5)
+
+    def test_h_half_is_white_noise(self):
+        g = fgn_autocovariance(0.5, 10)
+        assert np.allclose(g[1:], 0.0, atol=1e-12)
+
+    def test_positive_correlation_for_h_above_half(self):
+        g = fgn_autocovariance(0.8, 10)
+        assert np.all(g[1:] > 0)
+
+    def test_negative_correlation_for_h_below_half(self):
+        g = fgn_autocovariance(0.3, 10)
+        assert np.all(g[1:] < 0)
+
+    def test_hyperbolic_decay(self):
+        """gamma(k) ~ H(2H-1) k^(2H-2) for large k."""
+        h = 0.8
+        g = fgn_autocovariance(h, 2000)
+        k = np.array([500, 1000, 2000])
+        expected = h * (2 * h - 1) * k.astype(float) ** (2 * h - 2)
+        assert np.allclose(g[k], expected, rtol=0.01)
+
+    def test_bad_hurst(self):
+        with pytest.raises(ValueError):
+            fgn_autocovariance(1.0, 5)
+
+
+class TestFgnSpectralDensity:
+    def test_integrates_to_variance(self):
+        lam = np.linspace(1e-5, np.pi, 400001)
+        f = fgn_spectral_density(lam, 0.6)
+        assert 2 * np.trapezoid(f, lam) == pytest.approx(1.0, abs=0.02)
+
+    def test_low_frequency_divergence_for_lrd(self):
+        f = fgn_spectral_density(np.array([1e-4, 1e-3]), 0.8)
+        assert f[0] > f[1]  # diverges as l -> 0
+
+    def test_flat_for_white_noise(self):
+        lam = np.linspace(0.1, np.pi, 50)
+        f = fgn_spectral_density(lam, 0.5)
+        assert np.allclose(f, 1.0 / (2 * np.pi), rtol=0.01)
+
+    def test_low_frequency_power_law(self):
+        """f(l) ~ l^(1-2H) near zero."""
+        h = 0.75
+        lam = np.array([1e-5, 1e-4])
+        f = fgn_spectral_density(lam, h)
+        slope = np.log(f[1] / f[0]) / np.log(lam[1] / lam[0])
+        assert slope == pytest.approx(1 - 2 * h, abs=0.01)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            fgn_spectral_density(np.array([0.0]), 0.7)
+        with pytest.raises(ValueError):
+            fgn_spectral_density(np.array([4.0]), 0.7)
+
+
+class TestFgnSample:
+    def test_length_and_reproducibility(self):
+        a = fgn_sample(1000, 0.7, seed=1)
+        b = fgn_sample(1000, 0.7, seed=1)
+        assert a.size == 1000
+        assert np.array_equal(a, b)
+
+    def test_unit_variance(self):
+        x = fgn_sample(100000, 0.7, seed=2)
+        assert x.var() == pytest.approx(1.0, rel=0.05)
+
+    def test_sample_autocovariance_matches_theory(self):
+        x = fgn_sample(200000, 0.8, seed=3)
+        g = fgn_autocovariance(0.8, 3)
+        xc = x - x.mean()
+        for k in (1, 2, 3):
+            emp = float(np.mean(xc[:-k] * xc[k:]))
+            assert emp == pytest.approx(g[k], abs=0.05)
+
+    def test_fbm_is_cumsum(self):
+        x = fractional_brownian_motion(100, 0.6, seed=4)
+        assert x.size == 100
+        assert np.all(np.isfinite(x))
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            fgn_sample(0, 0.7)
+        with pytest.raises(ValueError):
+            fgn_sample(10, 1.2)
+
+
+class TestPeriodogram:
+    def test_parseval_like_total(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=4096)
+        lam, spec = periodogram(x)
+        # mean of I over frequencies ~ variance / (2 pi)
+        assert np.mean(spec) == pytest.approx(x.var() / (2 * np.pi), rel=0.1)
+
+    def test_frequencies_in_range(self):
+        lam, _ = periodogram(np.random.default_rng(6).normal(size=128))
+        assert np.all((lam > 0) & (lam < np.pi))
+
+    def test_short_series_raises(self):
+        with pytest.raises(ValueError):
+            periodogram(np.ones(4))
+
+
+class TestWhittle:
+    @pytest.mark.parametrize("h", [0.5, 0.6, 0.75, 0.9])
+    def test_recovers_known_hurst(self, h):
+        x = fgn_sample(8192, h, seed=int(h * 100))
+        est = whittle_estimate(x)
+        assert est.hurst == pytest.approx(h, abs=0.04)
+
+    def test_confidence_interval_covers(self):
+        hits = 0
+        for seed in range(20):
+            x = fgn_sample(4096, 0.7, seed=seed)
+            if whittle_estimate(x).contains(0.7):
+                hits += 1
+        assert hits >= 15  # nominal 95%, allow slack
+
+    def test_sigma2_estimate(self):
+        x = 3.0 * fgn_sample(8192, 0.6, seed=7)
+        est = whittle_estimate(x)
+        assert est.sigma2 == pytest.approx(9.0, rel=0.2)
+
+    def test_poisson_counts_give_half(self):
+        rng = np.random.default_rng(8)
+        x = rng.poisson(20, size=8192).astype(float)
+        est = whittle_estimate(x)
+        assert est.hurst == pytest.approx(0.5, abs=0.05)
+
+
+class TestBeranGof:
+    def test_fgn_accepted_at_nominal_rate(self):
+        accepted = 0
+        for seed in range(30):
+            x = fgn_sample(4096, 0.7, seed=seed)
+            if beran_goodness_of_fit(x, hurst=0.7).consistent():
+                accepted += 1
+        assert accepted >= 25
+
+    def test_wrong_hurst_rejected(self):
+        x = fgn_sample(16384, 0.9, seed=9)
+        res = beran_goodness_of_fit(x, hurst=0.55)
+        assert not res.consistent()
+
+    def test_non_gaussian_lull_traffic_rejected(self):
+        """FTP-like traffic with long zero-lulls is not fGn — the paper's
+        explanation for FTP failing the goodness-of-fit test."""
+        rng = np.random.default_rng(10)
+        # bursty on/off with huge dynamic range and a point mass at zero
+        x = rng.pareto(1.1, size=8192) * (rng.random(8192) < 0.05)
+        res = beran_goodness_of_fit(x)
+        assert not res.consistent()
+
+    def test_pipeline_returns_both(self):
+        x = fgn_sample(2048, 0.65, seed=11)
+        w, g = whittle_with_gof(x)
+        assert g.hurst == pytest.approx(w.hurst)
+
+
+class TestRS:
+    def test_rescaled_range_positive(self):
+        rng = np.random.default_rng(12)
+        assert rescaled_range(rng.normal(size=100)) > 0
+
+    def test_rs_white_noise_half(self):
+        rng = np.random.default_rng(13)
+        res = rs_analysis(rng.normal(size=32768), seed=1)
+        assert res.hurst == pytest.approx(0.55, abs=0.1)  # small-sample bias up
+
+    def test_rs_detects_high_hurst(self):
+        x = fgn_sample(32768, 0.9, seed=14)
+        res = rs_analysis(x, seed=2)
+        assert res.hurst > 0.75
+
+    def test_constant_block_raises(self):
+        with pytest.raises(ValueError):
+            rescaled_range(np.ones(10))
+
+    def test_short_series_raises(self):
+        with pytest.raises(ValueError):
+            rs_analysis(np.ones(10))
+
+
+class TestPeriodogramHurst:
+    def test_recovers_hurst(self):
+        x = fgn_sample(32768, 0.8, seed=15)
+        res = periodogram_hurst(x)
+        assert res.hurst == pytest.approx(0.8, abs=0.1)
+
+    def test_white_noise_half(self):
+        rng = np.random.default_rng(16)
+        res = periodogram_hurst(rng.normal(size=32768))
+        assert res.hurst == pytest.approx(0.5, abs=0.1)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            periodogram_hurst(np.ones(100) + np.arange(100), frequency_fraction=0.0)
+
+
+class TestHurstPanel:
+    def test_panel_on_fgn(self):
+        x = fgn_sample(16384, 0.8, seed=17) + 50.0
+        panel = hurst_panel(CountProcess(x, 0.1), seed=3)
+        assert panel.whittle.hurst == pytest.approx(0.8, abs=0.05)
+        assert panel.median_hurst == pytest.approx(0.8, abs=0.12)
+        assert panel.consistent_with_fgn
+        assert panel.long_range_dependent_looking
+
+    def test_panel_on_poisson_counts(self):
+        rng = np.random.default_rng(18)
+        panel = hurst_panel(rng.poisson(30, size=16384).astype(float), seed=4)
+        assert panel.median_hurst == pytest.approx(0.5, abs=0.1)
+        assert not panel.long_range_dependent_looking
+
+    def test_mg_infinity_counts_look_lrd(self):
+        """Appendix D: M/G/inf with Pareto(1.5) service is asymptotically
+        self-similar with H = 0.75; the panel must see elevated H."""
+        model = pareto_mg_infinity(rho=5.0, location=1.0, shape=1.5)
+        x = model.simulate(16384, dt=1.0, seed=19, warmup=50000.0)
+        panel = hurst_panel(x.astype(float), seed=5)
+        assert panel.median_hurst > 0.62
+
+    def test_summary_row(self):
+        x = fgn_sample(2048, 0.7, seed=20) + 10
+        row = hurst_panel(x).summary_row()
+        assert "H_whittle" in row and "fgn_consistent" in row

@@ -1,0 +1,118 @@
+"""Tests for FARIMA(0, d, 0) (Section VII-D's alternative self-similar model)."""
+
+import numpy as np
+import pytest
+
+from repro.selfsim import (
+    farima_autocovariance,
+    farima_sample,
+    farima_spectral_density,
+    farima_whittle_estimate,
+    hurst_from_d,
+)
+
+
+class TestAutocovariance:
+    def test_d_zero_is_white_noise(self):
+        g = farima_autocovariance(0.0, 10)
+        assert g[0] == pytest.approx(1.0)
+        assert np.allclose(g[1:], 0.0, atol=1e-12)
+
+    def test_positive_memory_positive_correlation(self):
+        g = farima_autocovariance(0.3, 20)
+        assert np.all(g[1:] > 0)
+        assert np.all(np.diff(g) < 0)  # monotone decay
+
+    def test_negative_memory_negative_lag1(self):
+        g = farima_autocovariance(-0.3, 5)
+        assert g[1] < 0
+
+    def test_hyperbolic_decay_rate(self):
+        """gamma(k) ~ c k^(2d-1) for large k."""
+        d = 0.35
+        g = farima_autocovariance(d, 4000)
+        ratio = g[4000] / g[1000]
+        assert ratio == pytest.approx(4.0 ** (2 * d - 1), rel=0.02)
+
+    def test_bad_d(self):
+        with pytest.raises(ValueError):
+            farima_autocovariance(0.5, 5)
+
+
+class TestSpectralDensity:
+    def test_white_noise_flat(self):
+        lam = np.linspace(0.1, np.pi, 20)
+        f = farima_spectral_density(lam, 0.0)
+        assert np.allclose(f, 1.0 / (2 * np.pi))
+
+    def test_low_frequency_power_law(self):
+        """f(l) ~ l^(-2d) as l -> 0."""
+        d = 0.4
+        lam = np.array([1e-5, 1e-4])
+        f = farima_spectral_density(lam, d)
+        slope = np.log(f[1] / f[0]) / np.log(lam[1] / lam[0])
+        assert slope == pytest.approx(-2 * d, abs=0.01)
+
+    def test_integrates_to_variance(self):
+        d = 0.3
+        lam = np.linspace(1e-6, np.pi, 500001)
+        f = farima_spectral_density(lam, d)
+        total = 2 * np.trapezoid(f, lam)
+        assert total == pytest.approx(farima_autocovariance(d, 0)[0], abs=0.03)
+
+    def test_frequency_bounds(self):
+        with pytest.raises(ValueError):
+            farima_spectral_density(np.array([0.0]), 0.2)
+
+
+class TestSampling:
+    def test_reproducible(self):
+        a = farima_sample(500, 0.3, seed=1)
+        b = farima_sample(500, 0.3, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_variance_matches(self):
+        d = 0.25
+        x = farima_sample(100000, d, seed=2)
+        assert x.var() == pytest.approx(farima_autocovariance(d, 0)[0], rel=0.05)
+
+    def test_sample_acf_matches_theory(self):
+        d = 0.35
+        x = farima_sample(200000, d, seed=3)
+        g = farima_autocovariance(d, 3)
+        xc = x - x.mean()
+        for k in (1, 2, 3):
+            emp = float(np.mean(xc[:-k] * xc[k:]))
+            assert emp == pytest.approx(g[k], abs=0.05)
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            farima_sample(0, 0.2)
+
+
+class TestWhittle:
+    @pytest.mark.parametrize("d", [0.0, 0.2, 0.4, -0.2])
+    def test_recovers_d(self, d):
+        x = farima_sample(8192, d, seed=int((d + 1) * 100))
+        est = farima_whittle_estimate(x)
+        assert est.d == pytest.approx(d, abs=0.04)
+        assert est.contains(d) or abs(est.d - d) < 0.03
+
+    def test_hurst_mapping(self):
+        assert hurst_from_d(0.3) == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            hurst_from_d(0.6)
+
+    def test_innovation_variance(self):
+        x = 2.0 * farima_sample(8192, 0.2, seed=9)
+        est = farima_whittle_estimate(x)
+        assert est.sigma2 == pytest.approx(4.0, rel=0.25)
+
+    def test_farima_vs_fgn_cross_consistency(self):
+        """Both Whittle variants must agree on H for an LRD series."""
+        from repro.selfsim import whittle_estimate
+
+        x = farima_sample(16384, 0.3, seed=10)
+        h_farima = farima_whittle_estimate(x).hurst
+        h_fgn = whittle_estimate(x).hurst
+        assert h_farima == pytest.approx(h_fgn, abs=0.06)

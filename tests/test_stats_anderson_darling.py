@@ -1,0 +1,100 @@
+"""Tests for the Anderson-Darling exponentiality test (Appendix A)."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.distributions import Exponential, Pareto
+from repro.stats import (
+    CRITICAL_VALUES,
+    anderson_darling_exponential,
+    anderson_darling_statistic,
+)
+
+
+class TestStatistic:
+    @pytest.mark.filterwarnings("ignore::FutureWarning")
+    def test_agrees_with_scipy(self):
+        """scipy.stats.anderson(dist='expon') computes the same raw A^2
+        statistic (scipy rescales the critical values by 1/(1 + 0.6/n)
+        instead of the statistic); our from-scratch version must match."""
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            x = rng.exponential(2.0, size=200)
+            ours = anderson_darling_statistic(x)
+            theirs = scipy.stats.anderson(x, dist="expon").statistic
+            assert ours == pytest.approx(float(theirs), rel=1e-6)
+
+    def test_known_mean_variant(self):
+        x = np.array([0.5, 1.0, 1.5, 2.0, 3.0])
+        a_est = anderson_darling_statistic(x)
+        a_known = anderson_darling_statistic(x, mean=1.6)
+        assert a_est == pytest.approx(a_known, rel=1e-9)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ValueError):
+            anderson_darling_statistic([1.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            anderson_darling_statistic([-1.0, 2.0])
+
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            anderson_darling_statistic([1.0, 2.0], mean=0.0)
+
+
+class TestSignificance:
+    def test_tabulated_levels_only(self):
+        with pytest.raises(ValueError):
+            anderson_darling_exponential([1.0, 2.0, 3.0], significance=0.07)
+
+    def test_critical_values_monotone(self):
+        levels = sorted(CRITICAL_VALUES)
+        vals = [CRITICAL_VALUES[a] for a in levels]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_exponential_passes_at_expected_rate(self):
+        """~95% of truly exponential samples must pass at the 5% level."""
+        rng = np.random.default_rng(2)
+        passes = 0
+        trials = 400
+        for _ in range(trials):
+            x = rng.exponential(1.0, size=100)
+            if anderson_darling_exponential(x).passed:
+                passes += 1
+        # Binomial(400, .95): mean 380, sd ~4.4; allow 5 sigma
+        assert abs(passes - 380) < 22
+
+    def test_pareto_interarrivals_fail(self):
+        """Heavy-tailed interarrivals are detected essentially always."""
+        rejections = 0
+        for seed in range(50):
+            x = Pareto(0.1, 0.9).sample(200, seed=seed)
+            if not anderson_darling_exponential(x).passed:
+                rejections += 1
+        assert rejections >= 48
+
+    def test_uniform_interarrivals_fail(self):
+        """Light-tailed (uniform) interarrivals are also rejected."""
+        rng = np.random.default_rng(3)
+        rejections = 0
+        for _ in range(50):
+            x = rng.uniform(0.0, 2.0, size=300)
+            if not anderson_darling_exponential(x).passed:
+                rejections += 1
+        assert rejections >= 45
+
+    def test_stricter_level_passes_more(self):
+        """A 1% test rejects less often than a 15% test."""
+        x = Exponential(1.0).sample(80, seed=4)
+        r15 = anderson_darling_exponential(x, significance=0.15)
+        r01 = anderson_darling_exponential(x, significance=0.01)
+        assert r01.critical_value > r15.critical_value
+
+    def test_result_fields(self):
+        x = Exponential(1.0).sample(64, seed=5)
+        res = anderson_darling_exponential(x)
+        assert res.n == 64
+        assert res.significance == 0.05
+        assert res.critical_value == CRITICAL_VALUES[0.05]

@@ -1,0 +1,146 @@
+"""Tests for the independence tests and binomial roll-ups of Appendix A."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    acf,
+    autocorrelation,
+    binomial_lower_tail,
+    binomial_upper_tail,
+    lag1_independence_test,
+    pass_rate_verdict,
+    sign_bias_verdict,
+)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        assert autocorrelation([1.0, 2.0, 3.0, 1.0], 0) == 1.0
+
+    def test_alternating_series_negative_r1(self):
+        x = np.tile([1.0, -1.0], 50)
+        assert autocorrelation(x, 1) < -0.9
+
+    def test_trending_series_positive_r1(self):
+        x = np.arange(100, dtype=float)
+        assert autocorrelation(x, 1) > 0.9
+
+    def test_white_noise_near_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=10000)
+        assert abs(autocorrelation(x, 1)) < 0.03
+
+    def test_constant_series_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation([2.0, 2.0, 2.0], 1)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], 5)
+
+    def test_negative_lag_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0, 3.0], -1)
+
+    def test_acf_matches_direct(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=500)
+        a = acf(x, 10)
+        for k in range(1, 11):
+            assert a[k] == pytest.approx(autocorrelation(x, k), abs=1e-9)
+
+    def test_acf_lag_bounds(self):
+        with pytest.raises(ValueError):
+            acf(np.ones(5) + np.arange(5), 5)
+
+
+class TestLag1Test:
+    def test_independent_exponentials_pass_mostly(self):
+        passes = 0
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            x = rng.exponential(1.0, size=100)
+            if lag1_independence_test(x).passed:
+                passes += 1
+        assert passes > 180  # ~95% expected
+
+    def test_correlated_series_fails(self):
+        rng = np.random.default_rng(4)
+        x = np.cumsum(rng.normal(size=200)) + 100.0  # random walk: strong r1
+        assert not lag1_independence_test(x).passed
+
+    def test_threshold_value(self):
+        rng = np.random.default_rng(5)
+        res = lag1_independence_test(rng.exponential(1.0, 400))
+        assert res.threshold == pytest.approx(1.96 / 20.0)
+
+    def test_sign(self):
+        up = lag1_independence_test(np.arange(50, dtype=float))
+        assert up.sign == 1
+
+
+class TestBinomialHelpers:
+    def test_lower_tail_extremes(self):
+        assert binomial_lower_tail(10, 10, 0.5) == pytest.approx(1.0)
+        assert binomial_lower_tail(0, 10, 0.5) == pytest.approx(0.5**10)
+
+    def test_upper_tail_extremes(self):
+        assert binomial_upper_tail(0, 10, 0.5) == pytest.approx(1.0)
+        assert binomial_upper_tail(10, 10, 0.5) == pytest.approx(0.5**10)
+
+    def test_tails_complement(self):
+        # P[K <= k] + P[K >= k+1] = 1
+        p = binomial_lower_tail(3, 12, 0.4) + binomial_upper_tail(4, 12, 0.4)
+        assert p == pytest.approx(1.0)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            binomial_lower_tail(5, 3, 0.5)
+        with pytest.raises(ValueError):
+            binomial_upper_tail(1, 3, 1.5)
+
+
+class TestPassRateVerdict:
+    def test_full_pass_consistent(self):
+        assert pass_rate_verdict(20, 20).consistent
+
+    def test_nominal_rate_consistent(self):
+        assert pass_rate_verdict(95, 100).consistent
+
+    def test_low_rate_inconsistent(self):
+        assert not pass_rate_verdict(80, 100).consistent
+
+    def test_small_sample_forgiving(self):
+        """With few intervals, even a visibly low rate can't be rejected."""
+        assert pass_rate_verdict(4, 5).consistent
+
+    def test_pass_rate_property(self):
+        v = pass_rate_verdict(9, 10)
+        assert v.pass_rate == pytest.approx(0.9)
+
+
+class TestSignBias:
+    def test_balanced_signs_unbiased(self):
+        v = sign_bias_verdict([1, -1] * 20)
+        assert v.label == ""
+
+    def test_all_positive_biased(self):
+        v = sign_bias_verdict([1] * 20)
+        assert v.positively_biased
+        assert v.label == "+"
+
+    def test_all_negative_biased(self):
+        v = sign_bias_verdict([-1] * 20)
+        assert v.label == "-"
+
+    def test_zeros_ignored(self):
+        v = sign_bias_verdict([0, 0, 1, -1])
+        assert v.trials == 2
+
+    def test_empty_is_unbiased(self):
+        assert sign_bias_verdict([]).label == ""
+
+    def test_small_majority_not_biased(self):
+        v = sign_bias_verdict([1] * 6 + [-1] * 4)
+        assert v.label == ""

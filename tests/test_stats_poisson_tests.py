@@ -1,0 +1,130 @@
+"""Integration tests of the full Appendix A pipeline: Poisson input must be
+declared Poisson-consistent; the paper's non-Poisson mechanisms must fail."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import (
+    cascade_arrivals,
+    compound_poisson_cluster,
+    homogeneous_poisson,
+    pareto_renewal_arrivals,
+    piecewise_poisson,
+    timer_driven_arrivals,
+)
+from repro.distributions import Exponential, Pareto
+from repro.stats import split_into_intervals, evaluate_arrival_process, evaluate_interval
+
+
+class TestSplitIntoIntervals:
+    def test_basic_split(self):
+        chunks = split_into_intervals(np.arange(0.0, 100.0), 25.0, start=0.0, end=100.0)
+        assert len(chunks) == 4
+        assert all(c.size == 25 for c in chunks)
+
+    def test_partial_interval_dropped(self):
+        chunks = split_into_intervals(np.arange(0.0, 10.0), 4.0, start=0.0, end=10.0)
+        assert len(chunks) == 2
+
+    def test_empty(self):
+        assert split_into_intervals([], 10.0) == []
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            split_into_intervals([1.0], 0.0)
+
+
+class TestTestInterval:
+    def test_poisson_interval_usually_passes(self):
+        passes = 0
+        for seed in range(100):
+            t = homogeneous_poisson(0.1, 3600.0, seed=seed)
+            o = evaluate_interval(t)
+            passes += o.exponential_passed and o.independence_passed
+        assert passes >= 80  # ~0.95 * 0.95 expected jointly
+
+    def test_periodic_interval_fails_exponential(self):
+        t = np.arange(0.0, 3600.0, 10.0)
+        o = evaluate_interval(t)
+        assert not o.exponential_passed
+
+
+class TestFullPipelinePoissonInputs:
+    def test_homogeneous_poisson_consistent(self):
+        t = homogeneous_poisson(0.05, 24 * 3600.0, seed=1)
+        res = evaluate_arrival_process(t, 3600.0, start=0.0, end=24 * 3600.0)
+        assert res.poisson_consistent
+        assert res.exponential_pass_rate > 0.8
+        assert res.correlation_label == ""
+
+    def test_hourly_varying_poisson_consistent_at_hour_scale(self):
+        """The paper's model: Poisson with *fixed hourly rates* — rate
+        changes between hours must not trigger rejection."""
+        rates = [0.02 + 0.04 * (8 <= h <= 17) for h in range(24)]
+        t = piecewise_poisson(rates, 3600.0, seed=2)
+        res = evaluate_arrival_process(t, 3600.0, start=0.0, end=24 * 3600.0)
+        assert res.poisson_consistent
+
+    def test_ten_minute_intervals_also_consistent(self):
+        t = homogeneous_poisson(0.1, 6 * 3600.0, seed=3)
+        res = evaluate_arrival_process(t, 600.0, start=0.0, end=6 * 3600.0)
+        assert res.poisson_consistent
+
+    def test_sparse_intervals_skipped(self):
+        t = homogeneous_poisson(0.002, 48 * 3600.0, seed=4)  # ~7 per hour
+        with pytest.raises(ValueError):
+            evaluate_arrival_process(t, 3600.0, min_arrivals=20)
+
+
+class TestFullPipelineNonPoissonInputs:
+    def test_pareto_renewal_rejected(self):
+        """Heavy-tailed interarrivals (the TELNET packet process) fail."""
+        t = pareto_renewal_arrivals(20000, shape=0.9, location=0.1, seed=5)
+        end = float(t[-1])
+        res = evaluate_arrival_process(t, end / 20.0, start=0.0, end=end)
+        assert not res.poisson_consistent
+
+    def test_timer_driven_rejected(self):
+        """NNTP-style periodic arrivals decisively fail."""
+        t = timer_driven_arrivals(30.0, 24 * 3600.0, jitter_sd=1.0, seed=6)
+        res = evaluate_arrival_process(t, 3600.0, start=0.0, end=24 * 3600.0)
+        assert not res.poisson_consistent
+        assert res.exponential_pass_rate < 0.2
+
+    def test_clustered_rejected(self):
+        """Mailing-list-explosion cluster arrivals fail the roll-up."""
+        t = compound_poisson_cluster(
+            0.01, 5 * 24 * 3600.0, Pareto(1.0, 1.1), Exponential(2.0), seed=7
+        )
+        res = evaluate_arrival_process(t, 3600.0, start=0.0, end=5 * 24 * 3600.0)
+        assert not res.poisson_consistent
+
+    def test_modulated_rate_positively_correlated(self):
+        """Slowly varying intensity (SMTP's timer/queue behaviour) yields
+        the paper's consistent '+' annotation."""
+        from repro.arrivals import modulated_poisson
+
+        t = modulated_poisson(
+            (0.01, 0.2), (900.0, 900.0), 5 * 24 * 3600.0, seed=77
+        )
+        res = evaluate_arrival_process(t, 3600.0, start=0.0, end=5 * 24 * 3600.0)
+        assert not res.poisson_consistent
+        assert res.correlation_label == "+"
+
+    def test_cascade_rejected(self):
+        t = cascade_arrivals(0.02, 2 * 24 * 3600.0, 0.8, Exponential(30.0), seed=8)
+        res = evaluate_arrival_process(t, 3600.0, start=0.0, end=2 * 24 * 3600.0)
+        assert not res.poisson_consistent
+
+
+class TestResultReporting:
+    def test_summary_row_keys(self):
+        t = homogeneous_poisson(0.05, 10 * 3600.0, seed=9)
+        res = evaluate_arrival_process(t, 3600.0, start=0.0, end=10 * 3600.0)
+        row = res.summary_row()
+        assert set(row) == {"interval", "tested", "exp_pass_pct", "indep_pass_pct", "poisson", "corr"}
+
+    def test_counts_add_up(self):
+        t = homogeneous_poisson(0.05, 10 * 3600.0, seed=10)
+        res = evaluate_arrival_process(t, 3600.0, start=0.0, end=10 * 3600.0)
+        assert res.n_intervals_tested <= res.n_intervals_total == 10

@@ -1,0 +1,120 @@
+"""Tests for tail-concentration diagnostics (Section VI / Fig. 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential, Pareto
+from repro.stats import (
+    concentration_curve,
+    empirical_ccdf,
+    exponential_top_share,
+    mean_exceedance_curve,
+    top_fraction_share,
+)
+
+
+class TestTopFractionShare:
+    def test_uniform_sizes(self):
+        share = top_fraction_share(np.ones(1000), 0.1)
+        assert share == pytest.approx(0.1)
+
+    def test_single_giant(self):
+        sizes = np.concatenate([[1e9], np.ones(999)])
+        assert top_fraction_share(sizes, 0.005) > 0.99
+
+    def test_pareto_concentration_far_exceeds_exponential(self):
+        """The paper's core FTP claim: Pareto bursts put 30-60% of mass in
+        the top 0.5%, versus ~3% for exponential sizes."""
+        heavy = Pareto(1.0, 1.1).sample(50000, seed=1)
+        light = Exponential(1.0).sample(50000, seed=2)
+        assert top_fraction_share(heavy, 0.005) > 0.25
+        assert top_fraction_share(light, 0.005) < 0.06
+
+    def test_zero_fraction(self):
+        assert top_fraction_share([1.0, 2.0], 0.0) == 0.0
+
+    def test_full_fraction(self):
+        assert top_fraction_share([1.0, 2.0], 1.0) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            top_fraction_share([], 0.5)
+
+    def test_zero_total_raises(self):
+        with pytest.raises(ValueError):
+            top_fraction_share([0.0, 0.0], 0.5)
+
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_fraction(self, f):
+        sizes = Pareto(1.0, 1.3).sample(2000, seed=3)
+        assert top_fraction_share(sizes, f) >= top_fraction_share(sizes, f / 2)
+
+
+class TestConcentrationCurve:
+    def test_endpoints(self):
+        c = concentration_curve([5.0, 3.0, 2.0])
+        assert c.share_at(0.0) == 0.0
+        assert c.share_at(1.0) == pytest.approx(1.0)
+
+    def test_monotone_and_concave(self):
+        c = concentration_curve(Pareto(1.0, 1.2).sample(5000, seed=4))
+        fs = np.linspace(0, 1, 50)
+        ys = [c.share_at(f) for f in fs]
+        assert all(b >= a for a, b in zip(ys, ys[1:]))
+        # largest-first ordering makes the curve concave: big jumps first
+        assert ys[5] > fs[5]
+
+    def test_matches_top_fraction_share(self):
+        sizes = Pareto(1.0, 1.1).sample(2000, seed=5)
+        c = concentration_curve(sizes)
+        assert c.share_at(0.1) == pytest.approx(top_fraction_share(sizes, 0.1), abs=0.01)
+
+
+class TestExponentialTopShare:
+    def test_paper_anchor(self):
+        """'the upper 0.5% tail of an exponential distribution always holds
+        about 3% of the entire mass'."""
+        assert exponential_top_share(0.005) == pytest.approx(0.0315, abs=0.002)
+
+    def test_independent_of_mean_by_construction(self):
+        # identity check against a simulated exponential of arbitrary mean
+        sizes = Exponential(42.0).sample(400000, seed=6)
+        assert top_fraction_share(sizes, 0.02) == pytest.approx(
+            exponential_top_share(0.02), abs=0.01
+        )
+
+    def test_extremes(self):
+        assert exponential_top_share(0.0) == 0.0
+        assert exponential_top_share(1.0) == pytest.approx(1.0)
+
+
+class TestCCDFAndCMEX:
+    def test_ccdf_shape(self):
+        x, sf = empirical_ccdf([1.0, 2.0, 3.0, 4.0])
+        assert sf.tolist() == pytest.approx([0.75, 0.5, 0.25, 0.0])
+
+    def test_ccdf_loglog_slope_recovers_pareto(self):
+        x, sf = empirical_ccdf(Pareto(1.0, 1.5).sample(100000, seed=7))
+        keep = (sf > 1e-3) & (x > 2.0)
+        slope = np.polyfit(np.log(x[keep]), np.log(sf[keep]), 1)[0]
+        assert slope == pytest.approx(-1.5, abs=0.1)
+
+    def test_cmex_increasing_for_pareto(self):
+        t, c = mean_exceedance_curve(Pareto(1.0, 1.5).sample(20000, seed=8))
+        assert c[-1] > c[0]
+
+    def test_cmex_flat_for_exponential(self):
+        t, c = mean_exceedance_curve(Exponential(2.0).sample(200000, seed=9))
+        assert c[-3] == pytest.approx(c[0], rel=0.25)
+
+    def test_cmex_decreasing_for_uniform(self):
+        rng = np.random.default_rng(10)
+        t, c = mean_exceedance_curve(rng.uniform(0, 1, 50000))
+        assert c[-1] < c[0]
+
+    def test_small_sample_raises(self):
+        with pytest.raises(ValueError):
+            mean_exceedance_curve([1.0, 2.0])

@@ -1,0 +1,112 @@
+"""Tests for trace characterization, the VT slope bootstrap, and
+failure-injection (bad inputs must be rejected cleanly, never propagated)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arrivals import homogeneous_poisson
+from repro.distributions import Exponential, Pareto
+from repro.selfsim import CountProcess, fgn_sample, slope_bootstrap
+from repro.stats import anderson_darling_exponential, evaluate_arrival_process
+from repro.traces import (
+    ConnectionRecord,
+    ConnectionTrace,
+    bulk_vs_interactive_bytes,
+    characterize,
+    dominant_byte_protocol,
+    synthesize_connection_trace,
+)
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthesize_connection_trace("LBL-1", seed=2, hours=24)
+
+    def test_shares_sum_to_one(self, trace):
+        rows = characterize(trace)
+        assert sum(s.byte_share for s in rows) == pytest.approx(1.0)
+        assert sum(s.connection_share for s in rows) == pytest.approx(1.0)
+
+    def test_sorted_by_bytes(self, trace):
+        rows = characterize(trace)
+        totals = [s.total_bytes for s in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_ftpdata_carries_the_bulk(self, trace):
+        """Section VI: 'FTPDATA connections currently carry the bulk of
+        the data bytes in wide area networks'."""
+        assert dominant_byte_protocol(trace) in ("FTPDATA", "NNTP")
+        ftp = next(s for s in characterize(trace) if s.protocol == "FTPDATA")
+        assert ftp.byte_share > 0.2
+
+    def test_bulk_dominates_interactive(self, trace):
+        bulk, interactive = bulk_vs_interactive_bytes(trace)
+        assert bulk > interactive
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            characterize(ConnectionTrace("empty", []))
+
+    def test_row_keys(self, trace):
+        row = characterize(trace)[0].row()
+        assert {"protocol", "conns", "MB", "byte_share"} <= set(row)
+
+
+class TestSlopeBootstrap:
+    def test_poisson_interval_covers_minus_one(self):
+        t = homogeneous_poisson(30.0, 5000.0, seed=1)
+        cp = CountProcess.from_times(t, 0.5, start=0.0, end=5000.0)
+        point, (lo, hi) = slope_bootstrap(cp, n_boot=60, seed=2)
+        assert lo <= point <= hi
+        assert lo < -0.8  # interval reaches the Poisson slope
+
+    def test_lrd_interval_excludes_minus_one(self):
+        x = fgn_sample(20000, 0.9, seed=3) * 5 + 50
+        cp = CountProcess(x, 0.5)
+        point, (lo, hi) = slope_bootstrap(cp, n_boot=60, seed=4)
+        assert hi < -0.01
+        assert lo > -0.75  # decisively shallower than -1
+
+    def test_validation(self):
+        cp = CountProcess(np.random.default_rng(5).poisson(5, 5000) + 0.0, 1.0)
+        with pytest.raises(ValueError):
+            slope_bootstrap(cp, n_boot=5)
+        with pytest.raises(ValueError):
+            slope_bootstrap(CountProcess(np.arange(30) + 0.0, 1.0))
+
+
+class TestFailureInjection:
+    """Pathological inputs are refused with clear errors, not NaNs."""
+
+    def test_ad_test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            anderson_darling_exponential(np.array([1.0, float("nan"), 2.0]))
+
+    def test_poisson_pipeline_rejects_empty(self):
+        with pytest.raises(ValueError):
+            evaluate_arrival_process(np.zeros(0), 3600.0)
+
+    def test_distribution_rejects_nan_params(self):
+        with pytest.raises(ValueError):
+            Exponential(float("nan"))
+        with pytest.raises(ValueError):
+            Pareto(1.0, float("nan"))
+
+    def test_ppf_rejects_nan_quantiles(self):
+        with pytest.raises(ValueError):
+            Pareto(1.0, 1.5).ppf(np.array([0.5, float("nan")]))
+
+    def test_connection_record_rejects_nan_time(self):
+        with pytest.raises(ValueError):
+            ConnectionRecord(float("nan"), 1.0, "TELNET")
+
+    def test_count_process_rejects_nan_binwidth(self):
+        with pytest.raises(ValueError):
+            CountProcess(np.ones(4), float("nan"))
+
+    def test_infinite_duration_record_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionRecord(0.0, -math.inf, "TELNET")

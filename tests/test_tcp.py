@@ -1,0 +1,187 @@
+"""Tests for the TCP Reno substrate (Section VII-C-2 dynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import anderson_darling_exponential
+from repro.tcp import BottleneckSimulator, RenoSender, TransferSpec
+
+
+class TestRenoSender:
+    def test_initial_state(self):
+        s = RenoSender(100)
+        assert s.cwnd == 1.0
+        assert not s.done
+        assert s.can_send()
+
+    def test_slow_start_doubles_per_round(self):
+        """cwnd += 1 per ACK below ssthresh => doubling per RTT round."""
+        s = RenoSender(1000, initial_ssthresh=64.0)
+        # round 1: send 1, ack 1
+        seqs = [s.next_segment()]
+        for q in seqs:
+            s.on_ack(q)
+        assert s.cwnd == pytest.approx(2.0)
+        # round 2: send 2, ack 2
+        seqs = [s.next_segment(), s.next_segment()]
+        for q in seqs:
+            s.on_ack(q)
+        assert s.cwnd == pytest.approx(4.0)
+
+    def test_congestion_avoidance_linear(self):
+        s = RenoSender(10000, initial_ssthresh=2.0)
+        s.cwnd = 10.0
+        for _ in range(10):  # one full window of acks
+            q = s.next_segment()
+            s.on_ack(q)
+        assert s.cwnd == pytest.approx(11.0, abs=0.1)
+
+    def test_loss_halves_once_per_window(self):
+        s = RenoSender(1000, initial_ssthresh=100.0)
+        s.cwnd = 16.0
+        seqs = [s.next_segment() for _ in range(8)]
+        s.on_loss(seqs[0])
+        assert s.cwnd == pytest.approx(8.0)
+        s.on_loss(seqs[1])  # same window: no second halving
+        assert s.cwnd == pytest.approx(8.0)
+
+    def test_retransmits_take_priority(self):
+        s = RenoSender(100)
+        q0 = s.next_segment()
+        s.on_loss(q0)
+        assert s.next_segment() == q0
+
+    def test_window_cap(self):
+        s = RenoSender(10**6, max_window=8.0, initial_ssthresh=1000.0)
+        for _ in range(100):
+            q = s.next_segment()
+            s.on_ack(q)
+        assert s.cwnd <= 8.0
+
+    def test_done_requires_all_segments(self):
+        s = RenoSender(3)
+        for _ in range(3):
+            s.on_ack(s.next_segment())
+        assert s.done
+        assert not s.can_send()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RenoSender(0)
+
+    def test_cannot_send_beyond_window(self):
+        s = RenoSender(100)
+        s.next_segment()  # cwnd=1 -> in_flight 1
+        assert not s.can_send()
+        with pytest.raises(RuntimeError):
+            s.next_segment()
+
+
+class TestBottleneckSimulator:
+    def test_window_limited_throughput(self):
+        """No congestion: throughput ~ W / RTT."""
+        sim = BottleneckSimulator(rate=1000.0, buffer_packets=100)
+        res = sim.run([TransferSpec(0.0, 5000, rtt=0.1, max_window=32)])
+        t = res.transfers[0]
+        assert t.packets_dropped == 0
+        assert t.throughput == pytest.approx(32 / 0.1, rel=0.15)
+
+    def test_bandwidth_limited_utilization(self):
+        """Congested: throughput approaches the bottleneck rate."""
+        sim = BottleneckSimulator(rate=200.0, buffer_packets=8)
+        res = sim.run([TransferSpec(0.0, 5000, rtt=0.1, max_window=64)])
+        t = res.transfers[0]
+        assert t.packets_dropped > 0
+        assert 0.6 * 200 < t.throughput < 200.0
+
+    def test_sawtooth_window(self):
+        """Section VII: 'long-term oscillations' from the congestion
+        window's growth and halving (Reno's halving bounds the peak/trough
+        ratio near 2)."""
+        sim = BottleneckSimulator(rate=200.0, buffer_packets=4)
+        res = sim.run([TransferSpec(0.0, 5000, rtt=0.3, max_window=128)])
+        cw = np.array([c for _, c in res.transfers[0].cwnd_trace])
+        assert cw.max() > 1.5 * cw[len(cw) // 2:].min()
+        # both increases and decreases occur after the first loss
+        diffs = np.diff(cw)
+        assert np.any(diffs > 0) and np.any(diffs < 0)
+
+    def test_self_clocking_spacing(self):
+        """During busy periods, departures are one service time apart."""
+        sim = BottleneckSimulator(rate=100.0, buffer_packets=16)
+        res = sim.run([TransferSpec(0.0, 2000, rtt=0.2, max_window=64)])
+        gaps = np.diff(res.departure_times)
+        busy = gaps[gaps < 0.05]
+        assert busy.size > 100
+        assert np.median(busy) == pytest.approx(0.01, rel=0.05)
+
+    def test_rtt_unfairness(self):
+        """Different connections get different average rates (the paper's
+        point against constant-rate M/G/inf modeling)."""
+        sim = BottleneckSimulator(rate=500.0, buffer_packets=16)
+        res = sim.run([
+            TransferSpec(0.0, 8000, rtt=0.05, max_window=64),
+            TransferSpec(0.0, 8000, rtt=0.2, max_window=64),
+        ])
+        short, long_ = res.transfers
+        assert short.throughput > 1.5 * long_.throughput
+
+    def test_all_packets_delivered(self):
+        sim = BottleneckSimulator(rate=300.0, buffer_packets=10)
+        res = sim.run([TransferSpec(0.0, 3000, rtt=0.1, max_window=48)])
+        t = res.transfers[0]
+        assert t.completion_time is not None
+        # every segment departed the bottleneck at least once
+        assert len(t.departure_times) >= 3000
+
+    def test_departure_interarrivals_not_exponential(self):
+        """Section VI: FTPDATA packet interarrivals are far from
+        exponential — self-clocking and queueing make them so."""
+        sim = BottleneckSimulator(rate=150.0, buffer_packets=12)
+        res = sim.run([TransferSpec(0.0, 4000, rtt=0.15, max_window=64)])
+        gaps = np.diff(res.departure_times)
+        assert not anderson_darling_exponential(gaps[:2000]).passed
+
+    def test_rate_varies_within_connection(self):
+        """Average rate over consecutive windows varies as cwnd varies
+        (choose buffer << bandwidth-delay product so halving the window
+        actually empties the pipe)."""
+        sim = BottleneckSimulator(rate=200.0, buffer_packets=4)
+        res = sim.run([TransferSpec(0.0, 6000, rtt=0.3, max_window=128)])
+        t = np.asarray(res.transfers[0].departure_times)
+        counts, _ = np.histogram(t, bins=np.arange(0.0, t.max(), 2.0))
+        mid = counts[2:-2]
+        assert mid.max() > 1.4 * max(mid.min(), 1)
+
+    def test_horizon_cuts_simulation(self):
+        sim = BottleneckSimulator(rate=100.0, buffer_packets=16)
+        res = sim.run([TransferSpec(0.0, 10**6, rtt=0.1)], horizon=10.0)
+        assert res.departure_times.max() <= 10.0
+        assert res.transfers[0].completion_time is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BottleneckSimulator(rate=0.0)
+        with pytest.raises(ValueError):
+            BottleneckSimulator(rate=1.0, buffer_packets=0)
+        with pytest.raises(ValueError):
+            BottleneckSimulator(rate=1.0).run([])
+        with pytest.raises(ValueError):
+            TransferSpec(0.0, 0)
+
+
+class TestCrossTraffic:
+    def test_cross_traffic_departures_reported(self):
+        from repro.arrivals import homogeneous_poisson
+
+        sim = BottleneckSimulator(rate=200.0, buffer_packets=10)
+        udp = homogeneous_poisson(50.0, 30.0, seed=1)
+        res = sim.run([TransferSpec(0.0, 1000, rtt=0.1)], cross_traffic=udp)
+        assert res.cross_traffic_times.size > 0
+        assert res.cross_traffic_times.size + res.cross_traffic_drops == udp.size
+
+    def test_no_cross_traffic_by_default(self):
+        sim = BottleneckSimulator(rate=200.0, buffer_packets=10)
+        res = sim.run([TransferSpec(0.0, 500, rtt=0.1)])
+        assert res.cross_traffic_times.size == 0
+        assert res.cross_traffic_drops == 0

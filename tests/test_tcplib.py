@@ -1,0 +1,110 @@
+"""Tests that the substitute Tcplib TELNET interarrival table matches every
+property the paper publishes about the real one (Section IV / Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, tail_fit
+from repro.distributions.tcplib import (
+    telnet_connection_bytes,
+    telnet_connection_packets,
+    telnet_packet_interarrival,
+)
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return telnet_packet_interarrival()
+
+
+@pytest.fixture(scope="module")
+def sample(dist):
+    return dist.sample(200000, seed=42)
+
+
+class TestPaperAnchors:
+    def test_under_two_percent_below_8ms(self, dist):
+        assert dist.cdf(0.008) < 0.02
+
+    def test_over_fifteen_percent_above_1s(self, dist):
+        assert dist.sf(1.0) > 0.15
+
+    def test_arithmetic_mean_near_1_1s(self, dist):
+        assert 0.9 < dist.mean < 1.4
+
+    def test_geometric_mean_in_think_time_range(self, dist):
+        assert 0.1 < dist.geometric_mean_value < 0.4
+
+    def test_upper_tail_pareto_shape_near_095(self, sample):
+        fit = tail_fit(sample, tail_fraction=0.03)
+        assert 0.8 < fit.shape < 1.2
+
+    def test_heavier_tail_than_exponential_comparator(self, dist):
+        """The paper: exponential 'grievously underestimates' long gaps."""
+        exp = Exponential(dist.mean)
+        for x in (5.0, 10.0, 30.0):
+            assert dist.sf(x) > exp.sf(x)
+
+    def test_exponential_geometric_fit_crosses_body(self, dist, sample):
+        """Fig. 3: the geometric-mean exponential fit agrees with the data
+        somewhere in the 'think time' body and diverges in both tails."""
+        exp = Exponential.fit_geometric(sample)
+        x = np.geomspace(0.05, 1.0, 200)
+        diff = exp.cdf(x) - dist.cdf(x)
+        assert diff.min() < 0 < diff.max()  # curves cross in the body
+
+    def test_shorter_interarrivals_overestimated_by_exp_fit(self, dist, sample):
+        exp = Exponential.fit_geometric(sample)
+        assert exp.cdf(0.005) > dist.cdf(0.005)
+
+    def test_longer_interarrivals_underestimated_by_exp_fit(self, dist, sample):
+        exp = Exponential.fit_geometric(sample)
+        assert exp.sf(2.0) < dist.sf(2.0)
+
+
+class TestConnectionSizeLaws:
+    def test_packets_log2_normal_centered_at_100(self):
+        d = telnet_connection_packets()
+        assert d.median == pytest.approx(100.0, rel=1e-6)
+
+    def test_bytes_log_extreme_location(self):
+        d = telnet_connection_bytes()
+        assert 2.0**d.alpha == pytest.approx(100.0, rel=1e-6)
+
+    def test_bytes_heavier_than_packets(self):
+        """Section V: the byte law generates much larger sizes than the
+        packet law — the reason the authors refit packets separately."""
+        bytes_d = telnet_connection_bytes()
+        pkts_d = telnet_connection_packets()
+        assert bytes_d.sf(1e5) > pkts_d.sf(1e5)
+
+
+class TestSamplingBehaviour:
+    def test_draws_positive(self, sample):
+        assert np.all(sample > 0)
+
+    def test_packet_count_over_2000s_near_paper(self, dist):
+        """Fig. 4: ~1900-2200 packets from a 2000 s connection."""
+        counts = []
+        for seed in range(5):
+            ia = dist.sample(6000, seed=seed)
+            counts.append(int((np.cumsum(ia) < 2000.0).sum()))
+        assert 1200 < np.mean(counts) < 2400
+
+
+class TestPacketByteLaw:
+    def test_mean_bytes_per_packet_matches_paper(self):
+        """Section V: ~85,000 packets carrying ~139,000 user-data bytes,
+        i.e. ~1.63 bytes per originator packet."""
+        from repro.distributions.tcplib import telnet_packet_bytes
+
+        d = telnet_packet_bytes()
+        assert 1.4 < d.mean < 1.9
+
+    def test_mostly_single_keystrokes(self):
+        from repro.distributions.tcplib import telnet_packet_bytes
+
+        d = telnet_packet_bytes()
+        s = d.sample(20000, seed=1)
+        assert np.mean(s <= 1.5) > 0.7  # most packets carry one keystroke
+        assert s.max() <= 40.0

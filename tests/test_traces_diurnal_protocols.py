@@ -1,0 +1,96 @@
+"""Tests for diurnal profiles and the protocol registry."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    FIG2_PROTOCOLS,
+    REGISTRY,
+    ArrivalNature,
+    hourly_fractions,
+    hourly_profile,
+    hourly_rates,
+    lookup,
+)
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert lookup("telnet").name == "TELNET"
+
+    def test_unknown_protocol(self):
+        with pytest.raises(KeyError):
+            lookup("GOPHER")
+
+    def test_session_protocols_expected_poisson(self):
+        """Section III: only user-session arrivals are Poisson."""
+        for name in ("TELNET", "RLOGIN", "FTP"):
+            assert REGISTRY[name].expected_poisson_sessions
+        for name in ("FTPDATA", "SMTP", "NNTP", "WWW", "X11"):
+            assert not REGISTRY[name].expected_poisson_sessions
+
+    def test_x11_is_within_session(self):
+        """The paper's conjecture: X11 connections arrive within sessions."""
+        assert REGISTRY["X11"].nature is ArrivalNature.WITHIN_SESSION
+
+    def test_fig2_protocols_known(self):
+        for name in FIG2_PROTOCOLS:
+            assert name in REGISTRY
+
+
+class TestDiurnalProfiles:
+    def test_unit_mean(self):
+        for proto in ("TELNET", "FTP", "NNTP", "SMTP", "WWW"):
+            assert hourly_profile(proto).mean() == pytest.approx(1.0)
+
+    def test_fractions_sum_to_one(self):
+        assert hourly_fractions("TELNET").sum() == pytest.approx(1.0)
+
+    def test_telnet_office_hours_with_lunch_dip(self):
+        """Fig. 1: TELNET peaks in office hours, dips at noon."""
+        p = hourly_profile("TELNET")
+        assert p[10] > p[3]  # busier mid-morning than 3 AM
+        assert p[12] < p[11] and p[12] < p[13]  # lunch dip
+
+    def test_ftp_evening_renewal(self):
+        """Fig. 1: FTP shows substantial renewal in the evening hours."""
+        ftp, telnet = hourly_profile("FTP"), hourly_profile("TELNET")
+        assert ftp[20] / ftp.max() > telnet[20] / telnet.max()
+
+    def test_nntp_flat(self):
+        """Fig. 1: NNTP maintains a fairly constant rate, dipping slightly
+        in the early morning."""
+        p = hourly_profile("NNTP")
+        assert p.max() / p.min() < 2.0
+        assert p[4] < p[14]
+
+    def test_smtp_site_shift(self):
+        """Fig. 1: SMTP peaks earlier at the west-coast site."""
+        west, east = hourly_profile("SMTP", "west"), hourly_profile("SMTP", "east")
+        assert int(np.argmax(west)) < int(np.argmax(east))
+
+    def test_unknown_protocol_flat(self):
+        assert np.allclose(hourly_profile("OTHER"), 1.0)
+
+    def test_east_falls_back_to_west(self):
+        assert np.allclose(hourly_profile("TELNET", "east"),
+                           hourly_profile("TELNET", "west"))
+
+
+class TestHourlyRates:
+    def test_mean_rate_preserved(self):
+        rates = hourly_rates("TELNET", 0.5, 48)
+        assert rates.mean() == pytest.approx(0.5, rel=0.01)
+
+    def test_tiles_across_days(self):
+        rates = hourly_rates("TELNET", 1.0, 48)
+        assert np.allclose(rates[:24], rates[24:])
+
+    def test_partial_day(self):
+        assert hourly_rates("FTP", 1.0, 10).size == 10
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            hourly_rates("TELNET", -1.0, 24)
+        with pytest.raises(ValueError):
+            hourly_rates("TELNET", 1.0, -1)

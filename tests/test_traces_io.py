@@ -1,0 +1,132 @@
+"""Round-trip tests for trace I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import (
+    ConnectionRecord,
+    ConnectionTrace,
+    Direction,
+    PacketRecord,
+    PacketTrace,
+    read_connection_trace,
+    read_packet_trace,
+    write_connection_trace,
+    write_packet_trace,
+)
+
+
+class TestConnectionIO:
+    def test_roundtrip(self, tmp_path):
+        recs = [
+            ConnectionRecord(1.25, 3.5, "TELNET", 10, 20, 1, 2, None),
+            ConnectionRecord(0.0, 1.0, "FTPDATA", 0, 512, 3, 4, 7),
+        ]
+        path = tmp_path / "conns.txt"
+        write_connection_trace(ConnectionTrace("x", recs), path)
+        back = read_connection_trace(path)
+        assert len(back) == 2
+        assert back.record(0) == recs[1]  # sorted by start time
+        assert back.record(1) == recs[0]
+
+    def test_name_from_filename(self, tmp_path):
+        path = tmp_path / "LBL-1.txt"
+        write_connection_trace(ConnectionTrace("orig", []), path)
+        assert read_connection_trace(path).name == "LBL-1"
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("not a header\n")
+        with pytest.raises(ValueError):
+            read_connection_trace(p)
+
+    def test_bad_field_count(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("#repro-connections v1\n1.0 2.0 TELNET\n")
+        with pytest.raises(ValueError):
+            read_connection_trace(p)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e5),
+                st.floats(min_value=0, max_value=1e4),
+                st.sampled_from(["TELNET", "FTP", "FTPDATA", "SMTP"]),
+                st.integers(min_value=0, max_value=10**9),
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, rows):
+        import tempfile
+
+        recs = [
+            ConnectionRecord(round(t, 6), round(d, 6), p, b)
+            for t, d, p, b in rows
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/t.txt"
+            write_connection_trace(ConnectionTrace("x", recs), path)
+            back = read_connection_trace(path)
+        assert len(back) == len(recs)
+        assert back.total_bytes() == sum(r.bytes_orig for r in recs)
+
+
+class TestPacketIO:
+    def test_roundtrip(self, tmp_path):
+        pkts = [
+            PacketRecord(0.5, "TELNET", 1, Direction.ORIGINATOR, 1, True),
+            PacketRecord(1.5, "FTPDATA", 2, Direction.RESPONDER, 512, False),
+        ]
+        path = tmp_path / "pkts.txt"
+        write_packet_trace(PacketTrace("x", pkts), path)
+        back = read_packet_trace(path)
+        assert len(back) == 2
+        assert back.record(0) == pkts[0]
+        assert back.record(1) == pkts[1]
+
+    def test_bad_header(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("#repro-connections v1\n")
+        with pytest.raises(ValueError):
+            read_packet_trace(p)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        write_packet_trace(PacketTrace("x", []), path)
+        assert len(read_packet_trace(path)) == 0
+
+
+class TestPacketIOProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e4),
+                st.sampled_from(["TELNET", "FTPDATA"]),
+                st.integers(min_value=0, max_value=10**4),
+                st.booleans(),
+                st.integers(min_value=0, max_value=1500),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, rows):
+        import tempfile
+
+        pkts = [
+            PacketRecord(round(t, 6), proto, cid,
+                         Direction.RESPONDER if flag else Direction.ORIGINATOR,
+                         size, flag)
+            for t, proto, cid, flag, size in rows
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/p.txt"
+            write_packet_trace(PacketTrace("x", pkts), path)
+            back = read_packet_trace(path)
+        assert len(back) == len(pkts)
+        assert int(back.sizes.sum()) == sum(p.size for p in pkts)
+        assert int(back.user_data.sum()) == sum(p.user_data for p in pkts)

@@ -1,0 +1,183 @@
+"""Tests for trace records and containers."""
+
+import numpy as np
+import pytest
+
+from repro.selfsim import CountProcess
+from repro.traces import (
+    ConnectionRecord,
+    ConnectionTrace,
+    Direction,
+    PacketRecord,
+    PacketTrace,
+    interarrival_times,
+)
+
+
+def make_connections():
+    return [
+        ConnectionRecord(10.0, 5.0, "TELNET", bytes_orig=100, bytes_resp=2000),
+        ConnectionRecord(0.0, 2.0, "FTP", session_id=1),
+        ConnectionRecord(1.0, 1.0, "FTPDATA", bytes_resp=5000, session_id=1),
+        ConnectionRecord(3.0, 1.5, "FTPDATA", bytes_resp=7000, session_id=1),
+        ConnectionRecord(20.0, 4.0, "FTPDATA", bytes_resp=100, session_id=2),
+    ]
+
+
+class TestConnectionRecord:
+    def test_end_time_and_total(self):
+        r = ConnectionRecord(5.0, 2.5, "TELNET", bytes_orig=10, bytes_resp=20)
+        assert r.end_time == 7.5
+        assert r.total_bytes == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConnectionRecord(-1.0, 1.0, "TELNET")
+        with pytest.raises(ValueError):
+            ConnectionRecord(0.0, -1.0, "TELNET")
+        with pytest.raises(ValueError):
+            ConnectionRecord(0.0, 1.0, "TELNET", bytes_orig=-5)
+
+
+class TestConnectionTrace:
+    def test_sorted_by_start(self):
+        tr = ConnectionTrace("t", make_connections())
+        assert np.all(np.diff(tr.start_times) >= 0)
+
+    def test_len_and_iter(self):
+        tr = ConnectionTrace("t", make_connections())
+        assert len(tr) == 5
+        assert sum(1 for _ in tr) == 5
+
+    def test_record_roundtrip(self):
+        recs = make_connections()
+        tr = ConnectionTrace("t", recs)
+        got = sorted((tr.record(i) for i in range(len(tr))),
+                     key=lambda r: (r.start_time, r.protocol))
+        want = sorted(recs, key=lambda r: (r.start_time, r.protocol))
+        assert got == want
+
+    def test_arrival_times_by_protocol(self):
+        tr = ConnectionTrace("t", make_connections())
+        assert tr.arrival_times("FTPDATA").tolist() == [1.0, 3.0, 20.0]
+        assert tr.connection_count("TELNET") == 1
+
+    def test_total_bytes(self):
+        tr = ConnectionTrace("t", make_connections())
+        assert tr.total_bytes("FTPDATA") == 12100
+
+    def test_sessions_grouping(self):
+        tr = ConnectionTrace("t", make_connections())
+        groups = tr.sessions("FTPDATA")
+        assert set(groups) == {1, 2}
+        assert groups[1].size == 2
+        assert groups[2].size == 1
+
+    def test_subset(self):
+        tr = ConnectionTrace("t", make_connections())
+        sub = tr.subset(tr.protocol_mask("FTPDATA"), name="sub")
+        assert len(sub) == 3
+        assert sub.name == "sub"
+
+    def test_hourly_counts(self):
+        recs = [ConnectionRecord(3600.0 * h + 10.0, 1.0, "TELNET")
+                for h in (0, 0, 5, 25)]  # hour 25 wraps to hour 1
+        tr = ConnectionTrace("t", recs)
+        counts = tr.hourly_counts("TELNET")
+        assert counts[0] == 2
+        assert counts[1] == 1
+        assert counts[5] == 1
+
+    def test_empty_trace(self):
+        tr = ConnectionTrace("empty", [])
+        assert len(tr) == 0
+        assert tr.duration == 0.0
+
+
+def make_packets():
+    return [
+        PacketRecord(0.5, "TELNET", 1, Direction.ORIGINATOR, 1, True),
+        PacketRecord(0.1, "TELNET", 1, Direction.ORIGINATOR, 0, False),
+        PacketRecord(0.7, "TELNET", 2, Direction.RESPONDER, 10, True),
+        PacketRecord(1.5, "FTPDATA", 3, Direction.RESPONDER, 512, True),
+    ]
+
+
+class TestPacketTrace:
+    def test_sorted(self):
+        pt = PacketTrace("p", make_packets())
+        assert np.all(np.diff(pt.timestamps) >= 0)
+
+    def test_select_protocol_direction_userdata(self):
+        pt = PacketTrace("p", make_packets())
+        telnet_orig = pt.packet_times("TELNET", Direction.ORIGINATOR,
+                                      user_data_only=True)
+        assert telnet_orig.tolist() == [0.5]
+
+    def test_connection_packet_times(self):
+        pt = PacketTrace("p", make_packets())
+        assert pt.connection_packet_times(1).tolist() == [0.1, 0.5]
+
+    def test_count_process(self):
+        pt = PacketTrace("p", make_packets())
+        cp = pt.count_process(1.0, end=2.0)
+        assert isinstance(cp, CountProcess)
+        assert cp.counts.tolist() == [3.0, 1.0]
+
+    def test_connections_mapping(self):
+        pt = PacketTrace("p", make_packets())
+        conns = pt.connections("TELNET")
+        assert set(conns) == {1, 2}
+
+    def test_array_constructor(self):
+        pt = PacketTrace("p", timestamps=[3.0, 1.0, 2.0])
+        assert pt.timestamps.tolist() == [1.0, 2.0, 3.0]
+        assert len(pt) == 3
+
+    def test_record_materialization(self):
+        pt = PacketTrace("p", make_packets())
+        r = pt.record(0)
+        assert isinstance(r, PacketRecord)
+        assert r.timestamp == 0.1
+
+    def test_packet_record_validation(self):
+        with pytest.raises(ValueError):
+            PacketRecord(-1.0, "TELNET", 1)
+        with pytest.raises(ValueError):
+            PacketRecord(0.0, "TELNET", 1, size=-1)
+
+
+def test_interarrival_times_sorts_first():
+    gaps = interarrival_times([5.0, 1.0, 3.0])
+    assert gaps.tolist() == [2.0, 2.0]
+
+
+class TestByteProcess:
+    def test_byte_weighted_counts(self):
+        pt = PacketTrace("p", [
+            PacketRecord(0.2, "FTPDATA", 1, Direction.RESPONDER, 512, True),
+            PacketRecord(0.4, "FTPDATA", 1, Direction.RESPONDER, 256, True),
+            PacketRecord(1.2, "FTPDATA", 1, Direction.RESPONDER, 100, True),
+        ])
+        cp = pt.count_process(1.0, weight_by_size=True, end=2.0)
+        assert cp.counts.tolist() == [768.0, 100.0]
+
+    def test_unweighted_unchanged(self):
+        pt = PacketTrace("p", [
+            PacketRecord(0.2, "FTPDATA", 1, Direction.RESPONDER, 512, True),
+            PacketRecord(1.2, "FTPDATA", 1, Direction.RESPONDER, 100, True),
+        ])
+        cp = pt.count_process(1.0, end=2.0)
+        assert cp.counts.tolist() == [1.0, 1.0]
+
+    def test_bytes_conserved(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        pt = PacketTrace(
+            "p",
+            timestamps=rng.uniform(0, 10, 500),
+            sizes=rng.integers(1, 1000, 500),
+        )
+        cp = pt.count_process(0.5, weight_by_size=True, start=0.0, end=10.0)
+        assert cp.total == pytest.approx(float(pt.sizes.sum()))

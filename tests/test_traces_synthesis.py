@@ -1,0 +1,163 @@
+"""Tests for the synthetic trace suite — the structural claims the rest of
+the reproduction depends on."""
+
+import numpy as np
+import pytest
+
+from repro.stats import evaluate_arrival_process
+from repro.traces import (
+    CONNECTION_TRACE_CONFIGS,
+    PACKET_TRACE_CONFIGS,
+    standard_suite,
+    synthesize_connection_trace,
+    synthesize_packet_trace,
+)
+
+
+class TestConfigs:
+    def test_table1_has_15_traces(self):
+        """Table I: BC, UCB, NC, UK, DEC 1-3, LBL 1-8 = 15 datasets
+        (15 connection traces + 9 packet traces = the paper's 24)."""
+        assert len(CONNECTION_TRACE_CONFIGS) == 15
+
+    def test_table2_has_9_traces(self):
+        """Table II: LBL PKT-1..5 + DEC WRL-1..4 = 9 traces."""
+        assert len(PACKET_TRACE_CONFIGS) == 9
+
+    def test_infos_complete(self):
+        for cfg in CONNECTION_TRACE_CONFIGS.values():
+            assert cfg.info.kind == "connection"
+            assert cfg.info.paper_duration
+        for cfg in PACKET_TRACE_CONFIGS.values():
+            assert cfg.info.kind == "packet"
+
+
+class TestConnectionSynthesis:
+    @pytest.fixture(scope="class")
+    def lbl1(self):
+        return synthesize_connection_trace("LBL-1", seed=1, hours=24)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            synthesize_connection_trace("nope")
+
+    def test_protocol_mix(self, lbl1):
+        protos = set(lbl1.protocol_names)
+        assert {"TELNET", "FTP", "FTPDATA", "SMTP", "NNTP"} <= protos
+
+    def test_reproducible(self):
+        a = synthesize_connection_trace("UK", seed=3, hours=6)
+        b = synthesize_connection_trace("UK", seed=3, hours=6)
+        assert np.array_equal(a.start_times, b.start_times)
+
+    def test_within_horizon(self, lbl1):
+        assert lbl1.start_times.max() < 24 * 3600.0
+
+    def test_telnet_diurnal_pattern(self):
+        tr = synthesize_connection_trace("LBL-2", seed=4, hours=48)
+        counts = tr.hourly_counts("TELNET")
+        assert counts[10] > 2 * counts[3]  # office hours >> pre-dawn
+
+    def test_ftpdata_linked_to_sessions(self, lbl1):
+        groups = lbl1.sessions("FTPDATA")
+        assert len(groups) > 10
+
+    def test_scale_parameter(self):
+        small = synthesize_connection_trace("UK", seed=5, hours=6, scale=0.3)
+        big = synthesize_connection_trace("UK", seed=5, hours=6, scale=1.0)
+        assert len(small) < len(big)
+
+
+class TestStructuralFidelity:
+    """The generated traces must reproduce Section III's dichotomy."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthesize_connection_trace("LBL-3", seed=7, hours=48)
+
+    def test_telnet_poisson_hourly(self, trace):
+        res = evaluate_arrival_process(
+            trace.arrival_times("TELNET"), 3600.0, start=0.0, end=48 * 3600.0
+        )
+        assert res.poisson_consistent
+
+    def test_ftp_sessions_poisson_hourly(self, trace):
+        res = evaluate_arrival_process(
+            trace.arrival_times("FTP"), 3600.0, start=0.0, end=48 * 3600.0
+        )
+        assert res.poisson_consistent
+
+    def test_ftpdata_not_poisson(self, trace):
+        res = evaluate_arrival_process(
+            trace.arrival_times("FTPDATA"), 3600.0, start=0.0, end=48 * 3600.0
+        )
+        assert not res.poisson_consistent
+
+    def test_nntp_not_poisson(self, trace):
+        res = evaluate_arrival_process(
+            trace.arrival_times("NNTP"), 3600.0, start=0.0, end=48 * 3600.0
+        )
+        assert not res.poisson_consistent
+
+    def test_smtp_not_poisson(self, trace):
+        res = evaluate_arrival_process(
+            trace.arrival_times("SMTP"), 3600.0, start=0.0, end=48 * 3600.0
+        )
+        assert not res.poisson_consistent
+
+
+class TestPacketSynthesis:
+    @pytest.fixture(scope="class")
+    def pkt(self):
+        return synthesize_packet_trace("LBL PKT-2", seed=8, hours=0.5)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            synthesize_packet_trace("nope")
+
+    def test_contains_telnet_and_ftpdata(self, pkt):
+        assert pkt.select("TELNET").sum() > 1000
+        assert pkt.select("FTPDATA").sum() > 100
+
+    def test_sorted_within_horizon(self, pkt):
+        assert np.all(np.diff(pkt.timestamps) >= 0)
+        assert pkt.timestamps.max() < 1800.0
+
+    def test_all_trace_includes_non_tcp(self):
+        pkt = synthesize_packet_trace("LBL PKT-4", seed=9, hours=0.25)
+        assert pkt.select("OTHER").sum() > 0
+
+    def test_tcp_only_trace_excludes_non_tcp(self, pkt):
+        assert pkt.select("OTHER").sum() == 0
+
+    def test_telnet_burstier_than_poisson(self, pkt):
+        cp = pkt.count_process(1.0, protocol="TELNET", end=1800.0)
+        assert cp.index_of_dispersion > 1.5
+
+
+class TestSuiteHelpers:
+    def test_standard_suite_subset(self):
+        suite = standard_suite(seed=10, names=["UK", "NC"])
+        assert set(suite) == {"UK", "NC"}
+        assert all(len(tr) > 0 for tr in suite.values())
+
+    def test_suite_independent_seeds(self):
+        suite = standard_suite(seed=11, names=["DEC-1", "DEC-2"])
+        a, b = suite["DEC-1"], suite["DEC-2"]
+        assert not np.array_equal(
+            a.arrival_times("TELNET")[:10], b.arrival_times("TELNET")[:10]
+        )
+
+
+class TestFirewallProxy:
+    def test_wrl_telnet_fewer_heavier_connections(self):
+        """Section II: DEC WRL TELNET 'is dominated by a single,
+        heavily-loaded machine' — fewer but larger connections."""
+        lbl = synthesize_packet_trace("LBL PKT-1", seed=21, hours=1.0)
+        wrl = synthesize_packet_trace("DEC WRL-1", seed=21, hours=1.0)
+        lbl_conns = lbl.connections("TELNET")
+        wrl_conns = wrl.connections("TELNET")
+        assert len(wrl_conns) < len(lbl_conns)
+        lbl_mean = np.mean([t.size for t in lbl_conns.values()])
+        wrl_mean = np.mean([t.size for t in wrl_conns.values()])
+        assert wrl_mean > lbl_mean

@@ -1,0 +1,114 @@
+"""Tests for repro.utils.binning (count processes and aggregation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import aggregate, bin_counts, bin_edges
+
+
+class TestBinEdges:
+    def test_basic(self):
+        edges = bin_edges(0.0, 1.0, 0.25)
+        assert np.allclose(edges, [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_partial_final_bin_dropped(self):
+        edges = bin_edges(0.0, 1.1, 0.25)
+        # 1.1 / 0.25 = 4.4 -> 4 whole bins
+        assert len(edges) == 5
+        assert edges[-1] == pytest.approx(1.0)
+
+    def test_zero_span(self):
+        assert len(bin_edges(5.0, 5.0, 1.0)) == 1
+
+    def test_negative_width_raises(self):
+        with pytest.raises(ValueError):
+            bin_edges(0.0, 1.0, -1.0)
+
+    def test_end_before_start_raises(self):
+        with pytest.raises(ValueError):
+            bin_edges(1.0, 0.0, 0.5)
+
+
+class TestBinCounts:
+    def test_simple_counts(self):
+        counts = bin_counts([0.1, 0.2, 1.5, 2.7], width=1.0, start=0.0, end=3.0)
+        assert counts.tolist() == [2, 1, 1]
+
+    def test_events_outside_window_dropped(self):
+        counts = bin_counts([-1.0, 0.5, 5.0], width=1.0, start=0.0, end=2.0)
+        assert counts.tolist() == [1, 0]
+
+    def test_empty_times(self):
+        assert bin_counts([], width=1.0).size == 0
+
+    def test_total_preserved_within_window(self):
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0, 100, size=1000)
+        counts = bin_counts(times, width=0.5, start=0.0, end=100.0)
+        assert counts.sum() == 1000
+
+    def test_default_window_spans_data(self):
+        counts = bin_counts([1.0, 2.0, 3.0, 4.0], width=1.0)
+        # window [1, 4) -> 3 bins; the event at exactly 4.0 is at the edge
+        assert counts.size == 3
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=99.0), min_size=1, max_size=200),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counts_nonnegative_and_conserved(self, times, width):
+        counts = bin_counts(times, width=width, start=0.0, end=100.0)
+        assert np.all(counts >= 0)
+        in_window = sum(1 for t in times if 0.0 <= t < counts.size * width)
+        assert counts.sum() == in_window
+
+
+class TestAggregate:
+    def test_mean_aggregation(self):
+        out = aggregate([1, 2, 3, 4, 5, 6], level=2)
+        assert out.tolist() == [1.5, 3.5, 5.5]
+
+    def test_sum_aggregation(self):
+        out = aggregate([1, 2, 3, 4], level=2, how="sum")
+        assert out.tolist() == [3.0, 7.0]
+
+    def test_level_one_is_identity(self):
+        data = [3.0, 1.0, 4.0]
+        assert aggregate(data, level=1).tolist() == data
+
+    def test_trailing_partial_block_dropped(self):
+        out = aggregate([1, 2, 3, 4, 5], level=2)
+        assert out.size == 2
+
+    def test_level_larger_than_series(self):
+        assert aggregate([1, 2], level=5).size == 0
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ValueError):
+            aggregate([1, 2], level=0)
+
+    def test_bad_how_raises(self):
+        with pytest.raises(ValueError):
+            aggregate([1, 2], level=1, how="median")
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=4, max_size=100),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sum_aggregation_conserves_mass_over_whole_blocks(self, counts, level):
+        out = aggregate(counts, level=level, how="sum")
+        n = (len(counts) // level) * level
+        assert out.sum() == pytest.approx(sum(counts[:n]))
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=10, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_aggregation_preserves_grand_mean(self, values):
+        level = 5
+        out = aggregate(values, level=level)
+        n = (len(values) // level) * level
+        if n:
+            assert out.mean() == pytest.approx(np.mean(values[:n]))

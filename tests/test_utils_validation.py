@@ -1,0 +1,58 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    require_in_range,
+    require_nonnegative,
+    require_positive,
+    require_probability,
+    require_sorted,
+)
+
+
+def test_require_positive_accepts():
+    assert require_positive(0.5, "x") == 0.5
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+def test_require_positive_rejects(bad):
+    with pytest.raises(ValueError):
+        require_positive(bad, "x")
+
+
+def test_require_nonnegative():
+    assert require_nonnegative(0.0, "x") == 0.0
+    with pytest.raises(ValueError):
+        require_nonnegative(-0.1, "x")
+
+
+def test_require_in_range_inclusive():
+    assert require_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+
+def test_require_in_range_exclusive():
+    with pytest.raises(ValueError):
+        require_in_range(1.0, "x", 0.0, 1.0, inclusive=False)
+
+
+def test_require_probability():
+    assert require_probability(0.95, "p") == 0.95
+    with pytest.raises(ValueError):
+        require_probability(1.2, "p")
+
+
+def test_require_sorted_ok():
+    out = require_sorted([1.0, 1.0, 2.0], "x")
+    assert isinstance(out, np.ndarray)
+
+
+def test_require_sorted_rejects_decreasing():
+    with pytest.raises(ValueError):
+        require_sorted([2.0, 1.0], "x")
+
+
+def test_require_sorted_rejects_2d():
+    with pytest.raises(ValueError):
+        require_sorted(np.zeros((2, 2)), "x")

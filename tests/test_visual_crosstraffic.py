@@ -1,0 +1,111 @@
+"""Tests for the visual self-similarity metric and self-similar
+cross-traffic generation (Section VII-D)."""
+
+import numpy as np
+import pytest
+
+from repro.arrivals import (
+    homogeneous_poisson,
+    pareto_renewal_counts,
+    self_similar_cross_traffic,
+)
+from repro.queueing import fifo_queue
+from repro.selfsim import (
+    CountProcess,
+    fgn_sample,
+    standardized_aggregate,
+    visual_self_similarity,
+    whittle_estimate,
+)
+
+
+class TestStandardizedAggregate:
+    def test_zero_mean_unit_sd(self):
+        rng = np.random.default_rng(1)
+        z = standardized_aggregate(rng.poisson(10, 5000).astype(float), 5)
+        assert z.mean() == pytest.approx(0.0, abs=1e-9)
+        assert z.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_raises(self):
+        with pytest.raises(ValueError):
+            standardized_aggregate(np.ones(100), 2)
+
+
+class TestVisualSimilarity:
+    def test_fgn_more_self_similar_than_poisson(self):
+        """The Figs. 14-15 / [28] argument, quantified."""
+        x_fgn = fgn_sample(65536, 0.85, seed=1) + 20.0
+        rng = np.random.default_rng(2)
+        x_poi = rng.poisson(20, 65536).astype(float)
+        s_fgn = visual_self_similarity(x_fgn).score
+        s_poi = visual_self_similarity(x_poi).score
+        assert s_fgn < 0.6 * s_poi
+
+    def test_pareto_renewal_keeps_its_look(self):
+        """Appendix C's pseudo-self-similar counts keep a similar burst
+        marginal across scales."""
+        counts = pareto_renewal_counts(40000, 50.0, shape=1.0, seed=3)
+        res = visual_self_similarity(counts.astype(float), levels=(1, 4, 16))
+        assert res.score < 0.5
+
+    def test_accepts_count_process(self):
+        x = fgn_sample(8192, 0.7, seed=4) + 10.0
+        res = visual_self_similarity(CountProcess(x, 0.1), levels=(1, 4))
+        assert res.pairwise_distances.size == 1
+
+    def test_rows(self):
+        x = fgn_sample(8192, 0.7, seed=5) + 10.0
+        rows = visual_self_similarity(x, levels=(1, 2, 4)).rows()
+        assert rows[0]["level_from"] == 1 and rows[1]["level_to"] == 4
+
+    def test_validation(self):
+        x = fgn_sample(1024, 0.7, seed=6) + 10.0
+        with pytest.raises(ValueError):
+            visual_self_similarity(x, levels=(4, 1))
+        with pytest.raises(ValueError):
+            visual_self_similarity(x, levels=(1,))
+        with pytest.raises(ValueError):
+            visual_self_similarity(x, levels=(1, 512))  # too coarse
+
+
+class TestCrossTraffic:
+    def test_mean_rate_near_target(self):
+        t = self_similar_cross_traffic(40.0, 3000.0, seed=1)
+        assert len(t) / 3000.0 == pytest.approx(40.0, rel=0.2)
+
+    def test_counts_inherit_hurst(self):
+        t = self_similar_cross_traffic(50.0, 4000.0, hurst=0.9,
+                                       burstiness=0.5, seed=2)
+        cp = CountProcess.from_times(t, 1.0, start=0.0, end=4000.0)
+        assert whittle_estimate(cp.counts).hurst > 0.75
+
+    def test_zero_burstiness_is_poisson(self):
+        t = self_similar_cross_traffic(50.0, 4000.0, burstiness=0.0, seed=3)
+        cp = CountProcess.from_times(t, 1.0, start=0.0, end=4000.0)
+        assert cp.index_of_dispersion == pytest.approx(1.0, abs=0.15)
+        assert whittle_estimate(cp.counts).hurst < 0.62
+
+    def test_sorted_in_window(self):
+        t = self_similar_cross_traffic(10.0, 500.0, seed=4)
+        assert np.all(np.diff(t) >= 0)
+        assert np.all((t >= 0) & (t < 500.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self_similar_cross_traffic(0.0, 10.0)
+        with pytest.raises(ValueError):
+            self_similar_cross_traffic(1.0, 10.0, hurst=1.0)
+        with pytest.raises(ValueError):
+            self_similar_cross_traffic(1.0, 10.0, burstiness=-1.0)
+
+    def test_lrd_cross_traffic_inflates_queueing_delay(self):
+        """Section VII-D's use case, closing the loop with Section VIII:
+        at equal mean load, LRD cross-traffic queues far worse."""
+        duration = 4000.0
+        t_lrd = self_similar_cross_traffic(50.0, duration, hurst=0.9,
+                                           burstiness=0.6, seed=5)
+        t_poi = homogeneous_poisson(len(t_lrd) / duration, duration, seed=6)
+        service = 0.85 / (len(t_lrd) / duration)  # 85% load for both
+        d_lrd = fifo_queue(t_lrd, service)
+        d_poi = fifo_queue(t_poi, service)
+        assert d_lrd.mean_delay > 2.0 * d_poi.mean_delay
