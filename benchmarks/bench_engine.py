@@ -1,0 +1,61 @@
+"""Benchmarks for the experiment engine: cold vs. warm cache, pool dispatch.
+
+The acceptance bar for the engine is that a warm-cache rerun replays an
+experiment battery in a small fraction of its cold wall time, and that
+parallel dispatch returns the same outputs as the serial path.  These
+benches measure both on a trio of sub-second experiments so the harness
+stays quick.
+"""
+
+import numpy as np
+
+from repro.engine import ResultCache, run_experiments
+from repro.selfsim import CountProcess, slope_bootstrap
+
+FAST = ["fig03", "fig04", "weathermap"]
+
+
+def test_engine_cold_run(benchmark, tmp_path):
+    cache = ResultCache(tmp_path)
+
+    def cold():
+        cache.clear()
+        return run_experiments(FAST, master_seed=0, cache=cache)
+
+    report = benchmark.pedantic(cold, iterations=1, rounds=1, warmup_rounds=0)
+    assert report.ok
+    assert all(r.metrics.cache == "miss" for r in report.runs)
+
+
+def test_engine_warm_run(benchmark, tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = run_experiments(FAST, master_seed=0, cache=cache)
+
+    warm = benchmark(
+        lambda: run_experiments(FAST, master_seed=0, cache=cache)
+    )
+    assert all(r.metrics.cache == "hit" for r in warm.runs)
+    assert warm.outputs() == cold.outputs()
+    # the whole point of the cache: warm replay is a tiny fraction of cold
+    assert warm.total_wall_s < 0.2 * cold.total_wall_s
+
+
+def test_engine_parallel_dispatch(benchmark, tmp_path):
+    def parallel():
+        return run_experiments(
+            FAST, master_seed=0, jobs=2,
+            cache=ResultCache(tmp_path / "p"), use_cache=False,
+        )
+
+    report = benchmark.pedantic(parallel, iterations=1, rounds=1,
+                                warmup_rounds=0)
+    assert report.ok
+
+
+def test_kernel_slope_bootstrap(benchmark):
+    """The vectorized variance-time bootstrap (one gather, no per-replicate
+    concatenates)."""
+    rng = np.random.default_rng(12)
+    cp = CountProcess(rng.poisson(8, 20000).astype(float), 0.5)
+    point, (lo, hi) = benchmark(slope_bootstrap, cp, n_boot=200, seed=3)
+    assert lo <= point <= hi

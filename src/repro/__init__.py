@@ -27,14 +27,18 @@ Subpackages
     the FULL-TEL source model, and the FTPDATA burst model.
 ``repro.experiments``
     One module per table/figure; each returns the printed rows/series.
+``repro.engine``
+    Process-pool experiment runner with per-experiment seed derivation,
+    a content-keyed on-disk result cache, and BENCH_*.json metrics.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "arrivals",
     "core",
     "distributions",
+    "engine",
     "experiments",
     "queueing",
     "selfsim",

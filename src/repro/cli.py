@@ -2,22 +2,42 @@
 
 Usage::
 
-    python -m repro list                 # show available experiments
-    python -m repro run fig09            # regenerate one table/figure
+    python -m repro list                  # show available experiments
+    python -m repro run fig09             # regenerate one table/figure
     python -m repro run fig02 --seed 7
-    python -m repro run all              # the whole battery
+    python -m repro run all               # the whole battery
+    python -m repro run all --jobs 4      # ... on a process pool
+    python -m repro run all --json        # machine-readable metrics
+    python -m repro run all --out bench/  # write BENCH_*.json files
+    python -m repro cache clear           # drop the on-disk result cache
 
 Each experiment prints the rows/series the paper's table or figure reports
-(see EXPERIMENTS.md for the paper-vs-measured record).
+(see EXPERIMENTS.md for the paper-vs-measured record).  Runs go through
+:mod:`repro.engine`: results are cached on disk keyed on (experiment, seed,
+source digest), so an unchanged experiment replays instantly; the per-
+experiment footer always shows *compute* time, making a warm replay
+byte-identical to the cold run that produced it.  ``--no-cache`` forces
+recomputation, ``--jobs N`` spreads cache misses over N worker processes
+(outputs are independent of N), and ``--spawn-seeds`` derives statistically
+independent per-experiment streams from the master seed instead of handing
+every experiment the same integer.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 
+from repro.engine import ResultCache, run_experiments, write_bench_files
 from repro.experiments import REGISTRY
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -27,23 +47,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    cache = sub.add_parser("cache", help="manage the on-disk result cache")
+    cache.add_argument("action", choices=["clear", "dir"],
+                       help="clear entries or print the cache directory")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", help="registry name, e.g. fig09, or 'all'")
     run.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    run.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                     help="worker processes for cache misses (default 1)")
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="print BENCH-shaped JSON metrics instead of tables")
+    run.add_argument("--no-cache", action="store_true",
+                     help="recompute everything; skip cache reads and writes")
+    run.add_argument("--out", default=None, metavar="DIR",
+                     help="write per-experiment BENCH_*.json files into DIR")
+    run.add_argument("--cache-dir", default=None,
+                     help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    run.add_argument("--spawn-seeds", action="store_true",
+                     help="independent per-experiment streams spawned from "
+                          "the master seed (changes outputs vs. the legacy "
+                          "same-integer-everywhere seeding)")
     return parser
 
 
 def run_experiment(name: str, seed: int) -> int:
+    """Back-compat single-experiment entry point (serial, uncached)."""
     if name not in REGISTRY:
         print(f"unknown experiment {name!r}; try 'list'", file=sys.stderr)
         return 2
-    fn = REGISTRY[name]
-    t0 = time.perf_counter()
-    result = fn(seed=seed)
-    elapsed = time.perf_counter() - t0
-    print(result.render())
-    print(f"[{name}: {elapsed:.1f}s]")
-    return 0
+    report = run_experiments([name], master_seed=seed, use_cache=False,
+                             derive_seeds=False)
+    _print_runs(report)
+    return 0 if report.ok else 1
+
+
+def _print_runs(report, *, headers: bool = False) -> None:
+    for run in report.runs:
+        if headers:
+            print(f"=== {run.name} ===")
+        if run.ok:
+            print(run.rendered)
+            print(f"[{run.name}: {run.metrics.compute_time_s:.1f}s]")
+        else:
+            print(f"{run.name} failed: {run.metrics.error}", file=sys.stderr)
+        if headers:
+            print()
+
+
+def _run_command(args) -> int:
+    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; try 'list'", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    report = run_experiments(
+        names,
+        master_seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+        use_cache=not args.no_cache,
+        derive_seeds=args.spawn_seeds,
+    )
+    summary = report.summary()
+    if args.out:
+        write_bench_files(summary, args.out)
+    if args.as_json:
+        print(json.dumps(summary, indent=2))
+        for run in report.runs:
+            if not run.ok:
+                print(f"{run.name} failed: {run.metrics.error}",
+                      file=sys.stderr)
+    else:
+        _print_runs(report, headers=args.experiment == "all")
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,14 +133,14 @@ def main(argv: list[str] | None = None) -> int:
             summary = doc[0] if doc else ""
             print(f"{name:18s} {summary}")
         return 0
-    if args.experiment == "all":
-        status = 0
-        for name in sorted(REGISTRY):
-            print(f"=== {name} ===")
-            status |= run_experiment(name, args.seed)
-            print()
-        return status
-    return run_experiment(args.experiment, args.seed)
+    if args.command == "cache":
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+        if args.action == "dir":
+            print(cache.root)
+        else:
+            print(f"removed {cache.clear()} cached results from {cache.root}")
+        return 0
+    return _run_command(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -1,0 +1,45 @@
+"""Parallel experiment engine: process-pool execution, per-experiment seed
+derivation, content-keyed result caching, and ``BENCH_*.json`` metrics.
+
+Entry point::
+
+    from repro.engine import run_experiments
+
+    report = run_experiments(["fig02", "fig09"], master_seed=0, jobs=4)
+    print(report.outputs()["fig09"])     # rendered table, cached next time
+    report.summary()                     # machine-readable metrics
+"""
+
+from repro.engine.cache import (
+    CacheEntry,
+    ResultCache,
+    clear_digest_caches,
+    default_cache_dir,
+    dependency_closure,
+    source_digest,
+)
+from repro.engine.metrics import (
+    ExperimentMetrics,
+    summary_payload,
+    write_bench_files,
+)
+from repro.engine.runner import EngineReport, ExperimentRun, run_experiments
+from repro.engine.seeds import derived_seeds, registry_index, seed_token
+
+__all__ = [
+    "CacheEntry",
+    "EngineReport",
+    "ExperimentMetrics",
+    "ExperimentRun",
+    "ResultCache",
+    "clear_digest_caches",
+    "default_cache_dir",
+    "dependency_closure",
+    "derived_seeds",
+    "registry_index",
+    "run_experiments",
+    "seed_token",
+    "source_digest",
+    "summary_payload",
+    "write_bench_files",
+]

@@ -1,0 +1,212 @@
+"""Content-keyed on-disk result cache for the experiment engine.
+
+A cache entry is keyed on three things: the experiment name, a seed token
+(the exact seed material the experiment ran with), and a *source digest* —
+a hash of the experiment module's transitive import closure within the
+``repro`` package.  Editing any module an experiment depends on therefore
+invalidates exactly the affected entries: touching ``selfsim/whittle.py``
+re-runs the Hurst experiments but leaves the Fig. 9 burst results warm.
+
+The dependency graph is recovered statically (an AST walk over every module
+under ``src/repro``), so digests are available without importing anything
+beyond the package itself and never execute experiment code.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+import repro
+
+_PACKAGE = "repro"
+_CACHE_ENV = "REPRO_CACHE_DIR"
+#: Bump when the entry layout changes; old entries then miss instead of
+#: unpickling into the wrong shape.
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get(_CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / _PACKAGE
+
+
+def package_root() -> Path:
+    return Path(repro.__file__).resolve().parent
+
+
+@lru_cache(maxsize=1)
+def _module_files(root_key: str) -> dict[str, Path]:
+    """Map every importable ``repro.*`` module name to its source file."""
+    root = Path(root_key)
+    modules: dict[str, Path] = {}
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root.parent)
+        parts = list(rel.with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        modules[".".join(parts)] = path
+    return modules
+
+
+def _imports_of(path: Path, module: str, known: dict[str, Path]) -> set[str]:
+    """``repro.*`` modules imported by one source file (absolute + relative)."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    package = module if path.name == "__init__.py" else module.rpartition(".")[0]
+    found: set[str] = set()
+
+    def resolve(name: str) -> None:
+        # `from repro.x import y` may bind the submodule repro.x.y or a
+        # symbol defined in repro.x; accept whichever actually is a module.
+        if name in known:
+            found.add(name)
+        else:
+            parent = name.rpartition(".")[0]
+            if parent in known:
+                found.add(parent)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == _PACKAGE:
+                    resolve(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import
+                base = package.split(".")
+                if node.level > 1:
+                    base = base[: -(node.level - 1)]
+                prefix = ".".join(base)
+                stem = f"{prefix}.{node.module}" if node.module else prefix
+            elif node.module and node.module.split(".")[0] == _PACKAGE:
+                stem = node.module
+            else:
+                continue
+            for alias in node.names:
+                resolve(f"{stem}.{alias.name}")
+            resolve(stem)
+    return found
+
+
+@lru_cache(maxsize=1)
+def _dependency_graph(root_key: str) -> dict[str, frozenset[str]]:
+    known = _module_files(root_key)
+    return {
+        mod: frozenset(_imports_of(path, mod, known))
+        for mod, path in known.items()
+    }
+
+
+def dependency_closure(module: str) -> frozenset[str]:
+    """Transitive ``repro.*`` import closure of ``module`` (inclusive)."""
+    root_key = str(package_root())
+    graph = _dependency_graph(root_key)
+    if module not in graph:
+        raise KeyError(f"unknown module {module!r}")
+    seen: set[str] = set()
+    stack = [module]
+    while stack:
+        mod = stack.pop()
+        if mod in seen:
+            continue
+        seen.add(mod)
+        stack.extend(graph.get(mod, ()))
+    return frozenset(seen)
+
+
+@lru_cache(maxsize=256)
+def source_digest(module: str) -> str:
+    """Hex digest of the sources in ``module``'s dependency closure.
+
+    Any edit to any file in the closure changes the digest; files outside
+    the closure leave it untouched, so cache invalidation is exact.
+    Modules defined outside the ``repro`` tree (e.g. ad-hoc experiments
+    registered by tests) digest to a name-only marker: their entries are
+    keyed on name and seed alone, with no source tracking.
+    """
+    files = _module_files(str(package_root()))
+    if module not in files:
+        return f"external:{module}"
+    h = hashlib.sha256()
+    for mod in sorted(dependency_closure(module)):
+        h.update(mod.encode())
+        h.update(b"\0")
+        h.update(files[mod].read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def clear_digest_caches() -> None:
+    """Forget memoized graphs/digests (after editing sources in-process)."""
+    _module_files.cache_clear()
+    _dependency_graph.cache_clear()
+    source_digest.cache_clear()
+
+
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached experiment run."""
+
+    name: str
+    seed_token: str
+    digest: str
+    rendered: str
+    result: object
+    compute_time_s: float
+    created_at: float = field(default_factory=time.time)
+    format: int = CACHE_FORMAT
+
+
+class ResultCache:
+    """Pickle-per-entry cache under one root directory."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def key(self, name: str, seed_token: str, digest: str) -> str:
+        h = hashlib.sha256(f"{name}\0{seed_token}\0{digest}".encode())
+        return f"{name}-{h.hexdigest()[:24]}"
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> CacheEntry | None:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+        except Exception:
+            return None  # corrupt/stale entries behave as misses
+        if not isinstance(entry, CacheEntry) or entry.format != CACHE_FORMAT:
+            return None
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self._path(key).with_suffix(f".{os.getpid()}.tmp")
+        with tmp.open("wb") as fh:
+            pickle.dump(entry, fh)
+        os.replace(tmp, self._path(key))
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        if not self.root.exists():
+            return 0
+        removed = 0
+        for path in self.root.glob("*.pkl"):
+            path.unlink()
+            removed += 1
+        return removed

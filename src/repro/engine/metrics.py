@@ -1,0 +1,71 @@
+"""Structured per-experiment metrics, emitted in the ``BENCH_*.json`` shape.
+
+Every engine run yields one record per experiment — wall time, cache
+hit/miss, worker id, seed material — serializable as JSON so regressions
+can be tracked by machines rather than eyeballs.  ``write_bench_files``
+lays the records out as one ``BENCH_<experiment>.json`` per experiment plus
+a ``BENCH_summary.json`` roll-up.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class ExperimentMetrics:
+    """Machine-readable record of one experiment execution."""
+
+    name: str
+    seed_token: str
+    digest: str
+    wall_time_s: float      # time this run spent on the experiment
+    compute_time_s: float   # time the result took to compute (cached or not)
+    cache: str              # "hit" | "miss" | "off"
+    worker: str             # e.g. "pid-4242"
+    status: str             # "ok" | "error"
+    error: str | None = None
+
+    def payload(self) -> dict:
+        return {"bench": self.name, "unit": "s", **asdict(self)}
+
+
+def summary_payload(
+    metrics: Iterable[ExperimentMetrics],
+    *,
+    master_seed: int,
+    jobs: int,
+    derive_seeds: bool,
+    total_wall_s: float,
+) -> dict:
+    records = [m.payload() for m in metrics]
+    return {
+        "bench": "repro-run",
+        "unit": "s",
+        "master_seed": master_seed,
+        "jobs": jobs,
+        "derive_seeds": derive_seeds,
+        "total_wall_s": total_wall_s,
+        "n_experiments": len(records),
+        "cache_hits": sum(1 for r in records if r["cache"] == "hit"),
+        "failures": sum(1 for r in records if r["status"] == "error"),
+        "experiments": records,
+    }
+
+
+def write_bench_files(summary: dict, out_dir: Path | str) -> list[Path]:
+    """Write ``BENCH_<name>.json`` per experiment + ``BENCH_summary.json``."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for record in summary["experiments"]:
+        path = out / f"BENCH_{record['bench']}.json"
+        path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        written.append(path)
+    path = out / "BENCH_summary.json"
+    path.write_text(json.dumps(summary, indent=2) + "\n", encoding="utf-8")
+    written.append(path)
+    return written

@@ -70,4 +70,14 @@ REGISTRY = {
     "x11_sessions": x11_sessions,
 }
 
-__all__ = ["REGISTRY"] + sorted(REGISTRY)
+def registry_modules() -> dict[str, str]:
+    """Experiment name -> defining module (``repro.experiments.figNN``).
+
+    The engine's result cache digests each experiment's module plus its
+    transitive import closure; centralizing the lookup here keeps the cache
+    in lockstep with however the registry is populated.
+    """
+    return {name: fn.__module__ for name, fn in REGISTRY.items()}
+
+
+__all__ = ["REGISTRY", "registry_modules"] + sorted(REGISTRY)

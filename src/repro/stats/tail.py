@@ -83,11 +83,21 @@ def exponential_top_share(fraction: float) -> float:
 
 
 def empirical_ccdf(samples) -> tuple[np.ndarray, np.ndarray]:
-    """(x, P[X > x]) at the sample points, for log-log tail plots."""
+    """Empirical survival curve at the sample points, for log-log tail plots.
+
+    Uses the ``(n - i + 1) / n`` plotting convention (survival evaluated
+    just *below* each order statistic), so every returned probability is
+    strictly positive: the largest sample gets ``1/n`` rather than 0, which
+    would become ``-inf`` on the paper's log-log tail plots (Figs. 3/8) and
+    silently drop the single deepest tail point — the most informative one
+    for β estimation.  With tied samples each tied point keeps its own
+    plotting position; all positions remain in ``(0, 1]`` and nonincreasing.
+    """
     x = np.sort(np.asarray(samples, dtype=float))
     if x.size == 0:
         raise ValueError("empty sample")
-    sf = 1.0 - np.arange(1, x.size + 1) / x.size
+    n = x.size
+    sf = (n - np.arange(1, n + 1) + 1) / n
     return x, sf
 
 

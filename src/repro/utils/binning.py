@@ -21,11 +21,18 @@ def bin_edges(start: float, end: float, width: float) -> np.ndarray:
 
     The final bin is dropped if it would extend past ``end``; the analysis in
     the paper always uses whole bins (72 000 bins of 0.1 s for a 2 h trace).
+    When ``end > start`` there is always at least one bin, even if the window
+    is narrower than ``width`` — the single bin then extends past ``end`` so
+    that no in-window event can fall outside every bin.  A zero-span window
+    (``end == start``) has no bins; ``bin_counts`` widens it when events are
+    present.
     """
     require_positive(width, "width")
     if end < start:
         raise ValueError(f"end ({end}) must be >= start ({start})")
     n_bins = int(np.floor((end - start) / width + 1e-9))
+    if n_bins == 0 and end > start:
+        n_bins = 1
     return start + width * np.arange(n_bins + 1)
 
 
@@ -51,7 +58,10 @@ def bin_counts(
 
     Returns
     -------
-    Integer array of per-bin event counts (possibly empty).
+    Integer array of per-bin event counts.  Whenever at least one event lies
+    inside the window there is at least one bin, so in-window events are
+    never silently dropped — including windows narrower than ``width`` and
+    the degenerate ``end == start`` window with events at that instant.
     """
     arr = np.asarray(times, dtype=float)
     if arr.size == 0:
@@ -60,7 +70,11 @@ def bin_counts(
     hi = float(arr.max()) if end is None else float(end)
     edges = bin_edges(lo, hi, width)
     if len(edges) < 2:
-        return np.zeros(0, dtype=np.int64)
+        # Zero-span window: a single bin anchored at lo still captures any
+        # event sitting exactly at that instant (e.g. all timestamps equal).
+        if not np.any((arr >= lo) & (arr <= hi)):
+            return np.zeros(0, dtype=np.int64)
+        edges = np.array([lo, lo + width])
     counts, _ = np.histogram(arr, bins=edges)
     return counts.astype(np.int64)
 

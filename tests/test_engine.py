@@ -1,0 +1,317 @@
+"""Tests for the parallel experiment engine (repro.engine)."""
+
+import json
+import pickle
+import shutil
+
+import numpy as np
+import pytest
+
+import repro.engine.cache as cache_mod
+from repro.cli import main
+from repro.engine import (
+    CacheEntry,
+    ResultCache,
+    clear_digest_caches,
+    dependency_closure,
+    derived_seeds,
+    registry_index,
+    run_experiments,
+    seed_token,
+    source_digest,
+    summary_payload,
+    write_bench_files,
+)
+from repro.experiments import REGISTRY, registry_modules
+
+#: Sub-second experiments (see the timing footer of `run all`), so the
+#: engine suite stays cheap while still running real registry entries.
+FAST = ["fig03", "fig04", "weathermap"]
+
+
+class TestDependencyClosure:
+    def test_includes_itself_and_direct_imports(self):
+        closure = dependency_closure("repro.experiments.fig03")
+        assert "repro.experiments.fig03" in closure
+        assert "repro.distributions.tcplib" in closure
+
+    def test_transitive(self):
+        # fig03 -> distributions.tcplib -> distributions.empirical
+        closure = dependency_closure("repro.experiments.fig03")
+        assert "repro.distributions.empirical" in closure
+
+    def test_excludes_unrelated_subsystems(self):
+        closure = dependency_closure("repro.stats.tail")
+        assert "repro.tcp.network" not in closure
+        assert "repro.queueing.simulator" not in closure
+
+    def test_unknown_module_raises(self):
+        with pytest.raises(KeyError):
+            dependency_closure("repro.not_a_module")
+
+    def test_registry_modules_all_digestible(self):
+        for name, module in registry_modules().items():
+            digest = source_digest(module)
+            assert len(digest) == 64, (name, digest)
+
+
+class TestSourceDigest:
+    @pytest.fixture
+    def sandbox(self, tmp_path, monkeypatch):
+        """A throwaway copy of the package tree so digests can watch edits."""
+        root = tmp_path / "repro"
+        shutil.copytree(cache_mod.package_root(), root)
+        monkeypatch.setattr(cache_mod, "package_root", lambda: root)
+        clear_digest_caches()
+        yield root
+        clear_digest_caches()
+
+    def test_edit_in_closure_changes_digest(self, sandbox):
+        before = source_digest("repro.experiments.fig03")
+        target = sandbox / "distributions" / "tcplib.py"
+        target.write_text(target.read_text() + "\n# touched\n")
+        clear_digest_caches()
+        assert source_digest("repro.experiments.fig03") != before
+
+    def test_edit_outside_closure_preserves_digest(self, sandbox):
+        before = source_digest("repro.experiments.fig03")
+        target = sandbox / "tcp" / "network.py"
+        target.write_text(target.read_text() + "\n# touched\n")
+        clear_digest_caches()
+        assert source_digest("repro.experiments.fig03") == before
+
+    def test_external_module_gets_marker(self):
+        assert source_digest("some.test.module") == "external:some.test.module"
+
+
+class TestSeeds:
+    def test_subset_matches_full_run(self):
+        """`run fig09` must hand fig09 the same stream as `run all`."""
+        solo = derived_seeds(0, ["fig09"])["fig09"]
+        full = derived_seeds(0, sorted(REGISTRY))["fig09"]
+        assert np.array_equal(
+            solo.integers(0, 2**31, 16), full.integers(0, 2**31, 16)
+        )
+
+    def test_streams_are_distinct_across_experiments(self):
+        seeds = derived_seeds(0, ["fig03", "fig09"])
+        a = seeds["fig03"].integers(0, 2**31, 16)
+        b = seeds["fig09"].integers(0, 2**31, 16)
+        assert not np.array_equal(a, b)
+
+    def test_master_seed_changes_streams(self):
+        a = derived_seeds(0, ["fig09"])["fig09"].integers(0, 2**31, 16)
+        b = derived_seeds(1, ["fig09"])["fig09"].integers(0, 2**31, 16)
+        assert not np.array_equal(a, b)
+
+    def test_tokens(self):
+        assert seed_token(7, "fig09", derive=False) == "master:7"
+        idx = registry_index("fig09")
+        assert seed_token(7, "fig09", derive=True) == f"spawn:7:{idx}"
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            registry_index("nope")
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = CacheEntry(
+            name="fig03", seed_token="master:0", digest="d",
+            rendered="table", result={"rows": [1, 2]}, compute_time_s=1.5,
+        )
+        key = cache.key("fig03", "master:0", "d")
+        assert cache.get(key) is None
+        cache.put(key, entry)
+        got = cache.get(key)
+        assert got.rendered == "table"
+        assert got.result == {"rows": [1, 2]}
+        assert got.compute_time_s == 1.5
+
+    def test_key_varies_with_each_component(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = cache.key("fig03", "master:0", "d")
+        assert cache.key("fig04", "master:0", "d") != base
+        assert cache.key("fig03", "master:1", "d") != base
+        assert cache.key("fig03", "master:0", "e") != base
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("fig03", "master:0", "d")
+        cache.root.mkdir(parents=True, exist_ok=True)
+        (cache.root / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("fig03", "master:0", "d")
+        cache.root.mkdir(parents=True, exist_ok=True)
+        (cache.root / f"{key}.pkl").write_bytes(pickle.dumps({"old": "shape"}))
+        assert cache.get(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = CacheEntry("a", "s", "d", "r", None, 0.0)
+        cache.put(cache.key("a", "s", "d"), entry)
+        cache.put(cache.key("b", "s", "d"), entry)
+        assert cache.clear() == 2
+        assert cache.clear() == 0
+
+
+class TestRunner:
+    def test_matches_direct_call_with_master_seed(self, tmp_path):
+        report = run_experiments(
+            ["fig03"], master_seed=0, cache=ResultCache(tmp_path),
+            derive_seeds=False,
+        )
+        assert report.outputs()["fig03"] == REGISTRY["fig03"](seed=0).render()
+
+    def test_parallel_output_identical_to_serial(self, tmp_path):
+        serial = run_experiments(
+            FAST, master_seed=3, jobs=1,
+            cache=ResultCache(tmp_path / "serial"), derive_seeds=True,
+        )
+        parallel = run_experiments(
+            FAST, master_seed=3, jobs=2,
+            cache=ResultCache(tmp_path / "parallel"), derive_seeds=True,
+        )
+        assert serial.outputs() == parallel.outputs()
+        assert all(r.ok for r in parallel.runs)
+
+    def test_warm_cache_hits_and_replays(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_experiments(FAST, master_seed=0, cache=cache)
+        warm = run_experiments(FAST, master_seed=0, cache=cache)
+        assert [r.metrics.cache for r in cold.runs] == ["miss"] * len(FAST)
+        assert [r.metrics.cache for r in warm.runs] == ["hit"] * len(FAST)
+        assert warm.outputs() == cold.outputs()
+        # replayed compute time is the cold run's, so footers stay identical
+        assert [r.metrics.compute_time_s for r in warm.runs] == [
+            r.metrics.compute_time_s for r in cold.runs
+        ]
+
+    def test_seed_isolation_in_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiments(["fig03"], master_seed=0, cache=cache)
+        other = run_experiments(["fig03"], master_seed=1, cache=cache)
+        assert other.runs[0].metrics.cache == "miss"
+
+    def test_no_cache_mode(self, tmp_path):
+        report = run_experiments(
+            ["fig03"], master_seed=0, cache=ResultCache(tmp_path),
+            use_cache=False,
+        )
+        assert report.runs[0].metrics.cache == "off"
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_failure_is_reported_not_raised(self, tmp_path, monkeypatch):
+        def boom(seed=0):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setitem(REGISTRY, "boom", boom)
+        report = run_experiments(
+            ["fig03", "boom"], master_seed=0, cache=ResultCache(tmp_path),
+        )
+        assert not report.ok and report.failures == 1
+        by_name = {r.name: r for r in report.runs}
+        assert by_name["fig03"].ok
+        assert by_name["boom"].metrics.status == "error"
+        assert "synthetic failure" in by_name["boom"].metrics.error
+        # a failed run must never be cached
+        rerun = run_experiments(
+            ["boom"], master_seed=0, cache=ResultCache(tmp_path),
+        )
+        assert rerun.runs[0].metrics.cache == "miss"
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments(["nope"])
+
+    def test_bad_jobs_raises(self):
+        with pytest.raises(ValueError):
+            run_experiments(["fig03"], jobs=0)
+
+
+class TestMetricsEmission:
+    def test_summary_shape(self, tmp_path):
+        report = run_experiments(
+            ["fig03"], master_seed=0, cache=ResultCache(tmp_path),
+        )
+        summary = report.summary()
+        assert summary["bench"] == "repro-run"
+        assert summary["n_experiments"] == 1
+        record = summary["experiments"][0]
+        for field in ("bench", "seed_token", "digest", "wall_time_s",
+                      "compute_time_s", "cache", "worker", "status"):
+            assert field in record, field
+        json.dumps(summary)  # must be serializable as-is
+
+    def test_write_bench_files(self, tmp_path):
+        report = run_experiments(
+            ["fig03"], master_seed=0, cache=ResultCache(tmp_path / "cache"),
+        )
+        out = tmp_path / "bench"
+        written = write_bench_files(report.summary(), out)
+        assert (out / "BENCH_fig03.json").exists()
+        assert (out / "BENCH_summary.json").exists()
+        assert len(written) == 2
+        payload = json.loads((out / "BENCH_fig03.json").read_text())
+        assert payload["bench"] == "fig03" and payload["status"] == "ok"
+
+    def test_summary_payload_counts(self):
+        summary = summary_payload(
+            [], master_seed=0, jobs=2, derive_seeds=True, total_wall_s=0.0
+        )
+        assert summary["cache_hits"] == 0 and summary["failures"] == 0
+
+
+class TestCli:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_run_json(self, capsys):
+        assert main(["run", "fig03", "--json", "--no-cache"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["experiments"][0]["bench"] == "fig03"
+        assert summary["experiments"][0]["cache"] == "off"
+
+    def test_run_jobs_matches_serial(self, capsys):
+        assert main(["run", "fig03", "--seed", "5", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["run", "fig03", "--seed", "5", "--no-cache",
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_warm_run_byte_identical(self, capsys):
+        assert main(["run", "fig03"]) == 0
+        cold = capsys.readouterr().out
+        assert main(["run", "fig03"]) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_spawn_seeds_changes_output(self, capsys):
+        assert main(["run", "fig14", "--no-cache"]) == 0
+        legacy = capsys.readouterr().out
+        assert main(["run", "fig14", "--no-cache", "--spawn-seeds"]) == 0
+        assert capsys.readouterr().out != legacy
+
+    def test_out_writes_bench_files(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        assert main(["run", "fig03", "--no-cache", "--out", str(out)]) == 0
+        assert (out / "BENCH_fig03.json").exists()
+        assert (out / "BENCH_summary.json").exists()
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+    def test_cache_dir_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "c"
+        assert main(["cache", "dir", "--cache-dir", str(cache_dir)]) == 0
+        assert str(cache_dir) in capsys.readouterr().out
+        assert main(["run", "fig03", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert list(cache_dir.glob("*.pkl"))
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert not list(cache_dir.glob("*.pkl"))

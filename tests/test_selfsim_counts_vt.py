@@ -56,6 +56,18 @@ class TestCountProcess:
         s = cp.slice_time(2.0, 5.0)
         assert s.counts.tolist() == [2.0, 3.0, 4.0]
 
+    def test_slice_time_empty_range(self):
+        """An empty [start, end) range yields an empty process (same bin
+        width), not an error — callers can probe arbitrary windows."""
+        cp = CountProcess(np.arange(10, dtype=float), 1.0)
+        s = cp.slice_time(5.0, 5.0)
+        assert s.n_bins == 0
+        assert s.bin_width == 1.0
+        # an inverted range degrades to empty as well
+        assert cp.slice_time(7.0, 3.0).n_bins == 0
+        # a range entirely past the process is empty, not wrapped
+        assert cp.slice_time(50.0, 60.0).n_bins == 0
+
     def test_bad_bin_width(self):
         with pytest.raises(ValueError):
             CountProcess([1.0], 0.0)

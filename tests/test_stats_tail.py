@@ -93,8 +93,32 @@ class TestExponentialTopShare:
 
 class TestCCDFAndCMEX:
     def test_ccdf_shape(self):
+        # (n - i + 1)/n plotting positions: the deepest tail point is 1/n,
+        # never 0 (which would vanish from a log-log plot).
         x, sf = empirical_ccdf([1.0, 2.0, 3.0, 4.0])
-        assert sf.tolist() == pytest.approx([0.75, 0.5, 0.25, 0.0])
+        assert sf.tolist() == pytest.approx([1.0, 0.75, 0.5, 0.25])
+
+    def test_ccdf_largest_sample_strictly_positive(self):
+        """Regression: the max used to get survival 0.0 -> -inf on log axes,
+        silently dropping the most informative point for beta estimation."""
+        x, sf = empirical_ccdf(Pareto(1.0, 1.2).sample(500, seed=11))
+        assert np.all(sf > 0)
+        assert sf[-1] == pytest.approx(1.0 / 500)
+        assert np.all(np.isfinite(np.log(sf)))
+
+    def test_ccdf_tied_samples(self):
+        x, sf = empirical_ccdf([2.0, 1.0, 2.0, 2.0, 3.0])
+        assert x.tolist() == [1.0, 2.0, 2.0, 2.0, 3.0]
+        # positions stay in (0, 1], nonincreasing, and ties keep their own
+        # plotting positions
+        assert np.all(sf > 0) and np.all(sf <= 1.0)
+        assert np.all(np.diff(sf) <= 0)
+        assert sf.tolist() == pytest.approx([1.0, 0.8, 0.6, 0.4, 0.2])
+
+    def test_ccdf_single_sample(self):
+        x, sf = empirical_ccdf([7.0])
+        assert x.tolist() == [7.0]
+        assert sf.tolist() == [1.0]
 
     def test_ccdf_loglog_slope_recovers_pareto(self):
         x, sf = empirical_ccdf(Pareto(1.0, 1.5).sample(100000, seed=7))

@@ -22,6 +22,13 @@ class TestBinEdges:
     def test_zero_span(self):
         assert len(bin_edges(5.0, 5.0, 1.0)) == 1
 
+    def test_sub_width_span_still_one_bin(self):
+        """Regression: a window narrower than one bin used to yield zero
+        bins, silently discarding every in-window event."""
+        edges = bin_edges(0.0, 0.05, 0.1)
+        assert len(edges) == 2
+        assert edges.tolist() == pytest.approx([0.0, 0.1])
+
     def test_negative_width_raises(self):
         with pytest.raises(ValueError):
             bin_edges(0.0, 1.0, -1.0)
@@ -54,6 +61,26 @@ class TestBinCounts:
         # window [1, 4) -> 3 bins; the event at exactly 4.0 is at the edge
         assert counts.size == 3
 
+    def test_sub_width_window_keeps_all_events(self):
+        """Regression: every event used to be silently discarded when the
+        observation window spanned less than one bin width."""
+        counts = bin_counts([0.01, 0.02, 0.03], width=0.1)
+        assert counts.tolist() == [3]
+
+    def test_sub_width_explicit_window(self):
+        counts = bin_counts([0.01, 0.02, 0.03], width=0.1, start=0.0, end=0.05)
+        assert counts.tolist() == [3]
+
+    def test_equal_times_zero_span_window(self):
+        """end == start (all timestamps identical) still yields one bin
+        holding the events rather than dropping them."""
+        counts = bin_counts([5.0, 5.0, 5.0], width=1.0)
+        assert counts.tolist() == [3]
+
+    def test_zero_span_window_without_events_stays_empty(self):
+        counts = bin_counts([1.0, 9.0], width=1.0, start=5.0, end=5.0)
+        assert counts.size == 0
+
     @given(
         st.lists(st.floats(min_value=0.0, max_value=99.0), min_size=1, max_size=200),
         st.floats(min_value=0.1, max_value=10.0),
@@ -62,7 +89,9 @@ class TestBinCounts:
     def test_counts_nonnegative_and_conserved(self, times, width):
         counts = bin_counts(times, width=width, start=0.0, end=100.0)
         assert np.all(counts >= 0)
-        in_window = sum(1 for t in times if 0.0 <= t < counts.size * width)
+        # the final bin is closed on the right (numpy histogram convention),
+        # so an event exactly at the last edge belongs to the last bin
+        in_window = sum(1 for t in times if 0.0 <= t <= counts.size * width)
         assert counts.sum() == in_window
 
 
