@@ -11,6 +11,14 @@ Usage::
     python -m repro run all --out bench/  # write BENCH_*.json files
     python -m repro cache clear           # drop the on-disk result cache
 
+    # out-of-core streaming analytics (repro.stream):
+    python -m repro stream synth big.txt.gz --packets 2000000 --seed 1
+    python -m repro stream scan big.txt.gz --jobs 4 --bin-width 0.01
+
+``-v`` on any subcommand turns on structured progress logging (per-
+experiment start/finish with wall time and cache hit/miss, per-chunk scan
+throughput); the default output stays byte-identical to the quiet path.
+
 Each experiment prints the rows/series the paper's table or figure reports
 (see EXPERIMENTS.md for the paper-vs-measured record).  Runs go through
 :mod:`repro.engine`: results are cached on disk keyed on (experiment, seed,
@@ -27,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 
 from repro.engine import ResultCache, run_experiments, write_bench_files
@@ -40,19 +49,32 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce tables/figures of Paxson & Floyd (1994).",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-v", "--verbose", action="store_true",
+                        help="structured progress logging on stderr "
+                             "(off by default)")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
-    cache = sub.add_parser("cache", help="manage the on-disk result cache")
+    sub.add_parser("list", help="list available experiments", parents=[common])
+    cache = sub.add_parser("cache", help="manage the on-disk result cache",
+                           parents=[common])
     cache.add_argument("action", choices=["clear", "dir"],
                        help="clear entries or print the cache directory")
     cache.add_argument("--cache-dir", default=None,
                        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run = sub.add_parser("run", help="run one experiment (or 'all')",
+                         parents=[common])
     run.add_argument("experiment", help="registry name, e.g. fig09, or 'all'")
     run.add_argument("--seed", type=int, default=0, help="master RNG seed")
     run.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
@@ -69,6 +91,54 @@ def build_parser() -> argparse.ArgumentParser:
                      help="independent per-experiment streams spawned from "
                           "the master seed (changes outputs vs. the legacy "
                           "same-integer-everywhere seeding)")
+
+    stream = sub.add_parser(
+        "stream", help="out-of-core streaming trace analytics"
+    )
+    stream_sub = stream.add_subparsers(dest="stream_command", required=True)
+    scan = stream_sub.add_parser(
+        "scan", help="sharded bounded-memory scan of a v1 trace file",
+        parents=[common],
+    )
+    scan.add_argument("path", help="trace file (.gz transparently handled)")
+    scan.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                      help="worker processes for chunk scans (default 1; "
+                           "results are independent of N)")
+    scan.add_argument("--bin-width", type=_positive_float, default=0.01,
+                      metavar="SECONDS",
+                      help="count-process bin width (default 0.01s, the "
+                           "paper's aggregate-traffic resolution)")
+    scan.add_argument("--chunk-mb", type=_positive_int, default=32,
+                      metavar="MB", help="target shard chunk size (default 32)")
+    scan.add_argument("--quantile-k", type=_positive_int, default=1024,
+                      help="quantile sketch capacity (default 1024)")
+    scan.add_argument("--tail-k", type=_positive_int, default=4096,
+                      help="tail reservoir capacity (default 4096)")
+    scan.add_argument("--tail-fraction", type=_positive_float, default=0.03,
+                      help="upper tail fraction for the β fit (default 0.03)")
+    scan.add_argument("--per-protocol", action="store_true",
+                      help="also keep one summary per protocol")
+    scan.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the BENCH-shaped scan metrics as JSON")
+    scan.add_argument("--out", default=None, metavar="DIR",
+                      help="write BENCH_stream_scan.json into DIR")
+    synth = stream_sub.add_parser(
+        "synth", help="generate a large synthetic packet trace out-of-core",
+        parents=[common],
+    )
+    synth.add_argument("path", help="output file (.gz compresses on the fly)")
+    synth.add_argument("--packets", type=_positive_int, required=True,
+                       help="number of packet records to write")
+    synth.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    synth.add_argument("--base", default="LBL PKT-1",
+                       help="Table-II recipe per window (default 'LBL PKT-1')")
+    synth.add_argument("--hours", type=_positive_float, default=2.0,
+                       help="nominal trace span in hours (default 2)")
+    synth.add_argument("--window-hours", type=_positive_float, default=0.25,
+                       help="synthesis window granularity (default 0.25)")
+    synth.add_argument("--scale", type=_positive_float, default=None,
+                       help="traffic intensity multiplier (default: "
+                            "auto-calibrated to hit --packets)")
     return parser
 
 
@@ -125,8 +195,56 @@ def _run_command(args) -> int:
     return 0 if report.ok else 1
 
 
+def _stream_command(args) -> int:
+    from repro.stream import ScanReport, SummaryConfig, scan_trace
+    from repro.stream import write_stream_trace
+
+    if args.stream_command == "synth":
+        info = write_stream_trace(
+            args.path,
+            n_packets=args.packets,
+            seed=args.seed,
+            base=args.base,
+            hours=args.hours,
+            window_hours=args.window_hours,
+            scale=args.scale,
+        )
+        print(
+            f"wrote {info.n_packets:,d} packets to {info.path} "
+            f"({info.file_bytes:,d} bytes, {info.duration:.1f}s span, "
+            f"scale {info.scale:.3g}, {info.n_windows} windows)"
+        )
+        return 0
+    report: ScanReport = scan_trace(
+        args.path,
+        jobs=args.jobs,
+        config=SummaryConfig(
+            bin_width=args.bin_width,
+            quantile_capacity=args.quantile_k,
+            tail_capacity=args.tail_k,
+        ),
+        per_protocol=args.per_protocol,
+        target_chunk_bytes=args.chunk_mb * 1024 * 1024,
+    )
+    if args.out:
+        report.write_bench(args.out)
+    if args.as_json:
+        print(json.dumps(report.bench_payload(), indent=2))
+    else:
+        print(report.render(tail_fraction=args.tail_fraction))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "verbose", False):
+        logging.basicConfig(
+            level=logging.INFO,
+            format="%(asctime)s %(name)s: %(message)s",
+            stream=sys.stderr,
+        )
+    if args.command == "stream":
+        return _stream_command(args)
     if args.command == "list":
         for name in sorted(REGISTRY):
             doc = (REGISTRY[name].__doc__ or "").strip().splitlines()

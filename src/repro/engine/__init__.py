@@ -23,7 +23,12 @@ from repro.engine.metrics import (
     summary_payload,
     write_bench_files,
 )
-from repro.engine.runner import EngineReport, ExperimentRun, run_experiments
+from repro.engine.runner import (
+    EngineReport,
+    ExperimentRun,
+    pool_map,
+    run_experiments,
+)
 from repro.engine.seeds import derived_seeds, registry_index, seed_token
 
 __all__ = [
@@ -36,6 +41,7 @@ __all__ = [
     "default_cache_dir",
     "dependency_closure",
     "derived_seeds",
+    "pool_map",
     "registry_index",
     "run_experiments",
     "seed_token",

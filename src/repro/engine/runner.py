@@ -20,16 +20,77 @@ Guarantees:
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.engine.cache import CacheEntry, ResultCache, source_digest
 from repro.engine.metrics import ExperimentMetrics, summary_payload
 from repro.engine.seeds import derived_seeds, seed_token
 from repro.experiments import REGISTRY, registry_modules
+
+logger = logging.getLogger("repro.engine")
+
+
+def pool_map(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    jobs: int,
+    *,
+    on_result: Callable[[int, object, float], None] | None = None,
+) -> list[object]:
+    """Order-preserving map over a process pool, capturing exceptions.
+
+    Runs ``fn(*tasks[i])`` for every task — inline when ``jobs == 1`` or
+    there is at most one task, otherwise on a ``ProcessPoolExecutor`` with
+    up to ``jobs`` workers.  Returns one outcome per task *in task order*:
+    the function's return value, or the raised exception object (workers
+    never take the whole map down).  ``on_result(index, outcome, wall_s)``
+    fires as each task completes (completion order), where ``wall_s`` is
+    submit-to-completion wall time; both the experiment runner (cache
+    write-back + progress logs) and the stream-scan driver (per-chunk
+    metrics) hook it.
+
+    This is the engine's shared fan-out primitive: anything shaped like
+    "independent tasks, mergeable results" — experiment batteries, trace
+    chunk scans — dispatches through it and inherits the same determinism
+    guarantee (outcome order is task order, never scheduling order).
+    """
+    tasks = list(tasks)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    outcomes: list[object] = [None] * len(tasks)
+    if jobs == 1 or len(tasks) <= 1:
+        for i, args in enumerate(tasks):
+            t0 = time.perf_counter()
+            try:
+                outcome = fn(*args)
+            except Exception as exc:
+                outcome = exc
+            outcomes[i] = outcome
+            if on_result is not None:
+                on_result(i, outcome, time.perf_counter() - t0)
+        return outcomes
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        started = {
+            pool.submit(fn, *args): (i, time.perf_counter())
+            for i, args in enumerate(tasks)
+        }
+        pending = set(started)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i, t0 = started[fut]
+                exc = fut.exception()
+                outcome = exc if exc is not None else fut.result()
+                outcomes[i] = outcome
+                if on_result is not None:
+                    on_result(i, outcome, time.perf_counter() - t0)
+    return outcomes
 
 
 def _execute(name: str, seed) -> tuple[object, str, float, str]:
@@ -149,6 +210,8 @@ def run_experiments(
         if entry is None:
             misses.append(name)
             continue
+        logger.info("experiment %-18s cache hit (computed in %.2fs)",
+                    name, entry.compute_time_s)
         runs[name] = ExperimentRun(
             name=name,
             result=entry.result,
@@ -171,6 +234,8 @@ def run_experiments(
             err = "".join(
                 traceback.format_exception_only(type(outcome), outcome)
             ).strip()
+            logger.info("experiment %-18s FAILED after %.2fs: %s",
+                        name, wall_s, err)
             runs[name] = ExperimentRun(
                 name=name,
                 result=None,
@@ -189,6 +254,8 @@ def run_experiments(
             )
             return
         result, rendered, elapsed, worker = outcome
+        logger.info("experiment %-18s done in %.2fs (cache %s, %s)",
+                    name, wall_s, cache_state, worker)
         if store is not None:
             key = store.key(name, tokens[name], digests[name])
             store.put(
@@ -218,31 +285,15 @@ def run_experiments(
             ),
         )
 
-    if jobs == 1 or len(misses) <= 1:
-        for name in misses:
-            t0 = time.perf_counter()
-            try:
-                outcome = _execute(name, seeds[name])
-            except Exception as exc:  # surface as a failed run, keep going
-                outcome = exc
-            record(name, outcome, time.perf_counter() - t0)
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
-            started = {
-                pool.submit(_execute, name, seeds[name]): (name, time.perf_counter())
-                for name in misses
-            }
-            pending = set(started)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    name, t0 = started[fut]
-                    exc = fut.exception()
-                    record(
-                        name,
-                        exc if exc is not None else fut.result(),
-                        time.perf_counter() - t0,
-                    )
+    if misses:
+        logger.info("running %d experiment(s) on %d worker(s): %s",
+                    len(misses), min(jobs, len(misses)), " ".join(misses))
+    pool_map(
+        _execute,
+        [(name, seeds[name]) for name in misses],
+        jobs,
+        on_result=lambda i, outcome, wall_s: record(misses[i], outcome, wall_s),
+    )
 
     return EngineReport(
         runs=[runs[n] for n in names],

@@ -1,0 +1,67 @@
+"""Out-of-core streaming trace analytics with mergeable sketches.
+
+The in-memory path (``traces.io`` → ``PacketTrace`` → estimators) holds
+the whole trace; this subsystem computes the same battery — count-process
+ladder / variance-time, interarrival and size distributions, Pareto tail
+fits — in one bounded-memory pass, shard-parallel over line-aligned byte
+chunks, with partial sketches merged exactly.
+
+Entry points::
+
+    from repro.stream import scan_trace, write_stream_trace
+
+    info = write_stream_trace("big.txt.gz", n_packets=2_000_000, seed=1)
+    report = scan_trace("big.txt.gz", jobs=4)
+    print(report.render())
+    report.summary.counts.variance_time().hurst(min_level=10)
+"""
+
+from repro.stream.chunks import DEFAULT_CHUNK_BYTES, Chunk, plan_chunks
+from repro.stream.driver import (
+    ChunkMetrics,
+    ScanConfig,
+    ScanReport,
+    scan_chunk,
+    scan_trace,
+)
+from repro.stream.reader import (
+    ConnectionBatch,
+    PacketBatch,
+    iter_chunk_batches,
+    iter_trace_batches,
+    sniff_kind,
+)
+from repro.stream.sketches import (
+    CountLadder,
+    Log2Histogram,
+    QuantileSketch,
+    StreamingMoments,
+    TopK,
+)
+from repro.stream.summary import StreamSummary, SummaryConfig
+from repro.stream.synth import StreamTraceInfo, write_stream_trace
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "Chunk",
+    "ChunkMetrics",
+    "ConnectionBatch",
+    "CountLadder",
+    "Log2Histogram",
+    "PacketBatch",
+    "QuantileSketch",
+    "ScanConfig",
+    "ScanReport",
+    "StreamSummary",
+    "StreamTraceInfo",
+    "StreamingMoments",
+    "SummaryConfig",
+    "TopK",
+    "iter_chunk_batches",
+    "iter_trace_batches",
+    "plan_chunks",
+    "scan_chunk",
+    "scan_trace",
+    "sniff_kind",
+    "write_stream_trace",
+]

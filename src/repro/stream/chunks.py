@@ -1,0 +1,103 @@
+"""Chunk planning: split a trace file into line-aligned byte ranges.
+
+A *chunk* is a half-open byte range ``[start, end)`` of an uncompressed v1
+trace file whose boundaries fall exactly on line starts, so every chunk is
+a self-contained run of whole records and the chunks tile the file.  Shard
+workers each scan one chunk and the driver merges their sketches; because
+chunk ownership is byte-exact, the union of the chunks' records is the
+file's records with no duplication or loss, for any chunk count.
+
+Gzip streams have no random access, so a ``.gz`` path always plans as a
+single sequential chunk (the sketches still bound memory; only scan
+parallelism is lost).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.traces.io import is_gzip_path
+
+#: Default shard granularity: large enough to amortize process dispatch,
+#: small enough that a multi-hundred-MB trace fans out over many workers.
+DEFAULT_CHUNK_BYTES = 32 * 1024 * 1024
+
+_ALIGN_PROBE = 1 << 16  # bytes read while hunting for the next newline
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One line-aligned byte range of a trace file.
+
+    ``start`` is the offset of the first byte of the chunk's first line;
+    ``end`` is the offset one past the chunk's final newline (equivalently,
+    the ``start`` of the next chunk, or the file size for the last one).
+    ``has_header`` marks the chunk holding the one-line v1 header.
+    """
+
+    path: str
+    index: int
+    start: int
+    end: int
+    compressed: bool = False
+    has_header: bool = False
+
+    @property
+    def n_bytes(self) -> int:
+        return self.end - self.start
+
+
+def _align_to_line_start(fh, offset: int, size: int) -> int:
+    """Smallest line-start offset >= ``offset`` (file size if none)."""
+    if offset <= 0:
+        return 0
+    if offset >= size:
+        return size
+    fh.seek(offset - 1)
+    # The byte *before* offset decides: if it is a newline, ``offset``
+    # already starts a line.
+    while True:
+        block = fh.read(_ALIGN_PROBE)
+        if not block:
+            return size
+        nl = block.find(b"\n")
+        if nl >= 0:
+            return min(fh.tell() - len(block) + nl + 1, size)
+
+
+def plan_chunks(
+    path: str | os.PathLike,
+    *,
+    target_bytes: int = DEFAULT_CHUNK_BYTES,
+    max_chunks: int | None = None,
+) -> list[Chunk]:
+    """Split ``path`` into line-aligned chunks of roughly ``target_bytes``.
+
+    Returns at least one chunk.  ``max_chunks`` caps the count (useful to
+    match a worker pool).  Compressed traces yield a single chunk.
+    """
+    if target_bytes < 1:
+        raise ValueError(f"target_bytes must be >= 1, got {target_bytes}")
+    path = os.fspath(path)
+    size = os.path.getsize(path)
+    if is_gzip_path(path):
+        return [Chunk(path, 0, 0, size, compressed=True, has_header=True)]
+    n = max(1, -(-size // target_bytes))  # ceil
+    if max_chunks is not None:
+        n = max(1, min(n, max_chunks))
+    if n == 1:
+        return [Chunk(path, 0, 0, size, has_header=True)]
+    with open(path, "rb") as fh:
+        raw = [round(i * size / n) for i in range(1, n)]
+        bounds = [0]
+        for offset in raw:
+            aligned = _align_to_line_start(fh, offset, size)
+            if aligned > bounds[-1]:
+                bounds.append(aligned)
+        bounds.append(size)
+    return [
+        Chunk(path, i, lo, hi, has_header=(i == 0))
+        for i, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:]))
+        if hi > lo
+    ]

@@ -1,0 +1,604 @@
+"""Mergeable bounded-memory accumulators for single-pass trace analytics.
+
+Every estimator the paper runs over a trace — count processes and the
+variance-time curve (Figs. 4-5, 12-13), interarrival/size CDFs (Figs. 3,
+6, 8), Pareto tail fits (Sections IV and VI) — is a single-pass statistic,
+so it admits an accumulator that (a) consumes record batches with memory
+bounded by the sketch, never by the trace, and (b) supports an associative
+``merge`` so shard-parallel scans of byte-range chunks reduce to the same
+answer as one sequential pass.
+
+Exactness contract (relied on by the shard-determinism tests):
+
+* :class:`CountLadder` bin counts and :class:`TopK` tail samples are
+  *bit-identical* to the in-memory path (``CountProcess.from_times`` /
+  ``stats.tail`` helpers) — integer counts and order statistics are exact
+  under any partition of the input.
+* :class:`StreamingMoments` merges are mathematically associative (Chan's
+  parallel update); floating-point rounding differs from a single-pass mean
+  only at machine precision, and is *deterministic* for a fixed chunk plan
+  because the driver always merges partials in chunk order.
+* :class:`QuantileSketch` is a deterministic compactor sketch: its rank
+  error is bounded by :meth:`QuantileSketch.max_rank_error`, an exact
+  count of the weight discarded by the compactions that actually happened.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.selfsim.counts import CountProcess
+from repro.utils.binning import bin_edges
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "CountLadder",
+    "Log2Histogram",
+    "QuantileSketch",
+    "StreamingMoments",
+    "TopK",
+]
+
+
+# ----------------------------------------------------------------------
+# Streaming mean / variance (Welford / Chan)
+# ----------------------------------------------------------------------
+class StreamingMoments:
+    """Streaming count / mean / variance / extremes (Welford-Chan).
+
+    ``update`` folds a batch in via Chan et al.'s pairwise combination of
+    (n, mean, M2) triples; ``merge`` applies the same combination to two
+    accumulators, so the merge is associative and a sharded scan matches a
+    sequential one up to float rounding.
+    """
+
+    __slots__ = ("n", "mean", "m2", "min", "max", "total")
+
+    def __init__(self):
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+        self.min = np.inf
+        self.max = -np.inf
+        self.total = 0.0
+
+    def update(self, values) -> None:
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        self._combine(arr.size, float(arr.mean()),
+                      float(((arr - arr.mean()) ** 2).sum()),
+                      float(arr.min()), float(arr.max()), float(arr.sum()))
+
+    def merge(self, other: "StreamingMoments") -> None:
+        self._combine(other.n, other.mean, other.m2, other.min, other.max,
+                      other.total)
+
+    def _combine(self, n, mean, m2, lo, hi, total) -> None:
+        if n == 0:
+            return
+        if self.n == 0:
+            self.n, self.mean, self.m2 = n, mean, m2
+            self.min, self.max, self.total = lo, hi, total
+            return
+        delta = mean - self.mean
+        combined = self.n + n
+        self.m2 = self.m2 + m2 + delta * delta * (self.n * n / combined)
+        self.mean = self.mean + delta * (n / combined)
+        self.n = combined
+        self.min = min(self.min, lo)
+        self.max = max(self.max, hi)
+        self.total += total
+
+    @property
+    def variance(self) -> float:
+        """Population variance (ddof=0, matching ``np.var``)."""
+        return self.m2 / self.n if self.n else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    @property
+    def nbytes(self) -> int:
+        return 6 * 8
+
+    def __repr__(self):
+        return (f"StreamingMoments(n={self.n}, mean={self.mean:.6g}, "
+                f"var={self.variance:.6g})")
+
+
+# ----------------------------------------------------------------------
+# log2-size histogram
+# ----------------------------------------------------------------------
+class Log2Histogram:
+    """Counts of values by ``floor(log2(v))`` bucket (plus a zero bucket).
+
+    The paper characterizes size distributions on log2 axes (log2-normal
+    packet sizes, Section V); this is the streaming raw material for those
+    plots.  Merging adds the integer bucket counts — exact.
+    """
+
+    __slots__ = ("counts", "zeros")
+
+    def __init__(self, max_exponent: int = 64):
+        self.counts = np.zeros(max_exponent, dtype=np.int64)
+        self.zeros = 0
+
+    def update(self, values) -> None:
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        positive = arr[arr > 0]
+        self.zeros += int(arr.size - positive.size)
+        if positive.size:
+            exps = np.floor(np.log2(positive)).astype(np.int64)
+            exps = np.clip(exps, 0, self.counts.size - 1)
+            self.counts += np.bincount(exps, minlength=self.counts.size)
+
+    def merge(self, other: "Log2Histogram") -> None:
+        if other.counts.size != self.counts.size:
+            size = max(self.counts.size, other.counts.size)
+            merged = np.zeros(size, dtype=np.int64)
+            merged[: self.counts.size] += self.counts
+            merged[: other.counts.size] += other.counts
+            self.counts = merged
+        else:
+            self.counts = self.counts + other.counts
+        self.zeros += other.zeros
+
+    @property
+    def n(self) -> int:
+        return int(self.counts.sum()) + self.zeros
+
+    def nonzero_buckets(self) -> list[tuple[int, int]]:
+        """(exponent, count) pairs for occupied buckets."""
+        idx = np.flatnonzero(self.counts)
+        return [(int(i), int(self.counts[i])) for i in idx]
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.counts.nbytes) + 8
+
+
+# ----------------------------------------------------------------------
+# top-k tail reservoir
+# ----------------------------------------------------------------------
+class TopK:
+    """Exact reservoir of the ``k`` largest values seen.
+
+    Because the Hill estimator and :func:`repro.distributions.pareto.tail_fit`
+    consume only the upper order statistics, a top-k reservoir with
+    ``capacity >= k_tail + 1`` reproduces the batch tail fit *bit-for-bit*
+    while storing O(k) floats.  ``merge`` keeps the combined top-k, which is
+    exactly the top-k of the union — order statistics are partition-proof.
+    """
+
+    __slots__ = ("capacity", "values", "n_seen")
+
+    def __init__(self, capacity: int):
+        require_positive(capacity, "capacity")
+        self.capacity = int(capacity)
+        self.values = np.empty(0, dtype=float)  # sorted ascending
+        self.n_seen = 0
+
+    def update(self, values) -> None:
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        self.n_seen += int(arr.size)
+        merged = np.concatenate([self.values, arr])
+        if merged.size > self.capacity:
+            merged = np.partition(merged, merged.size - self.capacity)[
+                merged.size - self.capacity:
+            ]
+        self.values = np.sort(merged)
+
+    def merge(self, other: "TopK") -> None:
+        self.n_seen += other.n_seen - other.values.size
+        self.update(other.values)
+
+    def tail_samples(self, k: int) -> np.ndarray:
+        """The ``k`` largest values, ascending (exact)."""
+        if not 0 <= k <= self.values.size:
+            raise ValueError(
+                f"k must be in [0, {self.values.size}] (reservoir holds "
+                f"{self.values.size} of {self.n_seen} seen), got {k}"
+            )
+        return self.values[self.values.size - k:].copy()
+
+    def hill(self, k: int) -> float:
+        """Hill estimate of the Pareto tail index from the k largest values.
+
+        Identical to ``repro.distributions.pareto.hill_estimator`` on the
+        full sample whenever ``k + 1 <= capacity``.
+        """
+        if not 1 <= k < self.n_seen:
+            raise ValueError(f"k must satisfy 1 <= k < n (= {self.n_seen}), got {k}")
+        if k + 1 > self.values.size:
+            raise ValueError(
+                f"reservoir capacity {self.capacity} too small for k={k}; "
+                "need the (k+1)-th largest value as the tail threshold"
+            )
+        threshold = self.values[self.values.size - k - 1]
+        if threshold <= 0:
+            raise ValueError("Hill estimator requires a positive tail threshold")
+        logs = np.log(self.values[self.values.size - k:] / threshold)
+        total = float(np.sum(logs))
+        if total <= 0:
+            raise ValueError("degenerate upper tail")
+        return k / total
+
+    def tail_fit(self, tail_fraction: float = 0.05) -> tuple[float, float, int]:
+        """Pareto (location, shape, k) for the upper ``tail_fraction``.
+
+        Mirrors :func:`repro.distributions.pareto.tail_fit` exactly — same
+        ``k = max(2, floor(n * fraction))`` and the same order statistics —
+        so the streamed β estimate equals the batch one bit-for-bit.
+        Raises when the reservoir is too small for the requested fraction.
+        """
+        n = self.n_seen
+        k = max(2, int(np.floor(n * tail_fraction)))
+        if k >= n:
+            raise ValueError("tail fraction leaves no body below the threshold")
+        shape = self.hill(k)
+        location = float(self.values[self.values.size - k - 1])
+        return location, shape, k
+
+    def max_tail_fraction(self) -> float:
+        """Largest tail fraction this reservoir can fit exactly."""
+        if self.n_seen == 0:
+            return 0.0
+        return (self.values.size - 1) / self.n_seen
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes) + 16
+
+
+# ----------------------------------------------------------------------
+# deterministic mergeable quantile sketch
+# ----------------------------------------------------------------------
+class QuantileSketch:
+    """Deterministic compactor (GK/KLL-style) quantile sketch.
+
+    Items live in level buffers; an item at level ``l`` stands for ``2**l``
+    originals.  When a buffer exceeds ``capacity`` it is sorted and every
+    other item is promoted to the next level with doubled weight — the
+    survivors' parity alternates between compactions, so successive
+    compaction errors partially cancel.  Total weight is conserved exactly
+    (an odd item stays behind), so ``total_weight == n`` always.
+
+    Error bound: each compaction at level ``l`` perturbs any rank query by
+    at most ``2**l``; :meth:`max_rank_error` returns the exact sum over the
+    compactions that occurred — roughly ``n * log2(n/capacity) / capacity``
+    — and the property tests assert observed rank error stays within it.
+    ``merge`` concatenates level buffers and re-compacts; the bound adds.
+    """
+
+    __slots__ = ("capacity", "_levels", "_counts", "_parity", "_error", "n")
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 8:
+            raise ValueError(f"capacity must be >= 8, got {capacity}")
+        self.capacity = int(capacity)
+        self._levels: list[list[np.ndarray]] = [[]]
+        self._counts: list[int] = [0]
+        self._parity: list[int] = [0]
+        self._error = 0  # sum of 2**l over performed compactions
+        self.n = 0
+
+    # -- updates -------------------------------------------------------
+    def update(self, values) -> None:
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size == 0:
+            return
+        self.n += int(arr.size)
+        # Feed in capacity-sized slices so level-0 memory stays bounded
+        # even for batches much larger than the sketch.
+        for lo in range(0, arr.size, self.capacity):
+            self._push(0, arr[lo: lo + self.capacity])
+
+    def _push(self, level: int, chunk: np.ndarray) -> None:
+        while level >= len(self._levels):
+            self._levels.append([])
+            self._counts.append(0)
+            self._parity.append(0)
+        self._levels[level].append(chunk)
+        self._counts[level] += chunk.size
+        if self._counts[level] > self.capacity:
+            self._compact(level)
+
+    def _compact(self, level: int) -> None:
+        arr = np.sort(np.concatenate(self._levels[level]))
+        if arr.size % 2:
+            # hold the largest item back so total weight is conserved
+            leftover, arr = arr[-1:], arr[:-1]
+        else:
+            leftover = arr[:0]
+        survivors = arr[self._parity[level]:: 2]
+        self._parity[level] ^= 1
+        self._levels[level] = [leftover] if leftover.size else []
+        self._counts[level] = int(leftover.size)
+        self._error += 2 ** level
+        if survivors.size:
+            self._push(level + 1, survivors)
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> None:
+        if other.capacity != self.capacity:
+            raise ValueError(
+                f"cannot merge sketches of different capacity "
+                f"({self.capacity} vs {other.capacity})"
+            )
+        self.n += other.n
+        self._error += other._error
+        for level, parts in enumerate(other._levels):
+            for chunk in parts:
+                if chunk.size:
+                    self._push(level, chunk)
+
+    # -- queries -------------------------------------------------------
+    def _items(self) -> tuple[np.ndarray, np.ndarray]:
+        values, weights = [], []
+        for level, parts in enumerate(self._levels):
+            for chunk in parts:
+                if chunk.size:
+                    values.append(chunk)
+                    weights.append(np.full(chunk.size, 2 ** level, dtype=np.int64))
+        if not values:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        v = np.concatenate(values)
+        w = np.concatenate(weights)
+        order = np.argsort(v, kind="stable")
+        return v[order], w[order]
+
+    @property
+    def total_weight(self) -> int:
+        """Conserved exactly: always equals ``n``."""
+        return int(sum(
+            chunk.size * 2 ** level
+            for level, parts in enumerate(self._levels)
+            for chunk in parts
+        ))
+
+    def max_rank_error(self) -> int:
+        """Exact worst-case rank error of any quantile query (in items)."""
+        return int(self._error)
+
+    def quantile(self, q: float) -> float:
+        """Smallest stored value whose cumulative weight reaches ``q * n``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        values, weights = self._items()
+        if values.size == 0:
+            raise ValueError("empty sketch")
+        cum = np.cumsum(weights)
+        target = q * cum[-1]
+        idx = int(np.searchsorted(cum, target, side="left"))
+        return float(values[min(idx, values.size - 1)])
+
+    def quantiles(self, qs) -> np.ndarray:
+        return np.array([self.quantile(float(q)) for q in np.asarray(qs)])
+
+    def cdf(self, x: float) -> float:
+        """Approximate P(X <= x)."""
+        values, weights = self._items()
+        if values.size == 0:
+            raise ValueError("empty sketch")
+        idx = int(np.searchsorted(values, x, side="right"))
+        return float(weights[:idx].sum() / weights.sum())
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(
+            chunk.nbytes for parts in self._levels for chunk in parts
+        )) + 24 * len(self._levels)
+
+    def __repr__(self):
+        return (f"QuantileSketch(capacity={self.capacity}, n={self.n}, "
+                f"levels={len(self._levels)}, "
+                f"max_rank_error={self.max_rank_error()})")
+
+
+# ----------------------------------------------------------------------
+# hierarchical count-process accumulator
+# ----------------------------------------------------------------------
+class CountLadder:
+    """Count-process accumulator yielding a dyadic aggregation ladder.
+
+    Maintains per-bin event counts (optionally size-weighted, for byte
+    processes) over an observation window in a single pass; the dyadic
+    ladder — the same counts at bin widths ``w, 2w, 4w, ...`` — and the
+    full variance-time curve are then derived without revisiting the trace.
+    Memory is ``O(window / bin_width)``: fixed by the window, independent
+    of how many events (packets) the trace holds.
+
+    Binning is bit-identical to ``CountProcess.from_times`` /
+    ``PacketTrace.count_process`` on the same window: batches are
+    histogrammed against the *same* edge array the batch path builds
+    (``bin_edges``), and integer partial histograms sum exactly, so any
+    partition of the input — batches within a chunk, chunks across shards —
+    reproduces the sequential counts bit-for-bit.
+
+    Two modes:
+
+    * **windowed** (``end`` given): edges are fixed up front; events outside
+      ``[start, end]`` are dropped and an event exactly at the final edge
+      lands in the last bin (the numpy closed-right convention) — exactly
+      the batch semantics.
+    * **open** (``end=None``): the bin array grows geometrically as later
+      events arrive (gzip streams, unknown horizon); :meth:`finalize` then
+      trims to the whole-bin window ending at the max event seen, again
+      matching ``from_times(times, w)`` with its default ``end=max(times)``.
+    """
+
+    def __init__(
+        self,
+        bin_width: float,
+        *,
+        start: float = 0.0,
+        end: float | None = None,
+        weighted: bool = False,
+    ):
+        require_positive(bin_width, "bin_width")
+        self.bin_width = float(bin_width)
+        self.start = float(start)
+        self.end = None if end is None else float(end)
+        self.weighted = bool(weighted)
+        dtype = float if weighted else np.int64
+        if self.end is not None:
+            self._edges = bin_edges(self.start, self.end, self.bin_width)
+            n = max(len(self._edges) - 1, 0)
+            self.counts = np.zeros(n, dtype=dtype)
+            self._edge_hits = np.zeros(0, dtype=dtype)
+        else:
+            self._edges = self._make_edges(64)
+            self.counts = np.zeros(64, dtype=dtype)
+            # Events whose time exactly equals their slot's left edge, per
+            # slot.  Needed at finalize: numpy's last bin is closed on the
+            # right, so events sitting exactly on what turns out to be the
+            # final edge must fold into the last bin, while the rest of that
+            # slot (a partial trailing bin) is dropped.
+            self._edge_hits = np.zeros(64, dtype=dtype)
+        self.n_events = 0          # events accumulated (in-window)
+        self.max_time = -np.inf    # largest event time seen (open mode)
+
+    def _make_edges(self, n_bins: int) -> np.ndarray:
+        # Identical arithmetic to utils.binning.bin_edges so edge values are
+        # bit-equal to the batch path's for any prefix length.
+        return self.start + self.bin_width * np.arange(n_bins + 1)
+
+    # -- updates -------------------------------------------------------
+    def update(self, times, weights=None) -> None:
+        arr = np.asarray(times, dtype=float)
+        if arr.size == 0:
+            return
+        if self.weighted:
+            if weights is None:
+                raise ValueError("weighted ladder requires weights")
+            w = np.asarray(weights, dtype=float)
+        else:
+            if weights is not None:
+                raise ValueError("unweighted ladder got weights")
+            w = None
+        if self.end is not None:
+            if self.counts.size == 0:
+                return
+            hist, _ = np.histogram(arr, bins=self._edges, weights=w)
+            in_window = (arr >= self._edges[0]) & (arr <= self._edges[-1])
+            self.n_events += int(np.count_nonzero(in_window))
+            if self.weighted:
+                self.counts += hist
+            else:
+                self.counts += hist.astype(np.int64)
+            return
+        # Open mode: half-open interior binning against edges that always
+        # extend strictly beyond the largest event, so no closed-last-edge
+        # special case can fire mid-stream.
+        hi = float(arr.max())
+        self.max_time = max(self.max_time, hi)
+        needed = int(np.floor((hi - self.start) / self.bin_width)) + 2
+        if needed > self.counts.size:
+            # Next power of two: amortized O(1) growth, and the final
+            # footprint is a deterministic function of the span alone (not
+            # of the batch pattern that grew it) — which is what makes the
+            # "memory independent of trace length" bench assertable.
+            grown = 1 << (needed - 1).bit_length()
+            for attr in ("counts", "_edge_hits"):
+                new = np.zeros(grown, dtype=self.counts.dtype)
+                old = getattr(self, attr)
+                new[: old.size] = old
+                setattr(self, attr, new)
+            self._edges = self._make_edges(grown)
+        idx = np.searchsorted(self._edges, arr, side="right") - 1
+        valid = idx >= 0  # drops events before ``start``
+        idx = idx[valid]
+        vals = arr[valid]
+        self.n_events += int(idx.size)
+        wv = None if w is None else w[valid]
+        on_edge = vals == self._edges[idx]
+        if self.weighted:
+            self.counts += np.bincount(idx, weights=wv,
+                                       minlength=self.counts.size)
+            if np.any(on_edge):
+                self._edge_hits += np.bincount(
+                    idx[on_edge], weights=wv[on_edge],
+                    minlength=self.counts.size,
+                )
+        else:
+            self.counts += np.bincount(idx, minlength=self.counts.size)
+            if np.any(on_edge):
+                self._edge_hits += np.bincount(
+                    idx[on_edge], minlength=self.counts.size
+                )
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: "CountLadder") -> None:
+        if (other.bin_width != self.bin_width or other.start != self.start
+                or other.end != self.end or other.weighted != self.weighted):
+            raise ValueError("cannot merge ladders with different layouts")
+        if other.counts.size > self.counts.size:
+            for attr in ("counts", "_edge_hits"):
+                grown = np.zeros(other.counts.size, dtype=self.counts.dtype)
+                old = getattr(self, attr)
+                grown[: old.size] = old
+                setattr(self, attr, grown)
+            self._edges = other._edges
+        self.counts[: other.counts.size] += other.counts
+        self._edge_hits[: other._edge_hits.size] += other._edge_hits
+        self.n_events += other.n_events
+        self.max_time = max(self.max_time, other.max_time)
+
+    # -- results -------------------------------------------------------
+    def finalize(self) -> np.ndarray:
+        """Per-bin counts over the whole-bin window (exact batch semantics)."""
+        if self.end is not None:
+            return self.counts.copy()
+        if self.n_events == 0 or self.max_time < self.start:
+            return self.counts[:0].copy()
+        edges = bin_edges(self.start, self.max_time, self.bin_width)
+        n_bins = len(edges) - 1
+        if n_bins < 1:
+            # Zero-span window — every event sits exactly at ``start``; the
+            # batch path (``bin_counts``) widens to a single bin there.
+            return self.counts[:1].copy()
+        out = self.counts[:n_bins].copy()
+        if 0 < n_bins < self.counts.size:
+            # Fold events sitting exactly on the final edge into the last
+            # (closed-right) bin; the remainder of that slot is the partial
+            # trailing bin the batch path drops.
+            out[-1] += self._edge_hits[n_bins]
+        return out
+
+    def as_count_process(self) -> CountProcess:
+        return CountProcess(self.finalize(), self.bin_width)
+
+    def ladder(self, max_levels: int | None = None, min_bins: int = 2) -> list[CountProcess]:
+        """The dyadic aggregation ladder: block means at widths ``w * 2**l``.
+
+        Level 0 is the base process; level ``l`` is ``aggregated(2**l)``.
+        Stops when fewer than ``min_bins`` aggregated bins remain.
+        """
+        base = self.as_count_process()
+        out = [base]
+        level = 1
+        while max_levels is None or level < max_levels:
+            step = 2 ** level
+            if base.n_bins // step < min_bins:
+                break
+            out.append(base.aggregated(step))
+            level += 1
+        return out
+
+    def variance_time(self, levels=None, *, normalized: bool = True):
+        """Variance-time curve of the accumulated process (Figs. 5, 12-13)."""
+        from repro.selfsim.variance_time import variance_time_curve
+
+        return variance_time_curve(self.as_count_process(), levels,
+                                   normalized=normalized)
+
+    @property
+    def nbytes(self) -> int:
+        return (int(self.counts.nbytes) + int(self._edges.nbytes)
+                + int(self._edge_hits.nbytes))

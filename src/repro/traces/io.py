@@ -2,7 +2,14 @@
 
 A simple whitespace-delimited format, one record per line with a one-line
 header, in the spirit of the reduced ASCII traces distributed by the
-Internet Traffic Archive.  Round-tripping is exact up to float formatting.
+Internet Traffic Archive.  Round-tripping is exact: times are written with
+``repr``'s shortest-round-trip float formatting, so epoch-magnitude
+timestamps survive a write/read cycle bit-for-bit (a ``%.6f`` format would
+collapse the sub-microsecond interarrivals of closely spaced packets).
+
+Paths ending in ``.gz`` are transparently compressed/decompressed by both
+the writers and the readers (and by the chunked readers in
+:mod:`repro.stream`, which share :func:`open_trace`).
 
 Connection trace format::
 
@@ -17,33 +24,69 @@ Packet trace format::
 
 from __future__ import annotations
 
+import gzip
 import os
-from typing import TextIO
+from typing import IO, TextIO
 
 from repro.traces.records import ConnectionRecord, Direction, PacketRecord
 from repro.traces.trace import ConnectionTrace, PacketTrace
 
-_CONN_HEADER = "#repro-connections v1"
-_PKT_HEADER = "#repro-packets v1"
+CONN_HEADER = "#repro-connections v1"
+PKT_HEADER = "#repro-packets v1"
+
+# Back-compat aliases (pre-stream-subsystem private names).
+_CONN_HEADER = CONN_HEADER
+_PKT_HEADER = PKT_HEADER
+
+
+def is_gzip_path(path: str | os.PathLike) -> bool:
+    """Whether ``path`` names a gzip-compressed trace (by suffix)."""
+    return os.fspath(path).endswith(".gz")
+
+
+def open_trace(path: str | os.PathLike, mode: str = "rt") -> IO:
+    """Open a trace file, transparently gunzipping ``.gz`` paths.
+
+    Accepts text (``"rt"``/``"wt"``) and binary (``"rb"``/``"wb"``) modes;
+    the shared entry point for both the whole-trace readers below and the
+    chunked readers in :mod:`repro.stream`.
+    """
+    if is_gzip_path(path):
+        return gzip.open(path, mode)
+    if mode in ("rt", "wt"):
+        mode = mode[0]
+    return open(path, mode)
+
+
+def format_connection_line(r: ConnectionRecord) -> str:
+    """One v1 text line for a connection record (no trailing newline)."""
+    sid = -1 if r.session_id is None else r.session_id
+    return (
+        f"{float(r.start_time)!r} {float(r.duration)!r} {r.protocol} "
+        f"{r.bytes_orig} {r.bytes_resp} {r.orig_host} {r.resp_host} {sid}"
+    )
+
+
+def format_packet_line(p: PacketRecord) -> str:
+    """One v1 text line for a packet record (no trailing newline)."""
+    return (
+        f"{float(p.timestamp)!r} {p.protocol} {p.connection_id} "
+        f"{int(p.direction)} {p.size} {int(p.user_data)}"
+    )
 
 
 def write_connection_trace(trace: ConnectionTrace, path: str | os.PathLike) -> None:
-    """Write a connection trace to ``path``."""
-    with open(path, "w") as fh:
-        fh.write(_CONN_HEADER + "\n")
+    """Write a connection trace to ``path`` (gzipped when it ends in .gz)."""
+    with open_trace(path, "wt") as fh:
+        fh.write(CONN_HEADER + "\n")
         for i in range(len(trace)):
-            r = trace.record(i)
-            sid = -1 if r.session_id is None else r.session_id
-            fh.write(
-                f"{r.start_time:.6f} {r.duration:.6f} {r.protocol} "
-                f"{r.bytes_orig} {r.bytes_resp} {r.orig_host} {r.resp_host} {sid}\n"
-            )
+            fh.write(format_connection_line(trace.record(i)) + "\n")
 
 
 def read_connection_trace(path: str | os.PathLike, name: str | None = None) -> ConnectionTrace:
     """Read a connection trace written by :func:`write_connection_trace`."""
-    with open(path) as fh:
-        _expect_header(fh, _CONN_HEADER, path)
+    with open_trace(path, "rt") as fh:
+        _expect_header(fh, CONN_HEADER, path)
         records = []
         for lineno, line in enumerate(fh, start=2):
             parts = line.split()
@@ -68,21 +111,17 @@ def read_connection_trace(path: str | os.PathLike, name: str | None = None) -> C
 
 
 def write_packet_trace(trace: PacketTrace, path: str | os.PathLike) -> None:
-    """Write a packet trace to ``path``."""
-    with open(path, "w") as fh:
-        fh.write(_PKT_HEADER + "\n")
+    """Write a packet trace to ``path`` (gzipped when it ends in .gz)."""
+    with open_trace(path, "wt") as fh:
+        fh.write(PKT_HEADER + "\n")
         for i in range(len(trace)):
-            p = trace.record(i)
-            fh.write(
-                f"{p.timestamp:.6f} {p.protocol} {p.connection_id} "
-                f"{int(p.direction)} {p.size} {int(p.user_data)}\n"
-            )
+            fh.write(format_packet_line(trace.record(i)) + "\n")
 
 
 def read_packet_trace(path: str | os.PathLike, name: str | None = None) -> PacketTrace:
     """Read a packet trace written by :func:`write_packet_trace`."""
-    with open(path) as fh:
-        _expect_header(fh, _PKT_HEADER, path)
+    with open_trace(path, "rt") as fh:
+        _expect_header(fh, PKT_HEADER, path)
         packets = []
         for lineno, line in enumerate(fh, start=2):
             parts = line.split()
@@ -112,4 +151,7 @@ def _expect_header(fh: TextIO, expected: str, path) -> None:
 
 
 def _name_from(path) -> str:
-    return os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    base = os.path.basename(os.fspath(path))
+    if base.endswith(".gz"):
+        base = base[: -len(".gz")]
+    return os.path.splitext(base)[0]

@@ -100,6 +100,89 @@ class TestPacketIO:
         assert len(read_packet_trace(path)) == 0
 
 
+class TestTimestampPrecision:
+    """Regression: the writers once used ``%.6f``, which collapses the
+    sub-microsecond spacing of closely spaced packets at epoch-magnitude
+    timestamps.  ``repr`` shortest-round-trip formatting must preserve
+    every float bit-for-bit."""
+
+    def test_epoch_magnitude_roundtrip_exact(self, tmp_path):
+        base = 1_400_000_000.0  # epoch seconds, where %.6f loses bits
+        step = float(np.nextafter(base, np.inf))  # one ulp (~2.4e-7 s)
+        ts = [base, step, float(np.nextafter(step, np.inf)), base + 0.1]
+        pkts = [
+            PacketRecord(t, "TELNET", 1, Direction.ORIGINATOR, 1, True)
+            for t in ts
+        ]
+        path = tmp_path / "epoch.txt"
+        write_packet_trace(PacketTrace("x", pkts), path)
+        back = read_packet_trace(path)
+        assert back.timestamps.tolist() == ts  # bit-identical
+        assert np.all(np.diff(back.timestamps) > 0)  # ordering survives
+
+    def test_connection_times_roundtrip_exact(self, tmp_path):
+        recs = [
+            ConnectionRecord(1_400_000_000.123456789, 0.1 + 2**-40,
+                             "FTP", 1, 2, 3, 4, None),
+        ]
+        path = tmp_path / "epoch.txt"
+        write_connection_trace(ConnectionTrace("x", recs), path)
+        back = read_connection_trace(path)
+        assert back.record(0).start_time == recs[0].start_time
+        assert back.record(0).duration == recs[0].duration
+
+    @given(st.floats(min_value=0, max_value=2e9, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_any_float_timestamp_roundtrips(self, t):
+        import tempfile
+
+        pkts = [PacketRecord(t, "TELNET", 1, Direction.ORIGINATOR, 1, True)]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = f"{tmp}/p.txt"
+            write_packet_trace(PacketTrace("x", pkts), path)
+            back = read_packet_trace(path)
+        assert back.timestamps[0] == t
+
+
+class TestGzipTransparency:
+    def test_packet_gz_roundtrip(self, tmp_path):
+        import gzip
+
+        pkts = [
+            PacketRecord(0.5, "TELNET", 1, Direction.ORIGINATOR, 1, True),
+            PacketRecord(1.5, "FTPDATA", 2, Direction.RESPONDER, 512, False),
+        ]
+        path = tmp_path / "pkts.txt.gz"
+        write_packet_trace(PacketTrace("x", pkts), path)
+        with open(path, "rb") as fh:  # really compressed on disk
+            assert fh.read(2) == b"\x1f\x8b"
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("#repro-packets")
+        back = read_packet_trace(path)
+        assert len(back) == 2
+        assert back.record(0) == pkts[0]
+        assert back.name == "pkts"  # .gz stripped from the derived name
+
+    def test_connection_gz_roundtrip(self, tmp_path):
+        recs = [ConnectionRecord(1.25, 3.5, "TELNET", 10, 20, 1, 2, None)]
+        path = tmp_path / "conns.txt.gz"
+        write_connection_trace(ConnectionTrace("x", recs), path)
+        back = read_connection_trace(path)
+        assert back.record(0) == recs[0]
+
+    def test_gz_matches_plain(self, tmp_path):
+        pkts = [
+            PacketRecord(i * 0.125, "SMTP", i, Direction.ORIGINATOR, 40, False)
+            for i in range(50)
+        ]
+        plain, packed = tmp_path / "p.txt", tmp_path / "p.txt.gz"
+        write_packet_trace(PacketTrace("x", pkts), plain)
+        write_packet_trace(PacketTrace("x", pkts), packed)
+        a, b = read_packet_trace(plain), read_packet_trace(packed)
+        assert np.array_equal(a.timestamps, b.timestamps)
+        assert np.array_equal(a.sizes, b.sizes)
+
+
 class TestPacketIOProperty:
     @given(
         st.lists(
