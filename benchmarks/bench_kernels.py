@@ -1,20 +1,56 @@
 """Micro-benchmarks of the library's hot kernels.
 
-Unlike the per-figure benches (one shot, assert the paper's shape), these
-run multiple rounds to give real timing statistics for the primitives the
-experiments lean on: fGn synthesis, the variance-time sweep, the
-Anderson-Darling test, Whittle estimation, trace binning, and burst
-coalescing.
+Two faces:
+
+* **pytest-benchmark micro-tests** (run with
+  ``pytest benchmarks/bench_kernels.py --benchmark-only``) giving timing
+  statistics for the primitives the experiments lean on;
+* **a CLI** (``PYTHONPATH=src python benchmarks/bench_kernels.py``) that
+  times every vectorized kernel against its frozen pre-PR loop from
+  :mod:`repro.kernels.reference`, verifies the equivalence claim for each,
+  and records the before/after baseline in ``BENCH_kernels.json``.
+  ``--check BASELINE`` compares the *normalized* ratio
+  ``vectorized/loop`` against the recorded one and fails when any kernel
+  regressed past 1.5x — machine-independent, so CI can enforce it on
+  whatever hardware it gets.
 """
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
 from repro.arrivals import homogeneous_poisson
+from repro.arrivals.cluster import compound_poisson_cluster
+from repro.arrivals.onoff import OnOffSource
 from repro.core import coalesce_bursts
+from repro.core.ftp import FtpSessionModel
+from repro.core.fulltel import FullTelModel
+from repro.core.telnet import ConnectionSpec, Scheme, synthesize_packet_arrivals
 from repro.distributions import tcplib
-from repro.selfsim import CountProcess, fgn_sample, variance_time_curve, whittle_estimate
+from repro.distributions.exponential import Exponential
+from repro.distributions.pareto import Pareto
+from repro.kernels import lindley_waits
+from repro.kernels import reference as ref
+from repro.selfsim import (
+    CountProcess,
+    farima_autocovariance,
+    fgn_sample,
+    variance_time_curve,
+    whittle_estimate,
+)
+from repro.selfsim.rs_analysis import rs_analysis
 from repro.stats import anderson_darling_exponential
 from repro.utils import bin_counts
+
+# ----------------------------------------------------------------------
+# pytest-benchmark micro-tests
+# ----------------------------------------------------------------------
 
 
 def test_kernel_fgn_synthesis(benchmark):
@@ -61,3 +97,242 @@ def test_kernel_burst_coalescing(benchmark):
     sizes = rng.integers(1, 10**6, 5000)
     bursts = benchmark(coalesce_bursts, starts, durs, sizes)
     assert sum(b.n_connections for b in bursts) == 5000
+
+
+def _lindley_inputs(n, seed=8):
+    rng = np.random.default_rng(seed)
+    s = rng.integers(0, 12, n).astype(float)
+    a = rng.integers(0, 14, n - 1).astype(float)
+    return s, a
+
+
+def test_kernel_lindley_loop(benchmark):
+    s, a = _lindley_inputs(200_000)
+    w = benchmark(ref.lindley_waits_loop, s, a)
+    assert w.size == s.size
+
+
+def test_kernel_lindley_vectorized(benchmark):
+    s, a = _lindley_inputs(200_000)
+    w = benchmark(lindley_waits, s, a)
+    assert np.array_equal(w, ref.lindley_waits_loop(s, a))
+
+
+def test_kernel_telnet_batched(benchmark):
+    specs = [ConnectionSpec(float(i), 40) for i in range(500)]
+    times, ids = benchmark(
+        synthesize_packet_arrivals, specs, Scheme.TCPLIB, seed=9
+    )
+    assert times.size == 500 * 40
+
+
+# ----------------------------------------------------------------------
+# CLI: loop-vs-vectorized baseline for BENCH_kernels.json
+# ----------------------------------------------------------------------
+class _Const:
+    """Order-free deterministic distribution: consumes the stream like a
+    real one but ignores draw order, isolating assembly equivalence for
+    kernels whose RNG-stream contract changed."""
+
+    def __init__(self, v):
+        self.v = v
+
+    def sample(self, n, seed=None):
+        if seed is not None and hasattr(seed, "random"):
+            seed.random(n)
+        return np.full(n, self.v)
+
+
+def _time(fn, repeats):
+    best = np.inf
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _traces_equal(a, b):
+    return (np.array_equal(a.timestamps, b.timestamps)
+            and np.array_equal(a.connection_ids, b.connection_ids)
+            and np.array_equal(a.sizes, b.sizes))
+
+
+def kernel_cases(scale):
+    """Yield (name, n, loop_fn, vectorized_fn, identical_fn, identity)."""
+    full = scale == "full"
+
+    n = 5_000_000 if full else 200_000
+    s, a = _lindley_inputs(n)
+    yield ("lindley_fifo", n,
+           lambda: ref.lindley_waits_loop(s, a),
+           lambda: lindley_waits(s, a),
+           lambda loop, vec: np.array_equal(loop, vec),
+           "bit-identical (integer-valued draws)")
+
+    lag = 200_000 if full else 20_000
+    yield ("farima_autocovariance", lag,
+           lambda: ref.farima_autocovariance_loop(0.3, lag),
+           lambda: farima_autocovariance(0.3, lag),
+           lambda loop, vec: bool(np.allclose(loop, vec, rtol=1e-12)),
+           "allclose vs historical division order; "
+           "bit-identical to the ratio-ordered recursion")
+
+    n_conns = 3000 if full else 300
+    specs = [ConnectionSpec(float(i) * 0.5, 40) for i in range(n_conns)]
+    yield ("telnet_synthesize", n_conns * 40,
+           lambda: ref.synthesize_packet_arrivals_loop(specs, Scheme.TCPLIB, 5),
+           lambda: synthesize_packet_arrivals(specs, Scheme.TCPLIB, seed=5),
+           lambda loop, vec: (np.array_equal(loop[0], vec[0])
+                              and np.array_equal(loop[1], vec[1])),
+           "bit-identical (shared-stream contract unchanged)")
+
+    ft_dur = 4 * 3600.0 if full else 1800.0
+    ft = FullTelModel(connections_per_hour=400.0)
+    ft_packets = ft.synthesize(ft_dur, seed=3).timestamps.size
+    yield ("fulltel_synthesize", ft_packets,
+           lambda: ref.fulltel_synthesize_loop(ft, ft_dur, 3),
+           lambda: ft.synthesize(ft_dur, seed=3, batch=True),
+           lambda loop, vec: _traces_equal(
+               vec, ft.synthesize(ft_dur, seed=3, batch=False)),
+           "batch == per-connection loop on identical child streams "
+           "(pre-PR shared-stream loop timed as baseline)")
+
+    ftp_dur = 24 * 3600.0 if full else 2 * 3600.0
+    fm = FtpSessionModel(sessions_per_hour=150.0)
+    ftp_records = len(fm.synthesize(ftp_dur, seed=4))
+    yield ("ftp_synthesize", ftp_records,
+           lambda: ref.ftp_synthesize_loop(fm, ftp_dur, 4),
+           lambda: fm.synthesize(ftp_dur, seed=4, batch=True),
+           lambda loop, vec: vec == fm.synthesize(ftp_dur, seed=4, batch=False),
+           "batch == per-session loop on identical child streams "
+           "(pre-PR shared-stream loop timed as baseline)")
+
+    n = 2_000_000 if full else 100_000
+    rng = np.random.default_rng(11)
+    cb_s = np.cumsum(rng.exponential(2.0, n))
+    cb_d = rng.exponential(3.0, n)
+    cb_b = rng.integers(1, 10**6, n)
+    yield ("coalesce_bursts", n,
+           lambda: ref.coalesce_bursts_loop(cb_s, cb_d, cb_b),
+           lambda: coalesce_bursts(cb_s, cb_d, cb_b),
+           lambda loop, vec: loop == vec,
+           "bit-identical burst boundaries")
+
+    n = 2**20 if full else 2**16
+    series = np.diff(np.random.default_rng(12).normal(size=n + 1).cumsum())
+    rs_sizes = np.unique(
+        np.round(np.geomspace(8, series.size // 4, 12)).astype(int)
+    )
+    yield ("rs_analysis", n,
+           lambda: ref.rs_means_loop(series, rs_sizes, 50, 0),
+           lambda: rs_analysis(series, seed=0),
+           lambda loop, vec: (np.array_equal(vec.block_sizes, loop[0])
+                              and np.array_equal(vec.rs_values, loop[1])),
+           "bit-identical per-size R/S means")
+
+    dur = 50_000.0 if full else 5_000.0
+    size_d, gap_d = Pareto(1.0, 1.5), Exponential(0.1)
+    yield ("cluster_arrivals", int(dur),
+           lambda: ref.compound_poisson_cluster_loop(2.0, dur, size_d, gap_d, 6),
+           lambda: compound_poisson_cluster(2.0, dur, size_d, gap_d, seed=6),
+           lambda loop, vec: np.array_equal(
+               compound_poisson_cluster(0.5, 500.0, _Const(3.4), _Const(0.2),
+                                        seed=1),
+               ref.compound_poisson_cluster_loop(0.5, 500.0, _Const(3.4),
+                                                 _Const(0.2), 1)),
+           "assembly bit-identical (checked with order-free draws; "
+           "batched draw order changes real-dist streams)")
+
+    dur = 200_000.0 if full else 20_000.0
+    src = OnOffSource.pareto()
+    cs = OnOffSource(_Const(2.0), _Const(3.0))
+    yield ("onoff_intervals", int(dur),
+           lambda: ref.onoff_intervals_loop(src, dur, 7, True),
+           lambda: src.intervals(dur, seed=7, start_on=True),
+           lambda loop, vec: (cs.intervals(1000.0, seed=1, start_on=True)
+                              == ref.onoff_intervals_loop(cs, 1000.0, 1, True)),
+           "assembly bit-identical (checked with order-free draws; "
+           "blocked draw order changes real-dist streams)")
+
+
+def run_suite(scale, repeats):
+    results = {}
+    for name, n, loop_fn, vec_fn, identical_fn, identity in kernel_cases(scale):
+        loop_s, loop_out = _time(loop_fn, repeats)
+        vec_s, vec_out = _time(vec_fn, repeats)
+        identical = bool(identical_fn(loop_out, vec_out))
+        results[name] = {
+            "n": int(n),
+            "loop_s": round(loop_s, 6),
+            "vectorized_s": round(vec_s, 6),
+            "speedup": round(loop_s / vec_s, 2) if vec_s > 0 else None,
+            "identical": identical,
+            "identity": identity,
+        }
+        print(f"{name:24s} n={n:>9d}  loop {loop_s:9.4f}s  "
+              f"vec {vec_s:9.4f}s  x{loop_s / vec_s:8.1f}  "
+              f"{'OK' if identical else 'MISMATCH'}")
+    return results
+
+
+def check_against(baseline_path, scale, results, factor=1.5):
+    """Fail when any kernel's vectorized/loop ratio regressed past
+    ``factor`` x the recorded one (normalized, so machine speed cancels)."""
+    payload = json.loads(Path(baseline_path).read_text())
+    base = payload.get("scales", {}).get(scale)
+    if base is None:
+        raise SystemExit(f"baseline {baseline_path} has no '{scale}' scale")
+    failures = []
+    for name, now in results.items():
+        if not now["identical"]:
+            failures.append(f"{name}: equivalence check failed")
+            continue
+        then = base.get(name)
+        if then is None:
+            continue  # new kernel: no baseline yet
+        ratio_now = now["vectorized_s"] / now["loop_s"]
+        ratio_then = then["vectorized_s"] / then["loop_s"]
+        if now["vectorized_s"] < 0.005 and ratio_now < 1.0:
+            # Sub-5ms kernels sit at timer resolution: their ratio is all
+            # jitter.  As long as they still beat the loop, they pass.
+            continue
+        if ratio_now > factor * ratio_then:
+            failures.append(
+                f"{name}: vectorized/loop ratio {ratio_now:.4f} exceeds "
+                f"{factor}x baseline {ratio_then:.4f}"
+            )
+    if failures:
+        raise SystemExit("kernel benchmark regressions:\n  "
+                         + "\n  ".join(failures))
+    print(f"check passed: no kernel slower than {factor}x its recorded ratio")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "full"), default="small")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=str(Path(__file__).parent
+                                             / "BENCH_kernels.json"))
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a recorded baseline and fail "
+                             "on >1.5x normalized regressions")
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.scale, args.repeats)
+    if args.check:
+        check_against(args.check, args.scale, results)
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = (json.loads(out.read_text())
+               if out.exists() else {"script": "benchmarks/bench_kernels.py"})
+    payload.setdefault("scales", {})[args.scale] = results
+    payload["repeats"] = args.repeats
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

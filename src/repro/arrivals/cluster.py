@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.arrivals.poisson import homogeneous_poisson
 from repro.distributions.base import Distribution
+from repro.kernels.segments import grouped_cumsum
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import require_nonnegative, require_positive
 
@@ -38,18 +39,32 @@ def compound_poisson_cluster(
     by gaps from ``within_gap_dist``.  Triggers model user sessions or
     mailing-list explosions; offspring model the machine-generated follow-on
     connections that destroy the memoryless property.
+
+    RNG-stream contract: after the triggers, all cluster sizes are drawn in
+    one vectorized call, then all within-cluster gaps in a second; the
+    per-cluster offset ``cumsum`` uses the bit-exact segmented kernel, so
+    the assembly matches a per-cluster loop over the same variates exactly.
     """
     rng = as_rng(seed)
     triggers = homogeneous_poisson(session_rate, duration, seed=rng)
     if triggers.size == 0:
         return triggers
-    times = []
-    for t in triggers:
-        n = max(1, int(np.ceil(float(cluster_size_dist.sample(1, seed=rng)[0]))))
-        gaps = within_gap_dist.sample(n - 1, seed=rng) if n > 1 else np.zeros(0)
-        offsets = np.concatenate([[0.0], np.cumsum(gaps)])
-        times.append(t + offsets)
-    all_times = np.sort(np.concatenate(times))
+    sizes = np.maximum(
+        np.ceil(cluster_size_dist.sample(triggers.size, seed=rng)).astype(np.int64),
+        1,
+    )
+    n_gaps = sizes - 1
+    total_gaps = int(n_gaps.sum())
+    gaps = (
+        within_gap_dist.sample(total_gaps, seed=rng)
+        if total_gaps
+        else np.zeros(0)
+    )
+    offsets = np.zeros(int(sizes.sum()))
+    follower = np.ones(offsets.size, dtype=bool)
+    follower[np.cumsum(sizes) - sizes] = False  # cluster heads: offset 0
+    offsets[follower] = grouped_cumsum(gaps, n_gaps)
+    all_times = np.sort(np.repeat(triggers, sizes) + offsets)
     return all_times[all_times < duration]
 
 
@@ -79,12 +94,12 @@ def timer_driven_arrivals(
     firings = np.arange(phase, duration, period)
     if jitter_sd > 0 and firings.size:
         firings = firings + rng.normal(0.0, jitter_sd, size=firings.size)
-    times = []
-    for f in firings:
-        times.append(f + batch_gap * np.arange(batch_size))
-    if not times:
+    if firings.size == 0:
         return np.zeros(0)
-    all_times = np.sort(np.concatenate(times))
+    # broadcast: firing x batch offset, elementwise identical to the
+    # per-firing construction
+    batch_offsets = batch_gap * np.arange(batch_size)
+    all_times = np.sort((firings[:, None] + batch_offsets[None, :]).ravel())
     return all_times[(all_times >= 0.0) & (all_times < duration)]
 
 

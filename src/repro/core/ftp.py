@@ -24,10 +24,12 @@ import numpy as np
 from repro.arrivals.poisson import homogeneous_poisson
 from repro.distributions.lognormal import Log2Normal
 from repro.distributions.pareto import Pareto
+from repro.utils.pool import pool_map
+from repro.kernels.segments import grouped_sum
 from repro.stats.tail import concentration_curve, top_fraction_share
 from repro.traces.records import ConnectionRecord
 from repro.traces.trace import ConnectionTrace
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 from repro.utils.validation import require_positive
 
 #: The paper's burst-coalescing spacing rule (seconds).  Footnoted as robust:
@@ -63,6 +65,12 @@ def coalesce_bursts(
     "Spacing" is "the amount of time between the end of one FTPDATA
     connection within a session and the beginning of the next"; consecutive
     connections with spacing <= ``spacing`` share a burst.
+
+    The gap scan is vectorized (one ``flatnonzero`` over the gap mask, then
+    ``maximum.reduceat``/``add.reduceat`` per burst segment — exact, since
+    byte totals are int64 and the max picks an element), with an early-exit
+    fast path for the common single-burst session in which no gap exceeds
+    the spacing rule.
     """
     require_positive(spacing, "spacing")
     s = np.asarray(starts, dtype=float)
@@ -76,25 +84,35 @@ def coalesce_bursts(
     s, d, b = s[order], d[order], b[order]
     ends = s + d
 
-    bursts: list[Burst] = []
-    first = 0
-    for i in range(1, s.size):
-        gap = s[i] - ends[i - 1]
-        if gap > spacing:
-            bursts.append(_make_burst(session_id, s, ends, b, first, i))
-            first = i
-    bursts.append(_make_burst(session_id, s, ends, b, first, s.size))
-    return bursts
-
-
-def _make_burst(sid, starts, ends, data_bytes, first, stop) -> Burst:
-    return Burst(
-        session_id=sid,
-        start_time=float(starts[first]),
-        end_time=float(ends[first:stop].max()),
-        n_connections=stop - first,
-        total_bytes=int(data_bytes[first:stop].sum()),
+    boundaries = (
+        np.zeros(0, dtype=np.int64)
+        if s.size == 1
+        else np.flatnonzero(s[1:] - ends[:-1] > spacing) + 1
     )
+    if boundaries.size == 0:
+        # Fast path: every gap within the spacing rule — one burst.
+        return [Burst(
+            session_id=session_id,
+            start_time=float(s[0]),
+            end_time=float(ends.max()),
+            n_connections=s.size,
+            total_bytes=int(b.sum()),
+        )]
+    firsts = np.concatenate(([0], boundaries))
+    stops = np.concatenate((boundaries, [s.size]))
+    end_times = np.maximum.reduceat(ends, firsts)
+    byte_totals = np.add.reduceat(b, firsts)
+    return [
+        Burst(
+            session_id=session_id,
+            start_time=float(s[first]),
+            end_time=float(end_time),
+            n_connections=int(stop - first),
+            total_bytes=int(total),
+        )
+        for first, stop, end_time, total
+        in zip(firsts, stops, end_times, byte_totals)
+    ]
 
 
 def trace_bursts(
@@ -222,52 +240,56 @@ class FtpSessionModel:
         first_session_id: int = 0,
         start_offset: float = 0.0,
         session_starts: np.ndarray | None = None,
+        jobs: int = 1,
+        batch: bool = True,
     ) -> list[ConnectionRecord]:
         """Generate FTP control + FTPDATA connection records.
 
         ``session_starts`` overrides the Poisson session arrivals (used by
         the trace synthesizer, which draws them from a diurnal profile).
+
+        RNG-stream contract: after the session starts are drawn from the
+        seed stream, every session owns an independent child generator
+        (``spawn_rngs``) that draws, in order: host pair, burst count, all
+        burst connection counts, all burst byte totals, all inter-burst
+        gaps, all connection weights, all intra-burst gaps, and the control
+        record's byte counts — each as one vectorized call.  Sessions are
+        therefore independent (``jobs > 1`` fans them over a process pool
+        with identical output), and the default ``batch=True`` assembly
+        computes every connection's start time with one ``cumsum`` over the
+        session's increments, bit-identical to the scalar accumulation of
+        ``batch=False``.
         """
         require_positive(duration, "duration")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         rng = as_rng(seed)
         if session_starts is None:
             session_starts = homogeneous_poisson(
                 self.sessions_per_hour / 3600.0, duration, seed=rng
             )
-        gap_dist = Log2Normal(self.inter_burst_gap_log2_mean,
-                              self.inter_burst_gap_log2_sd)
-        conn_count = Pareto(1.0, self.conns_per_burst_shape)
-        burst_bytes = Pareto(self.burst_bytes_location, self.burst_bytes_shape)
+        t0s = np.asarray(session_starts, dtype=float)
+        session_rngs = spawn_rngs(rng, t0s.size)
 
-        records: list[ConnectionRecord] = []
-        for k, t0 in enumerate(np.asarray(session_starts, dtype=float)):
-            sid = first_session_id + k
-            # per-session host pair, so periodic-source detection and
-            # host-level analyses see realistic structure
-            orig = int(rng.integers(0, 500))
-            resp = int(rng.integers(500, 1000))
-            n_bursts = 1 + rng.geometric(1.0 / self.mean_bursts_per_session)
-            t = t0
-            session_end = t0
-            for _ in range(n_bursts):
-                t, burst_records = self._one_burst(t, sid, conn_count,
-                                                   burst_bytes, rng,
-                                                   orig, resp)
-                records.extend(burst_records)
-                session_end = t
-                t += float(gap_dist.sample(1, seed=rng)[0]) + BURST_SPACING_SECONDS
-            records.append(
-                ConnectionRecord(
-                    start_time=t0,
-                    duration=max(session_end - t0, 1.0),
-                    protocol="FTP",
-                    bytes_orig=int(rng.integers(200, 2000)),
-                    bytes_resp=int(rng.integers(500, 5000)),
-                    orig_host=orig,
-                    resp_host=resp,
-                    session_id=sid,
-                )
-            )
+        if jobs == 1 or t0s.size <= 1:
+            records = _session_group(self, first_session_id, t0s,
+                                     session_rngs, batch)
+        else:
+            groups = [
+                g for g in np.array_split(np.arange(t0s.size), jobs)
+                if g.size
+            ]
+            tasks = [
+                (self, first_session_id + int(g[0]), t0s[g],
+                 [session_rngs[i] for i in g], batch)
+                for g in groups
+            ]
+            outcomes = pool_map(_session_group, tasks, jobs)
+            records = []
+            for outcome in outcomes:
+                if isinstance(outcome, Exception):
+                    raise outcome
+                records.extend(outcome)
         if start_offset:
             records = [
                 ConnectionRecord(
@@ -284,30 +306,139 @@ class FtpSessionModel:
             ]
         return records
 
-    def _one_burst(self, t, sid, conn_count, burst_bytes, rng,
-                   orig_host=0, resp_host=0):
-        # Pareto(1, shape) floored gives a discrete power-law count >= 1.
-        n_conns = min(
-            int(np.floor(float(conn_count.sample(1, seed=rng)[0]))),
-            self.max_conns_per_burst,
+
+def _session_group(model: FtpSessionModel, sid0, t0s, rngs, batch):
+    """Pool worker: synthesize a contiguous group of sessions."""
+    gap_dist = Log2Normal(model.inter_burst_gap_log2_mean,
+                          model.inter_burst_gap_log2_sd)
+    conn_count = Pareto(1.0, model.conns_per_burst_shape)
+    burst_bytes = Pareto(model.burst_bytes_location, model.burst_bytes_shape)
+    records: list[ConnectionRecord] = []
+    for k, (t0, rng) in enumerate(zip(t0s, rngs)):
+        records.extend(
+            _one_session(model, sid0 + k, float(t0), rng,
+                         gap_dist, conn_count, burst_bytes, batch)
         )
-        total = float(burst_bytes.sample(1, seed=rng)[0])
-        weights = rng.lognormal(0.0, 1.0, size=n_conns)
-        shares = np.maximum((total * weights / weights.sum()).astype(np.int64), 1)
-        records = []
-        for share in shares:
-            dur = self.setup_overhead + float(share) / self.transfer_rate
+    return records
+
+
+def _one_session(model, sid, t0, rng, gap_dist, conn_count, burst_bytes,
+                 batch):
+    """One session's records; all stochastic draws happen here, in a fixed
+    order of vectorized calls (the per-session stream contract), before
+    either assembly path runs."""
+    # per-session host pair, so periodic-source detection and
+    # host-level analyses see realistic structure
+    orig = int(rng.integers(0, 500))
+    resp = int(rng.integers(500, 1000))
+    n_bursts = 1 + int(rng.geometric(1.0 / model.mean_bursts_per_session))
+    conn_raw = conn_count.sample(n_bursts, seed=rng)
+    totals = burst_bytes.sample(n_bursts, seed=rng)
+    inter_gaps = gap_dist.sample(n_bursts, seed=rng)
+    # Pareto(1, shape) floored gives a discrete power-law count >= 1.
+    n_conns = np.minimum(
+        np.floor(conn_raw).astype(np.int64), model.max_conns_per_burst
+    )
+    total_conns = int(n_conns.sum())
+    weights = rng.lognormal(0.0, 1.0, size=total_conns)
+    intra = rng.exponential(model.intra_burst_gap_mean, size=total_conns)
+    ctrl_orig = int(rng.integers(200, 2000))
+    ctrl_resp = int(rng.integers(500, 5000))
+
+    if batch:
+        shares, durs, conn_starts, session_end = _assemble_batched(
+            model, t0, n_conns, totals, inter_gaps, weights, intra
+        )
+        records = [
+            ConnectionRecord(
+                start_time=float(start),
+                duration=float(dur),
+                protocol="FTPDATA",
+                bytes_orig=0,
+                bytes_resp=int(share),
+                orig_host=orig,
+                resp_host=resp,
+                session_id=sid,
+            )
+            for start, dur, share in zip(conn_starts, durs, shares)
+        ]
+    else:
+        records, session_end = _assemble_loop(
+            model, sid, t0, n_conns, totals, inter_gaps, weights, intra,
+            orig, resp,
+        )
+    records.append(
+        ConnectionRecord(
+            start_time=t0,
+            duration=max(session_end - t0, 1.0),
+            protocol="FTP",
+            bytes_orig=ctrl_orig,
+            bytes_resp=ctrl_resp,
+            orig_host=orig,
+            resp_host=resp,
+            session_id=sid,
+        )
+    )
+    return records
+
+
+def _assemble_batched(model, t0, n_conns, totals, inter_gaps, weights, intra):
+    """Vectorized assembly: one ``cumsum`` over the session's interleaved
+    increments (connection ``duration + intra gap``, then burst
+    ``inter gap + spacing``).  ``cumsum`` accumulates sequentially, so every
+    start time is bit-identical to the scalar ``t += inc`` walk of
+    :func:`_assemble_loop`."""
+    wsum = grouped_sum(weights, n_conns)
+    shares = np.maximum(
+        (np.repeat(totals, n_conns) * weights
+         / np.repeat(wsum, n_conns)).astype(np.int64),
+        1,
+    )
+    durs = model.setup_overhead + shares / model.transfer_rate
+    seg_len = n_conns + 1
+    total_len = int(seg_len.sum())
+    gap_pos = np.cumsum(seg_len) - 1
+    conn_mask = np.ones(total_len, dtype=bool)
+    conn_mask[gap_pos] = False
+    incs = np.empty(total_len)
+    incs[conn_mask] = durs + intra
+    incs[gap_pos] = inter_gaps + BURST_SPACING_SECONDS
+    full = np.cumsum(np.concatenate(([t0], incs)))
+    conn_starts = full[:-1][conn_mask]
+    session_end = float(full[-2])
+    return shares, durs, conn_starts, session_end
+
+
+def _assemble_loop(model, sid, t0, n_conns, totals, inter_gaps, weights,
+                   intra, orig, resp):
+    """Scalar reference assembly over the same pre-drawn variates."""
+    records = []
+    t = t0
+    session_end = t0
+    pos = 0
+    for bi in range(n_conns.size):
+        k = int(n_conns[bi])
+        w = weights[pos: pos + k]
+        shares = np.maximum(
+            (float(totals[bi]) * w / w.sum()).astype(np.int64), 1
+        )
+        for j in range(k):
+            share = shares[j]
+            dur = model.setup_overhead + float(share) / model.transfer_rate
             records.append(
                 ConnectionRecord(
                     start_time=float(t),
-                    duration=dur,
+                    duration=float(dur),
                     protocol="FTPDATA",
                     bytes_orig=0,
                     bytes_resp=int(share),
-                    orig_host=orig_host,
-                    resp_host=resp_host,
+                    orig_host=orig,
+                    resp_host=resp,
                     session_id=sid,
                 )
             )
-            t = float(t) + dur + float(rng.exponential(self.intra_burst_gap_mean))
-        return t, records
+            t = t + (dur + float(intra[pos + j]))
+        pos += k
+        session_end = t
+        t = t + (float(inter_gaps[bi]) + BURST_SPACING_SECONDS)
+    return records, session_end

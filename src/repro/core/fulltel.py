@@ -18,9 +18,11 @@ import numpy as np
 from repro.arrivals.poisson import homogeneous_poisson
 from repro.core.responder import TelnetResponderModel
 from repro.distributions import tcplib
+from repro.utils.pool import pool_map
+from repro.kernels.segments import grouped_cumsum
 from repro.selfsim.counts import CountProcess
 from repro.traces.trace import PacketTrace
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 from repro.utils.validation import require_positive
 
 #: Cap on packets per connection when synthesizing finite traces: the
@@ -65,6 +67,8 @@ class FullTelModel:
         seed: SeedLike = None,
         trim_warmup: float = 0.0,
         include_responder: bool = False,
+        jobs: int = 1,
+        batch: bool = True,
     ) -> PacketTrace:
         """Generate a TELNET packet trace.
 
@@ -78,71 +82,56 @@ class FullTelModel:
         command-output bursts) via :class:`TelnetResponderModel` — the
         extension the paper lists as remaining work.  Responder packets
         carry ``Direction.RESPONDER`` and realistic sizes.
+
+        RNG-stream contract: after the connection starts and sizes are
+        drawn from the seed stream, every connection owns an independent
+        child generator (``spawn_rngs``) consuming, in order, one uniform
+        per candidate packet gap and one per surviving packet's byte size
+        (plus the responder draws when enabled).  This makes connections
+        independent — so ``jobs > 1`` fans them over a process pool with
+        bit-identical output — and lets the default ``batch=True`` path
+        draw all connections' gaps and sizes in single vectorized passes
+        that are bit-identical to the per-connection loop (``batch=False``,
+        also used by the responder path, which stays per-connection).
         """
         require_positive(duration, "duration")
         if trim_warmup < 0 or trim_warmup >= duration:
             raise ValueError("trim_warmup must lie in [0, duration)")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         rng = as_rng(seed)
         rate_per_sec = self.connections_per_hour / 3600.0
         starts = homogeneous_poisson(rate_per_sec, duration, seed=rng)
         sizes = self.sample_connection_sizes(starts.size, seed=rng)
-        interarrival = tcplib.telnet_packet_interarrival()
-        responder = TelnetResponderModel() if include_responder else None
+        conn_rngs = spawn_rngs(rng, starts.size)
 
-        times_parts, id_parts, dir_parts, size_parts, ud_parts = \
-            [], [], [], [], []
-        for cid, (t0, n_pkts) in enumerate(zip(starts, sizes)):
-            gaps = interarrival.sample(int(n_pkts), seed=rng)
-            t = t0 + np.cumsum(gaps)
-            t = t[t < duration]
-            if t.size == 0:
-                continue
-            times_parts.append(t)
-            id_parts.append(np.full(t.size, cid, dtype=np.int64))
-            dir_parts.append(np.zeros(t.size, dtype=np.int8))
-            # keystrokes, Nagle coalescing, line mode: ~1.6 bytes/packet
-            pkt_bytes = np.round(
-                tcplib.telnet_packet_bytes().sample(t.size, seed=rng)
-            ).astype(np.int64)
-            size_parts.append(np.maximum(pkt_bytes, 1))
-            ud_parts.append(np.ones(t.size, dtype=bool))
-            if responder is not None:
-                rt, rs = responder.respond(t, seed=rng)
-                keep_r = rt < duration
-                rt, rs = rt[keep_r], rs[keep_r]
-                if rt.size:
-                    times_parts.append(rt)
-                    id_parts.append(np.full(rt.size, cid, dtype=np.int64))
-                    dir_parts.append(np.ones(rt.size, dtype=np.int8))
-                    size_parts.append(rs)
-                    ud_parts.append(np.ones(rt.size, dtype=bool))
-                    # Originator pure acks for the bulk output (delayed-ack
-                    # style: one ack per two data packets).  These are the
-                    # packets Section IV's analysis filters out ("except
-                    # those consisting of no user data ('pure ack')").
-                    bulk = rt[rs > responder.echo_bytes]
-                    acks = bulk[::2] + 0.02
-                    acks = acks[acks < duration]
-                    if acks.size:
-                        times_parts.append(acks)
-                        id_parts.append(np.full(acks.size, cid, dtype=np.int64))
-                        dir_parts.append(np.zeros(acks.size, dtype=np.int8))
-                        size_parts.append(np.zeros(acks.size, dtype=np.int64))
-                        ud_parts.append(np.zeros(acks.size, dtype=bool))
-
-        if times_parts:
-            timestamps = np.concatenate(times_parts)
-            conn_ids = np.concatenate(id_parts)
-            directions = np.concatenate(dir_parts)
-            pkt_sizes = np.concatenate(size_parts)
-            user_data = np.concatenate(ud_parts)
+        if jobs == 1 or starts.size <= 1:
+            parts = _connection_group(
+                self, 0, starts, sizes, conn_rngs, duration,
+                include_responder, batch,
+            )
         else:
-            timestamps = np.zeros(0)
-            conn_ids = np.zeros(0, dtype=np.int64)
-            directions = np.zeros(0, dtype=np.int8)
-            pkt_sizes = np.zeros(0, dtype=np.int64)
-            user_data = np.zeros(0, dtype=bool)
+            groups = [
+                g for g in np.array_split(np.arange(starts.size), jobs)
+                if g.size
+            ]
+            tasks = [
+                (self, int(g[0]), starts[g], sizes[g],
+                 [conn_rngs[i] for i in g], duration,
+                 include_responder, batch)
+                for g in groups
+            ]
+            outcomes = pool_map(_connection_group, tasks, jobs)
+            merged = []
+            for outcome in outcomes:
+                if isinstance(outcome, Exception):
+                    raise outcome
+                merged.append(outcome)
+            parts = tuple(
+                np.concatenate([m[i] for m in merged]) for i in range(5)
+            )
 
+        timestamps, conn_ids, directions, pkt_sizes, user_data = parts
         keep = timestamps >= trim_warmup
         return PacketTrace(
             name=f"FULL-TEL({self.connections_per_hour}/h)",
@@ -160,9 +149,124 @@ class FullTelModel:
         bin_width: float = 0.1,
         seed: SeedLike = None,
         trim_warmup: float = 0.0,
+        jobs: int = 1,
     ) -> CountProcess:
         """Synthesize and bin in one call (the Fig. 7 workflow)."""
-        trace = self.synthesize(duration, seed=seed, trim_warmup=trim_warmup)
+        trace = self.synthesize(duration, seed=seed, trim_warmup=trim_warmup,
+                                jobs=jobs)
         return CountProcess.from_times(
             trace.timestamps, bin_width, start=0.0, end=duration - trim_warmup
         )
+
+
+def _empty_parts():
+    return (np.zeros(0), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int8), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=bool))
+
+
+def _connection_group(model, cid0, starts, sizes, rngs, duration,
+                      include_responder, batch):
+    """Pool worker: synthesize connections ``cid0 .. cid0+len(starts)-1``.
+
+    Returns the five conn-major packet arrays
+    ``(timestamps, conn_ids, directions, sizes, user_data)``.
+    """
+    if include_responder or not batch:
+        return _connection_group_loop(model, cid0, starts, sizes, rngs,
+                                      duration, include_responder)
+    return _connection_group_batched(model, cid0, starts, sizes, rngs,
+                                     duration)
+
+
+def _connection_group_batched(model, cid0, starts, sizes, rngs, duration):
+    """All connections' draws in two vectorized passes.
+
+    Bit-identical to :func:`_connection_group_loop` (without responder):
+    per-connection uniforms are drawn from each child stream exactly as the
+    loop would (``random(n)`` then ``random(n_surviving)``), concatenated,
+    and pushed through the distributions' ppf in one call; the
+    per-connection ``cumsum`` uses the bit-exact segmented kernel.
+    """
+    interarrival = tcplib.telnet_packet_interarrival()
+    bytes_dist = tcplib.telnet_packet_bytes()
+    counts = np.asarray(sizes, dtype=np.int64)
+    n_conns = counts.size
+    if n_conns == 0:
+        return _empty_parts()
+    gap_u = [rng.random(int(n)) for rng, n in zip(rngs, counts)]
+    gaps = interarrival.ppf(
+        np.concatenate(gap_u) if gap_u else np.zeros(0)
+    )
+    times = grouped_cumsum(gaps, counts,
+                           offsets=np.asarray(starts, dtype=float))
+    conn_ids = np.repeat(cid0 + np.arange(n_conns, dtype=np.int64), counts)
+    keep = times < duration
+    seg = np.repeat(np.arange(n_conns), counts)
+    kept_counts = np.bincount(seg[keep], minlength=n_conns)
+    byte_u = [rng.random(int(k)) for rng, k in zip(rngs, kept_counts)]
+    raw_bytes = bytes_dist.ppf(
+        np.concatenate(byte_u) if byte_u else np.zeros(0)
+    )
+    # keystrokes, Nagle coalescing, line mode: ~1.6 bytes/packet
+    pkt_sizes = np.maximum(np.round(raw_bytes).astype(np.int64), 1)
+    timestamps = times[keep]
+    conn_ids = conn_ids[keep]
+    return (timestamps, conn_ids, np.zeros(timestamps.size, dtype=np.int8),
+            pkt_sizes, np.ones(timestamps.size, dtype=bool))
+
+
+def _connection_group_loop(model, cid0, starts, sizes, rngs, duration,
+                           include_responder):
+    """Per-connection reference path (same child-stream contract); carries
+    the responder branch, whose draws are data-dependent."""
+    interarrival = tcplib.telnet_packet_interarrival()
+    bytes_dist = tcplib.telnet_packet_bytes()
+    responder = TelnetResponderModel() if include_responder else None
+    times_parts, id_parts, dir_parts, size_parts, ud_parts = \
+        [], [], [], [], []
+    for k, (t0, n_pkts) in enumerate(zip(starts, sizes)):
+        rng = rngs[k]
+        cid = cid0 + k
+        gaps = interarrival.sample(int(n_pkts), seed=rng)
+        t = t0 + np.cumsum(gaps)
+        t = t[t < duration]
+        if t.size == 0:
+            continue
+        times_parts.append(t)
+        id_parts.append(np.full(t.size, cid, dtype=np.int64))
+        dir_parts.append(np.zeros(t.size, dtype=np.int8))
+        # keystrokes, Nagle coalescing, line mode: ~1.6 bytes/packet
+        pkt_bytes = np.round(
+            bytes_dist.sample(t.size, seed=rng)
+        ).astype(np.int64)
+        size_parts.append(np.maximum(pkt_bytes, 1))
+        ud_parts.append(np.ones(t.size, dtype=bool))
+        if responder is not None:
+            rt, rs = responder.respond(t, seed=rng)
+            keep_r = rt < duration
+            rt, rs = rt[keep_r], rs[keep_r]
+            if rt.size:
+                times_parts.append(rt)
+                id_parts.append(np.full(rt.size, cid, dtype=np.int64))
+                dir_parts.append(np.ones(rt.size, dtype=np.int8))
+                size_parts.append(rs)
+                ud_parts.append(np.ones(rt.size, dtype=bool))
+                # Originator pure acks for the bulk output (delayed-ack
+                # style: one ack per two data packets).  These are the
+                # packets Section IV's analysis filters out ("except
+                # those consisting of no user data ('pure ack')").
+                bulk = rt[rs > responder.echo_bytes]
+                acks = bulk[::2] + 0.02
+                acks = acks[acks < duration]
+                if acks.size:
+                    times_parts.append(acks)
+                    id_parts.append(np.full(acks.size, cid, dtype=np.int64))
+                    dir_parts.append(np.zeros(acks.size, dtype=np.int8))
+                    size_parts.append(np.zeros(acks.size, dtype=np.int64))
+                    ud_parts.append(np.zeros(acks.size, dtype=bool))
+    if not times_parts:
+        return _empty_parts()
+    return (np.concatenate(times_parts), np.concatenate(id_parts),
+            np.concatenate(dir_parts), np.concatenate(size_parts),
+            np.concatenate(ud_parts))

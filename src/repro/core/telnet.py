@@ -26,6 +26,8 @@ import numpy as np
 from repro.arrivals.poisson import poisson_fixed_count
 from repro.distributions import tcplib
 from repro.distributions.exponential import Exponential
+from repro.utils.pool import pool_map
+from repro.kernels.segments import grouped_cumsum, grouped_sort
 from repro.selfsim.counts import CountProcess
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 from repro.utils.validation import require_positive
@@ -92,17 +94,47 @@ def synthesize_packet_arrivals(
     Returns ``(timestamps, connection_ids)`` sorted by time.  ``horizon``
     truncates packets beyond the observation window (TCPLIB/EXP connections
     "perhaps [have] different durations" than their traced counterparts).
+
+    All connections' draws come from a *single* batched pass over one
+    shared stream — bit-identical to the historical per-connection loop
+    (``repro.kernels.reference.synthesize_packet_arrivals_loop``), because
+    ``Generator.random``/``exponential`` produce the same bit stream
+    whether drawn in per-connection blocks or in one call, and the
+    per-connection ``cumsum``/``sort`` assembly uses the bit-exact
+    segmented kernels of :mod:`repro.kernels`.
     """
     rng = as_rng(seed)
-    all_times, all_ids = [], []
-    for cid, spec in enumerate(specs):
-        t = connection_packet_times(spec, scheme, seed=rng)
-        all_times.append(t)
-        all_ids.append(np.full(t.size, cid, dtype=np.int64))
-    if not all_times:
+    if not specs:
         return np.zeros(0), np.zeros(0, dtype=np.int64)
-    times = np.concatenate(all_times)
-    ids = np.concatenate(all_ids)
+    counts = np.array([spec.n_packets for spec in specs], dtype=np.int64)
+    starts = np.array([spec.start_time for spec in specs], dtype=float)
+    total = int(counts.sum())
+    if scheme is Scheme.VAR_EXP:
+        for spec in specs:
+            if spec.n_packets == 0:
+                continue  # zero-packet connections never sampled a duration
+            if spec.duration is None:
+                raise ValueError(
+                    "VAR-EXP requires the connection's traced duration"
+                )
+            require_positive(spec.duration, "duration")
+        durations = np.array(
+            [spec.duration if spec.duration is not None else 1.0
+             for spec in specs],
+            dtype=float,
+        )
+        # uniform(0, d, n) == d * random(n) bit for bit
+        raw = np.repeat(durations, counts) * rng.random(total)
+        times = np.repeat(starts, counts) + grouped_sort(raw, counts)
+    else:
+        if scheme is Scheme.TCPLIB:
+            gaps = tcplib.telnet_packet_interarrival().ppf(rng.random(total))
+        elif scheme is Scheme.EXP:
+            gaps = rng.exponential(EXP_MEAN_SECONDS, total)
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}")
+        times = grouped_cumsum(gaps, counts, offsets=starts)
+    ids = np.repeat(np.arange(len(specs), dtype=np.int64), counts)
     if horizon is not None:
         keep = times < horizon
         times, ids = times[keep], ids[keep]
@@ -126,12 +158,32 @@ class MultiplexResult:
         return self.counts.variance
 
 
+def _connection_stream(dist, duration: float, rng) -> np.ndarray:
+    """One always-on source's packet times: draw gap blocks past the horizon."""
+    t = 0.0
+    gaps_needed = max(16, int(duration / 0.5))
+    conn_times = []
+    while t < duration:
+        gaps = dist.sample(gaps_needed, seed=rng)
+        cum = t + np.cumsum(gaps)
+        conn_times.append(cum)
+        t = float(cum[-1])
+    ct = np.concatenate(conn_times)
+    return ct[ct < duration]
+
+
+def _connection_stream_group(dist, duration: float, rngs) -> list[np.ndarray]:
+    """Pool worker: synthesize a contiguous group of connections."""
+    return [_connection_stream(dist, duration, rng) for rng in rngs]
+
+
 def multiplexed_telnet(
     n_connections: int = 100,
     duration: float = 600.0,
     scheme: Scheme = Scheme.TCPLIB,
     bin_width: float = 1.0,
     seed: SeedLike = None,
+    jobs: int = 1,
 ) -> MultiplexResult:
     """Section IV's multiplexing experiment.
 
@@ -141,6 +193,10 @@ def multiplexed_telnet(
     result: mean ~92 packets/s for both schemes, variance ~240 (Tcplib)
     vs ~97 (exponential) — "even a high degree of statistical multiplexing
     failed to smooth away the difference."
+
+    ``jobs > 1`` fans the independent per-connection streams over a process
+    pool; every connection owns a spawned child generator, so the result is
+    bit-identical for any ``jobs``.
     """
     if n_connections < 1:
         raise ValueError("n_connections must be >= 1")
@@ -152,19 +208,23 @@ def multiplexed_telnet(
         if scheme is Scheme.TCPLIB
         else Exponential(EXP_MEAN_SECONDS)
     )
-    times = []
-    for rng in spawn_rngs(seed, n_connections):
-        # Draw in blocks until the horizon is passed.
-        t = 0.0
-        gaps_needed = max(16, int(duration / 0.5))
-        conn_times = []
-        while t < duration:
-            gaps = dist.sample(gaps_needed, seed=rng)
-            cum = t + np.cumsum(gaps)
-            conn_times.append(cum)
-            t = float(cum[-1])
-        ct = np.concatenate(conn_times)
-        times.append(ct[ct < duration])
+    rngs = spawn_rngs(seed, n_connections)
+    if jobs == 1:
+        times = _connection_stream_group(dist, duration, rngs)
+    else:
+        groups = [
+            g for g in np.array_split(np.arange(n_connections), jobs) if g.size
+        ]
+        outcomes = pool_map(
+            _connection_stream_group,
+            [(dist, duration, [rngs[i] for i in g]) for g in groups],
+            jobs,
+        )
+        times = []
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                raise outcome
+            times.extend(outcome)
     all_times = np.concatenate(times)
     counts = CountProcess.from_times(all_times, bin_width, start=0.0, end=duration)
     return MultiplexResult(scheme=scheme, counts=counts)

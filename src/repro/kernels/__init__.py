@@ -1,0 +1,39 @@
+"""Vectorized hot-path kernels.
+
+Every kernel in this package replaces a per-packet / per-connection Python
+loop elsewhere in the library with an O(n) numpy formulation that is
+*bit-identical* to the loop it replaced (under exact arithmetic — see each
+kernel's docstring for the precise claim).  The frozen pre-PR loop
+implementations live in :mod:`repro.kernels.reference` and back both the
+equivalence tests (``tests/test_kernels.py``) and the before/after timings
+recorded in ``benchmarks/BENCH_kernels.json``.
+
+Contents:
+
+* :func:`lindley_waits` — closed-form FIFO waiting times,
+  ``W = U - min(0, running-min(U))`` over ``U = cumsum(S - A)``;
+* :func:`grouped_cumsum`, :func:`grouped_sort`, :func:`grouped_sum` —
+  segmented (per-connection) operations that group segments by length and
+  reduce along axis 1 of a contiguous 2-D view, which numpy evaluates with
+  the same pairwise summation / sort network as the per-segment 1-D call —
+  so results match a per-segment Python loop bit for bit;
+* :func:`segment_starts`, :func:`block_view` — index plumbing for the above.
+"""
+
+from repro.kernels.lindley import lindley_waits
+from repro.kernels.segments import (
+    block_view,
+    grouped_cumsum,
+    grouped_sort,
+    grouped_sum,
+    segment_starts,
+)
+
+__all__ = [
+    "block_view",
+    "grouped_cumsum",
+    "grouped_sort",
+    "grouped_sum",
+    "lindley_waits",
+    "segment_starts",
+]

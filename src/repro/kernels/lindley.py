@@ -1,0 +1,66 @@
+"""Closed-form Lindley waiting times.
+
+Lindley's recursion for a FIFO single-server queue,
+
+    W_1 = 0,   W_{k+1} = max(0, W_k + S_k - A_k),
+
+where ``S_k`` is the k-th service time and ``A_k = t_{k+1} - t_k`` the k-th
+interarrival gap, unrolls exactly.  With ``X_k = S_k - A_k`` and the prefix
+sums ``U_k = X_1 + ... + X_k`` (``U_0 = 0``),
+
+    W_{k+1} = max(0, X_k, X_k + X_{k-1}, ..., X_k + ... + X_1)
+            = U_k - min(U_0, U_1, ..., U_k)
+            = U_k - min(0, running-min(U)_k),
+
+the last step because ``W_{k+1} = 0`` exactly when ``U_k`` is itself the
+running minimum (and below 0).  One ``cumsum`` plus one
+``minimum.accumulate`` therefore replace the per-packet Python loop.
+
+Exactness: under exact arithmetic the closed form and the recursion are the
+same number, so for inputs on which float64 arithmetic is exact (integer
+values below 2**53 — what the equivalence tests and benchmark use) the two
+are bit-identical.  For general floats they differ only by reassociation of
+the same sums (the loop computes ``(W + S) - A``; the closed form a prefix
+sum), and the closed form is still exactly nonnegative by construction —
+no clamp is applied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lindley_waits(service: np.ndarray, gaps: np.ndarray) -> np.ndarray:
+    """Waiting times of every packet in a FIFO queue, vectorized.
+
+    Parameters
+    ----------
+    service:
+        Per-packet service times ``S_1 .. S_n``.
+    gaps:
+        Interarrival gaps ``A_1 .. A_{n-1}`` (``A_k = t_{k+1} - t_k``) of
+        the already-sorted arrival sequence.
+    """
+    s = np.asarray(service, dtype=float)
+    a = np.asarray(gaps, dtype=float)
+    n = s.size
+    if a.size != max(n - 1, 0):
+        raise ValueError(
+            f"need n-1 gaps for n={n} service times, got {a.size}"
+        )
+    if n <= 1:
+        return np.zeros(n)
+    # One temp (u) plus the output; every other step reuses a buffer.  At
+    # multi-million-packet sizes the kernel is memory-bound, so avoiding the
+    # zeros() memset and the three intermediate allocations of the naive
+    # spelling is worth ~1.5x.  The arithmetic (and hence bitness) is
+    # unchanged: each out= writes the same value the expression form would.
+    w = np.empty(n)
+    w[0] = 0.0
+    u = np.subtract(s[:-1], a)
+    np.cumsum(u, out=u)
+    tail = w[1:]
+    np.minimum.accumulate(u, out=tail)   # running-min(U)
+    np.minimum(tail, 0.0, out=tail)      # min(0, running-min(U))
+    np.subtract(u, tail, out=tail)       # W_{k+1} = U_k - min(0, ...)
+    return w

@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.telnet import EXP_MEAN_SECONDS, Scheme
 from repro.distributions import tcplib as tcplib_tables
 from repro.distributions.exponential import Exponential
+from repro.utils.pool import pool_map
 from repro.queueing.simulator import QueueResult, fifo_queue
 from repro.utils.rng import SeedLike, spawn_rngs
 from repro.utils.validation import require_in_range, require_positive
@@ -38,25 +39,10 @@ class DelayComparison:
         return self.tcplib.p99_delay / self.exponential.p99_delay
 
 
-def multiplexed_arrival_stream(
-    scheme: Scheme,
-    n_connections: int,
-    duration: float,
-    seed: SeedLike = None,
-) -> np.ndarray:
-    """Raw (unbinned) aggregate packet arrival times of N always-on TELNET
-    sources under one interarrival scheme."""
-    if n_connections < 1:
-        raise ValueError("n_connections must be >= 1")
-    require_positive(duration, "duration")
-    if scheme is Scheme.TCPLIB:
-        dist = tcplib_tables.telnet_packet_interarrival()
-    elif scheme is Scheme.EXP:
-        dist = Exponential(EXP_MEAN_SECONDS)
-    else:
-        raise ValueError("the delay experiment is defined for TCPLIB/EXP")
-    streams = []
-    for rng in spawn_rngs(seed, n_connections):
+def _stream_group(dist, duration: float, rngs) -> list[np.ndarray]:
+    """Pool worker: one always-on source's truncated arrival stream per rng."""
+    out = []
+    for rng in rngs:
         t = 0.0
         parts = []
         while t < duration:
@@ -65,7 +51,51 @@ def multiplexed_arrival_stream(
             parts.append(cum)
             t = float(cum[-1])
         s = np.concatenate(parts)
-        streams.append(s[s < duration])
+        out.append(s[s < duration])
+    return out
+
+
+def multiplexed_arrival_stream(
+    scheme: Scheme,
+    n_connections: int,
+    duration: float,
+    seed: SeedLike = None,
+    jobs: int = 1,
+) -> np.ndarray:
+    """Raw (unbinned) aggregate packet arrival times of N always-on TELNET
+    sources under one interarrival scheme.
+
+    Each source owns a spawned child generator, so ``jobs > 1`` fans the
+    independent streams over a process pool with bit-identical output.
+    """
+    if n_connections < 1:
+        raise ValueError("n_connections must be >= 1")
+    require_positive(duration, "duration")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if scheme is Scheme.TCPLIB:
+        dist = tcplib_tables.telnet_packet_interarrival()
+    elif scheme is Scheme.EXP:
+        dist = Exponential(EXP_MEAN_SECONDS)
+    else:
+        raise ValueError("the delay experiment is defined for TCPLIB/EXP")
+    rngs = spawn_rngs(seed, n_connections)
+    if jobs == 1:
+        streams = _stream_group(dist, duration, rngs)
+    else:
+        groups = [
+            g for g in np.array_split(np.arange(n_connections), jobs) if g.size
+        ]
+        outcomes = pool_map(
+            _stream_group,
+            [(dist, duration, [rngs[i] for i in g]) for g in groups],
+            jobs,
+        )
+        streams = []
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                raise outcome
+            streams.extend(outcome)
     return np.sort(np.concatenate(streams))
 
 
@@ -74,6 +104,7 @@ def telnet_delay_experiment(
     duration: float = 600.0,
     utilization: float = 0.8,
     seed: SeedLike = None,
+    jobs: int = 1,
 ) -> DelayComparison:
     """Run the Tcplib-vs-exponential queueing comparison.
 
@@ -87,7 +118,7 @@ def telnet_delay_experiment(
     results = {}
     for scheme, rng in ((Scheme.TCPLIB, rng_tcp), (Scheme.EXP, rng_exp)):
         arrivals = multiplexed_arrival_stream(scheme, n_connections, duration,
-                                              seed=rng)
+                                              seed=rng, jobs=jobs)
         rate = arrivals.size / duration
         service = utilization / rate
         results[scheme] = fifo_queue(arrivals, service)

@@ -12,7 +12,9 @@ waiting times follow Lindley's recursion
     W_{k+1} = max(0, W_k + S_k - A_{k+1}),
 
 where S_k is the k-th service time and A_{k+1} the k-th interarrival gap —
-computed here vectorized-in-spirit but O(n) and exact.
+computed in closed form by :func:`repro.kernels.lindley_waits` (one cumsum
+plus one running minimum; see that module for the identity and the
+exactness guarantee).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import lindley_waits
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import require_positive
 
@@ -69,6 +72,18 @@ def fifo_queue(
     service_times:
         Per-packet service durations; a scalar means deterministic service
         (the natural model for fixed-size packets on a fixed-rate link).
+
+    Utilization convention for degenerate spans (explicit and tested):
+
+    * ``n == 1`` — there is no observed span, so the lone packet's own
+      service time ``s[0]`` stands in for it (its busy period), whether
+      ``service_times`` was scalar or a length-1 array: utilization is
+      1.0 when ``s[0] > 0`` and 0.0 when ``s[0] == 0``.
+    * ``n > 1`` with zero span (all arrivals simultaneous) — the burst
+      demands ``s.sum()`` seconds of work in zero observed time, so
+      utilization is reported as ``inf`` when total service is positive;
+      when total service is zero too, the queue did no work and
+      utilization is 0.0.
     """
     t = np.sort(np.asarray(arrival_times, dtype=float))
     n = t.size
@@ -85,13 +100,15 @@ def fifo_queue(
             )
         if np.any(s < 0):
             raise ValueError("service times must be >= 0")
-    gaps = np.diff(t)
-    w = np.empty(n)
-    w[0] = 0.0
-    for k in range(n - 1):
-        w[k + 1] = max(0.0, w[k] + s[k] - gaps[k])
+    w = lindley_waits(s, np.diff(t))
     span = float(t[-1] - t[0]) if n > 1 else float(s[0])
-    utilization = float(s.sum() / span) if span > 0 else float("inf")
+    total_service = float(s.sum())
+    if span > 0:
+        utilization = total_service / span
+    elif total_service == 0.0:
+        utilization = 0.0
+    else:
+        utilization = float("inf")
     return QueueResult(waiting_times=w, service_times=s, utilization=utilization)
 
 

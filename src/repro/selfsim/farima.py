@@ -35,17 +35,21 @@ def farima_autocovariance(d: float, max_lag: int, sigma2: float = 1.0) -> np.nda
 
     Computed via the stable ratio recursion
     gamma(k+1) = gamma(k) * (k + d) / (k + 1 - d), seeded with
-    gamma(0) = sigma^2 * Gamma(1-2d) / Gamma(1-d)^2.
+    gamma(0) = sigma^2 * Gamma(1-2d) / Gamma(1-d)^2, and evaluated as a
+    single ``cumprod`` over the pre-divided per-lag ratios.  ``cumprod``
+    multiplies left to right exactly like a scalar ``g *= ratio`` loop, so
+    this is bit-identical to the ratio-ordered recursion; relative to the
+    historical ``(g * (k+d)) / (k+1-d)`` ordering it reassociates one
+    division per lag (a few ulp over thousands of lags — see
+    tests/test_kernels.py).
     """
     require_in_range(d, "d", _D_LO, _D_HI)
     if max_lag < 0:
         raise ValueError(f"max_lag must be >= 0, got {max_lag}")
     g0 = sigma2 * special.gamma(1.0 - 2.0 * d) / special.gamma(1.0 - d) ** 2
-    out = np.empty(max_lag + 1)
-    out[0] = g0
-    for k in range(max_lag):
-        out[k + 1] = out[k] * (k + d) / (k + 1.0 - d)
-    return out
+    k = np.arange(max_lag, dtype=float)
+    ratios = (k + d) / (k + 1.0 - d)
+    return np.cumprod(np.concatenate(([g0], ratios)))
 
 
 def farima_spectral_density(freqs, d: float, sigma2: float = 1.0) -> np.ndarray:

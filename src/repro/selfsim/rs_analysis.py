@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels.segments import block_view
 from repro.utils.rng import SeedLike, as_rng
 
 
@@ -53,7 +54,10 @@ def rs_analysis(
 
     For each block size, up to ``max_samples_per_size`` non-overlapping
     blocks are evaluated (randomly subsampled when there are more) and their
-    R/S averaged.
+    R/S averaged.  All of one size's blocks are gathered into a single
+    (blocks, size) view and reduced along axis 1 — bit-identical to calling
+    :func:`rescaled_range` per block, since every axis-1 reduction sees
+    exactly the per-block operands.
     """
     x = np.asarray(series, dtype=float)
     n = x.size
@@ -78,14 +82,14 @@ def rs_analysis(
         starts = np.arange(n_blocks) * size
         if starts.size > max_samples_per_size:
             starts = rng.choice(starts, size=max_samples_per_size, replace=False)
-        values = []
-        for s in starts:
-            block = x[s: s + size]
-            if block.std() == 0.0:
-                continue
-            values.append(rescaled_range(block))
-        if values:
-            means.append(float(np.mean(values)))
+        rows = block_view(x[: n_blocks * size], size)[starts // size]
+        dev = rows - rows.mean(axis=1, keepdims=True)
+        cum = np.cumsum(dev, axis=1)
+        r = cum.max(axis=1) - cum.min(axis=1)
+        s = rows.std(axis=1)
+        ok = s != 0.0
+        if np.any(ok):
+            means.append(float(np.mean(r[ok] / s[ok])))
             kept_sizes.append(int(size))
     if len(kept_sizes) < 3:
         raise ValueError("too few usable block sizes for a regression")

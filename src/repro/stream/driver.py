@@ -29,7 +29,7 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from repro.engine.metrics import write_bench_files
-from repro.engine.runner import pool_map
+from repro.utils.pool import pool_map
 from repro.stream.chunks import DEFAULT_CHUNK_BYTES, Chunk, plan_chunks
 from repro.stream.reader import (
     DEFAULT_BLOCK_BYTES,

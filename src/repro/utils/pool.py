@@ -1,0 +1,73 @@
+"""The engine's shared process-pool fan-out primitive.
+
+Kept in a leaf module (stdlib imports only) so that source models —
+``repro.core.telnet``/``fulltel``/``ftp``, ``repro.queueing.delay`` — can
+offer a ``jobs=`` knob without pulling the experiment registry into their
+import closure, which would make every experiment's source digest
+(:func:`repro.engine.cache.source_digest`) sensitive to every file in the
+package and defeat exact cache invalidation.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Sequence
+
+
+def pool_map(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    jobs: int,
+    *,
+    on_result: Callable[[int, object, float], None] | None = None,
+) -> list[object]:
+    """Order-preserving map over a process pool, capturing exceptions.
+
+    Runs ``fn(*tasks[i])`` for every task — inline when ``jobs == 1`` or
+    there is at most one task, otherwise on a ``ProcessPoolExecutor`` with
+    up to ``jobs`` workers.  Returns one outcome per task *in task order*:
+    the function's return value, or the raised exception object (workers
+    never take the whole map down).  ``on_result(index, outcome, wall_s)``
+    fires as each task completes (completion order), where ``wall_s`` is
+    submit-to-completion wall time; both the experiment runner (cache
+    write-back + progress logs) and the stream-scan driver (per-chunk
+    metrics) hook it.
+
+    This is the engine's shared fan-out primitive: anything shaped like
+    "independent tasks, mergeable results" — experiment batteries, trace
+    chunk scans, batched source synthesis — dispatches through it and
+    inherits the same determinism guarantee (outcome order is task order,
+    never scheduling order).
+    """
+    tasks = list(tasks)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    outcomes: list[object] = [None] * len(tasks)
+    if jobs == 1 or len(tasks) <= 1:
+        for i, args in enumerate(tasks):
+            t0 = time.perf_counter()
+            try:
+                outcome = fn(*args)
+            except Exception as exc:
+                outcome = exc
+            outcomes[i] = outcome
+            if on_result is not None:
+                on_result(i, outcome, time.perf_counter() - t0)
+        return outcomes
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        started = {
+            pool.submit(fn, *args): (i, time.perf_counter())
+            for i, args in enumerate(tasks)
+        }
+        pending = set(started)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i, t0 = started[fut]
+                exc = fut.exception()
+                outcome = exc if exc is not None else fut.result()
+                outcomes[i] = outcome
+                if on_result is not None:
+                    on_result(i, outcome, time.perf_counter() - t0)
+    return outcomes

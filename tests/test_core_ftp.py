@@ -14,7 +14,34 @@ from repro.core import (
     intra_session_spacings,
     trace_bursts,
 )
+from repro.kernels.reference import coalesce_bursts_loop
 from repro.traces import ConnectionTrace
+
+
+class TestCoalesceRegression:
+    """The vectorized gap scan must reproduce the historical per-connection
+    loop's burst boundaries exactly, fast path included."""
+
+    def test_multi_session_trace_boundaries_unchanged(self):
+        model = FtpSessionModel(sessions_per_hour=150.0)
+        trace = ConnectionTrace("ftp", model.synthesize(6 * 3600.0, seed=13))
+        n_checked = 0
+        for sid, rows in trace.sessions("FTPDATA").items():
+            s = trace.start_times[rows]
+            d = trace.durations[rows]
+            b = trace.bytes_resp[rows] + trace.bytes_orig[rows]
+            assert coalesce_bursts(s, d, b, session_id=sid) == \
+                coalesce_bursts_loop(s, d, b, BURST_SPACING_SECONDS, sid)
+            n_checked += 1
+        assert n_checked > 50  # a real multi-session trace, not a toy
+
+    def test_single_burst_fast_path_matches_loop(self):
+        s = np.array([0.0, 1.0, 3.0, 6.5])
+        d = np.array([0.5, 1.5, 2.0, 0.2])
+        b = np.array([100, 200, 300, 400])
+        got = coalesce_bursts(s, d, b, session_id=9)
+        assert got == coalesce_bursts_loop(s, d, b, BURST_SPACING_SECONDS, 9)
+        assert len(got) == 1
 
 
 class TestCoalesceBursts:

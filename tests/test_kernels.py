@@ -1,0 +1,377 @@
+"""Equivalence tests for the vectorized hot-path kernels.
+
+Every kernel in :mod:`repro.kernels` (and every call site converted to it)
+is checked against the frozen pre-PR loop implementation in
+:mod:`repro.kernels.reference` — bit-for-bit where the module promises it,
+``allclose`` where only reassociation differs (FARIMA; documented there).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals.cluster import compound_poisson_cluster, timer_driven_arrivals
+from repro.arrivals.onoff import OnOffSource
+from repro.core.ftp import FtpSessionModel, coalesce_bursts
+from repro.core.fulltel import FullTelModel
+from repro.core.telnet import (
+    ConnectionSpec,
+    Scheme,
+    multiplexed_telnet,
+    synthesize_packet_arrivals,
+)
+from repro.kernels import (
+    block_view,
+    grouped_cumsum,
+    grouped_sort,
+    grouped_sum,
+    lindley_waits,
+    segment_starts,
+)
+from repro.kernels.reference import (
+    coalesce_bursts_loop,
+    compound_poisson_cluster_loop,
+    farima_autocovariance_loop,
+    lindley_waits_loop,
+    onoff_intervals_loop,
+    rs_means_loop,
+    synthesize_packet_arrivals_loop,
+)
+from repro.queueing.delay import multiplexed_arrival_stream
+from repro.queueing.simulator import fifo_queue
+from repro.selfsim.farima import farima_autocovariance
+from repro.selfsim.rs_analysis import rs_analysis
+
+
+# ----------------------------------------------------------------------
+# Lindley closed form
+# ----------------------------------------------------------------------
+class TestLindley:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 17, 1000])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_integer_valued_inputs_bit_identical(self, n, seed):
+        # Integer-valued floats keep every +/- exact, so the closed form's
+        # bit-for-bit claim is testable, not just approximate.
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, 50, n).astype(float)
+        a = rng.integers(0, 50, max(n - 1, 0)).astype(float)
+        got = lindley_waits(s, a)
+        ref = lindley_waits_loop(s, a)
+        assert got.dtype == ref.dtype and np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_float_inputs_close_and_exactly_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 2000))
+        s = rng.exponential(1.0, n)
+        a = rng.exponential(1.2, n - 1)
+        got = lindley_waits(s, a)
+        ref = lindley_waits_loop(s, a)
+        assert np.all(got >= 0.0)
+        np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+
+    def test_first_wait_is_zero(self):
+        assert lindley_waits(np.array([5.0, 1.0]), np.array([9.0]))[0] == 0.0
+
+    def test_gap_length_validated(self):
+        with pytest.raises(ValueError, match="gaps"):
+            lindley_waits(np.ones(4), np.ones(4))
+
+    @given(st.integers(0, 60), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_loop(self, n, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.integers(0, 20, n).astype(float)
+        a = rng.integers(0, 20, max(n - 1, 0)).astype(float)
+        assert np.array_equal(lindley_waits(s, a), lindley_waits_loop(s, a))
+
+    def test_fifo_queue_uses_closed_form_exactly(self):
+        rng = np.random.default_rng(3)
+        t = np.cumsum(rng.integers(0, 9, 5000)).astype(float)
+        s = rng.integers(0, 12, 5000).astype(float)
+        got = fifo_queue(t, s)
+        ref = lindley_waits_loop(s[np.argsort(t, kind="stable")],
+                                 np.diff(np.sort(t)))
+        assert np.array_equal(got.waiting_times, ref)
+
+
+# ----------------------------------------------------------------------
+# Segmented kernels
+# ----------------------------------------------------------------------
+class TestSegmentKernels:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_grouped_cumsum_matches_per_segment(self, seed):
+        rng = np.random.default_rng(seed)
+        lens = rng.integers(0, 30, 40)
+        vals = rng.exponential(1.0, int(lens.sum()))
+        offs = rng.normal(size=lens.size) * 10
+        got = grouped_cumsum(vals, lens, offsets=offs)
+        pos = 0
+        for i, ln in enumerate(lens):
+            seg = vals[pos: pos + ln]
+            assert np.array_equal(got[pos: pos + ln], offs[i] + np.cumsum(seg))
+            pos += ln
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_grouped_sort_matches_per_segment(self, seed):
+        rng = np.random.default_rng(seed)
+        lens = rng.integers(0, 25, 30)
+        vals = rng.normal(size=int(lens.sum()))
+        got = grouped_sort(vals, lens)
+        pos = 0
+        for ln in lens:
+            assert np.array_equal(got[pos: pos + ln],
+                                  np.sort(vals[pos: pos + ln]))
+            pos += ln
+
+    def test_grouped_sum_empty_segments_are_zero(self):
+        lens = np.array([3, 0, 2, 0])
+        vals = np.array([1.5, 2.5, 3.0, 10.0, 20.0])
+        got = grouped_sum(vals, lens)
+        assert np.array_equal(
+            got, [vals[:3].sum(), 0.0, vals[3:].sum(), 0.0]
+        )
+
+    def test_segment_starts(self):
+        assert np.array_equal(segment_starts(np.array([2, 0, 3])), [0, 2, 2])
+        assert segment_starts(np.zeros(0, dtype=int)).size == 0
+
+    def test_block_view_is_a_view(self):
+        x = np.arange(12.0)
+        v = block_view(x, 4)
+        assert v.shape == (3, 4) and v.base is x
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_cumsum(np.ones(5), np.array([2, 2]))
+        with pytest.raises(ValueError):
+            grouped_sum(np.ones(3), np.array([2, -1]))
+
+
+# ----------------------------------------------------------------------
+# FARIMA autocovariance
+# ----------------------------------------------------------------------
+class TestFarimaCumprod:
+    @pytest.mark.parametrize("d", [-0.45, -0.2, 0.0, 0.1, 0.25, 0.45])
+    def test_bit_identical_to_ratio_ordered_recursion(self, d):
+        got = farima_autocovariance(d, 4096, sigma2=1.7)
+        ref = np.empty(4097)
+        ref[0] = got[0]
+        g = ref[0]
+        for k in range(4096):
+            g *= (k + d) / (k + 1.0 - d)
+            ref[k + 1] = g
+        assert np.array_equal(got, ref)
+
+    @pytest.mark.parametrize("d", [-0.4, 0.2, 0.45])
+    def test_close_to_historical_loop_ordering(self, d):
+        got = farima_autocovariance(d, 4096, sigma2=0.9)
+        ref = farima_autocovariance_loop(d, 4096, sigma2=0.9)
+        np.testing.assert_allclose(got, ref, rtol=1e-12)
+
+    def test_max_lag_zero(self):
+        got = farima_autocovariance(0.3, 0)
+        assert got.shape == (1,) and got[0] == farima_autocovariance_loop(0.3, 0)[0]
+
+
+# ----------------------------------------------------------------------
+# TELNET synthesis (shared-stream contract: bit-identical to pre-PR loop)
+# ----------------------------------------------------------------------
+class TestTelnetBatched:
+    def _random_specs(self, rng, scheme):
+        specs = []
+        for _ in range(int(rng.integers(0, 25))):
+            n = int(rng.integers(0, 40))
+            specs.append(ConnectionSpec(
+                start_time=float(rng.uniform(0, 100)),
+                n_packets=n,
+                duration=float(rng.uniform(0.5, 30))
+                if scheme is Scheme.VAR_EXP else None,
+            ))
+        return specs
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("horizon", [None, 80.0])
+    def test_bit_identical_to_loop(self, scheme, seed, horizon):
+        rng = np.random.default_rng(100 + seed)
+        specs = self._random_specs(rng, scheme)
+        t1, i1 = synthesize_packet_arrivals(specs, scheme, seed=seed,
+                                            horizon=horizon)
+        t2, i2 = synthesize_packet_arrivals_loop(specs, scheme, seed, horizon)
+        assert np.array_equal(t1, t2) and np.array_equal(i1, i2)
+
+    @pytest.mark.parametrize("scheme", [Scheme.TCPLIB, Scheme.VAR_EXP])
+    def test_edge_specs(self, scheme):
+        dur = 5.0 if scheme is Scheme.VAR_EXP else None
+        for specs in ([],
+                      [ConnectionSpec(0.0, 0)],
+                      [ConnectionSpec(1.0, 1, duration=dur)],
+                      [ConnectionSpec(0.0, 0), ConnectionSpec(2.0, 2, duration=dur)]):
+            t1, i1 = synthesize_packet_arrivals(specs, scheme, seed=9)
+            t2, i2 = synthesize_packet_arrivals_loop(specs, scheme, 9, None)
+            assert np.array_equal(t1, t2) and np.array_equal(i1, i2)
+
+    def test_var_exp_missing_duration_still_raises(self):
+        with pytest.raises(ValueError, match="duration"):
+            synthesize_packet_arrivals(
+                [ConnectionSpec(0.0, 3)], Scheme.VAR_EXP, seed=0
+            )
+
+    def test_multiplexed_jobs_bit_identical(self):
+        a = multiplexed_telnet(n_connections=8, duration=30.0, seed=5, jobs=1)
+        b = multiplexed_telnet(n_connections=8, duration=30.0, seed=5, jobs=3)
+        assert np.array_equal(a.counts.counts, b.counts.counts)
+
+
+# ----------------------------------------------------------------------
+# FULL-TEL / FTP (per-connection child-stream contract: batch == loop == jobs)
+# ----------------------------------------------------------------------
+class TestSourceModelBatching:
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_fulltel_batch_loop_jobs_identical(self, seed):
+        model = FullTelModel(connections_per_hour=400.0)
+        a = model.synthesize(1800.0, seed=seed, batch=True)
+        b = model.synthesize(1800.0, seed=seed, batch=False)
+        c = model.synthesize(1800.0, seed=seed, batch=True, jobs=3)
+        for x, y in ((a, b), (a, c)):
+            assert np.array_equal(x.timestamps, y.timestamps)
+            assert np.array_equal(x.connection_ids, y.connection_ids)
+            assert np.array_equal(x.sizes, y.sizes)
+            assert np.array_equal(x.user_data, y.user_data)
+
+    def test_fulltel_trim_and_responder_paths(self):
+        model = FullTelModel(connections_per_hour=300.0)
+        trimmed = model.synthesize(600.0, seed=1, trim_warmup=100.0)
+        assert trimmed.timestamps.size and trimmed.timestamps.min() >= 0.0
+        resp = model.synthesize(600.0, seed=1, include_responder=True)
+        plain = model.synthesize(600.0, seed=1)
+        assert resp.timestamps.size > plain.timestamps.size
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_ftp_batch_loop_jobs_identical(self, seed):
+        model = FtpSessionModel(sessions_per_hour=90.0)
+        a = model.synthesize(3600.0, seed=seed, batch=True)
+        b = model.synthesize(3600.0, seed=seed, batch=False)
+        c = model.synthesize(3600.0, seed=seed, batch=True, jobs=4)
+        assert a == b == c
+
+    def test_delay_stream_jobs_identical(self):
+        a = multiplexed_arrival_stream(Scheme.EXP, 10, 40.0, seed=2, jobs=1)
+        b = multiplexed_arrival_stream(Scheme.EXP, 10, 40.0, seed=2, jobs=3)
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# Burst coalescing
+# ----------------------------------------------------------------------
+class TestCoalesceVectorized:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_loop_on_random_sessions(self, seed):
+        rng = np.random.default_rng(seed)
+        for trial in range(100):
+            n = int(rng.integers(1, 50))
+            s = np.sort(rng.uniform(0, 400, n))
+            d = rng.exponential(3.0, n)
+            b = rng.integers(1, 10**7, n)
+            assert coalesce_bursts(s, d, b, session_id=trial) == \
+                coalesce_bursts_loop(s, d, b, 4.0, trial)
+
+    def test_single_burst_fast_path(self):
+        # All gaps within the spacing rule: one burst, same as the loop.
+        s = np.array([0.0, 1.0, 2.5])
+        d = np.array([0.8, 1.2, 0.1])
+        b = np.array([10, 20, 30])
+        got = coalesce_bursts(s, d, b)
+        assert got == coalesce_bursts_loop(s, d, b, 4.0, 0)
+        assert len(got) == 1 and got[0].n_connections == 3
+        assert got[0].total_bytes == 60
+
+    def test_overlapping_connection_end_times(self):
+        # A long first transfer can outlast its successors: end_time must be
+        # the max end in the burst, not the last connection's end.
+        s = np.array([0.0, 1.0])
+        d = np.array([50.0, 1.0])
+        b = np.array([5, 5])
+        got = coalesce_bursts(s, d, b)
+        assert got == coalesce_bursts_loop(s, d, b, 4.0, 0)
+        assert got[0].end_time == 50.0
+
+
+# ----------------------------------------------------------------------
+# R/S analysis, cluster, ON/OFF
+# ----------------------------------------------------------------------
+class TestBlockKernels:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rs_means_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        x = np.diff(rng.normal(size=3000).cumsum())
+        sizes = np.unique(
+            np.round(np.geomspace(8, x.size // 4, 12)).astype(int)
+        )
+        res = rs_analysis(x, seed=seed)
+        ks, ms = rs_means_loop(x, sizes, 50, seed)
+        assert np.array_equal(res.block_sizes, ks)
+        assert np.array_equal(res.rs_values, ms)
+
+    def test_rs_zero_variance_blocks_skipped_identically(self):
+        rng = np.random.default_rng(4)
+        x = np.concatenate([np.zeros(80), rng.normal(size=432)])
+        sizes = np.unique(
+            np.round(np.geomspace(8, x.size // 4, 12)).astype(int)
+        )
+        res = rs_analysis(x, seed=0)
+        ks, ms = rs_means_loop(x, sizes, 50, 0)
+        assert np.array_equal(res.rs_values, ms)
+
+    def test_cluster_matches_loop_under_order_free_dists(self):
+        # A deterministic distribution makes the draw-order contract change
+        # invisible, so the vectorized assembly must equal the pre-PR loop.
+        class Const:
+            def __init__(self, v):
+                self.v = v
+
+            def sample(self, n, seed=None):
+                if seed is not None and hasattr(seed, "random"):
+                    seed.random(n)
+                return np.full(n, self.v)
+
+        for seed in (0, 3, 11):
+            a = compound_poisson_cluster(0.5, 150.0, Const(3.4), Const(0.25),
+                                         seed=seed)
+            b = compound_poisson_cluster_loop(0.5, 150.0, Const(3.4),
+                                              Const(0.25), seed)
+            assert np.array_equal(a, b)
+
+    def test_timer_driven_broadcast_matches_scalar(self):
+        got = timer_driven_arrivals(7.5, 300.0, batch_size=4, batch_gap=0.05)
+        firings = np.arange(0.0, 300.0, 7.5)
+        ref = np.sort(np.concatenate(
+            [f + 0.05 * np.arange(4) for f in firings]
+        ))
+        assert np.array_equal(got, ref[(ref >= 0) & (ref < 300.0)])
+        assert timer_driven_arrivals(5.0, 0.0).size == 0
+
+    def test_onoff_blocked_matches_loop_under_order_free_dists(self):
+        class Const:
+            def __init__(self, v):
+                self.v = v
+
+            def sample(self, n, seed=None):
+                if seed is not None and hasattr(seed, "random"):
+                    seed.random(n)
+                return np.full(n, self.v)
+
+        src = OnOffSource(Const(2.0), Const(3.0), rate=1.0)
+        for seed in (0, 5):
+            for start_on in (True, False, None):
+                assert src.intervals(117.0, seed=seed, start_on=start_on) == \
+                    onoff_intervals_loop(src, 117.0, seed, start_on)
+
+    def test_onoff_intervals_cover_and_clip(self):
+        src = OnOffSource.pareto(rate=2.0)
+        out = src.intervals(50.0, seed=8, start_on=True)
+        assert out and out[0][0] == 0.0
+        for lo, hi in out:
+            assert 0.0 <= lo < hi <= 50.0

@@ -44,6 +44,34 @@ class TestFifoQueue:
         with pytest.raises(ValueError):
             fifo_queue([0.0], -1.0)
 
+
+class TestDegenerateSpanConventions:
+    """The documented utilization conventions for spans that vanish."""
+
+    def test_single_arrival_scalar_service(self):
+        res = fifo_queue([5.0], 2.0)
+        assert res.utilization == 1.0
+        assert res.waiting_times.tolist() == [0.0]
+
+    def test_single_arrival_array_service(self):
+        # n == 1 falls back to s[0] whether service came as scalar or array.
+        res = fifo_queue([5.0], np.array([2.0]))
+        assert res.utilization == 1.0
+
+    def test_single_arrival_zero_service(self):
+        res = fifo_queue([5.0], np.array([0.0]))
+        assert res.utilization == 0.0
+
+    def test_simultaneous_burst_positive_service_is_inf(self):
+        res = fifo_queue(np.zeros(4), np.array([1.0, 0.0, 2.0, 0.0]))
+        assert res.utilization == np.inf
+        assert res.waiting_times.tolist() == [0.0, 1.0, 1.0, 3.0]
+
+    def test_simultaneous_burst_zero_service_is_idle(self):
+        res = fifo_queue(np.zeros(3), np.zeros(3))
+        assert res.utilization == 0.0
+        assert np.all(res.waiting_times == 0.0)
+
     def test_mm1_agreement(self):
         """Simulated M/M/1 mean wait matches the closed form."""
         rng = np.random.default_rng(1)
