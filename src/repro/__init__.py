@@ -30,19 +30,39 @@ Subpackages
 ``repro.engine``
     Process-pool experiment runner with per-experiment seed derivation,
     a content-keyed on-disk result cache, and BENCH_*.json metrics.
+``repro.stream``
+    Out-of-core streaming trace analytics with mergeable sketches.
+``repro.kernels``
+    Vectorized hot-path kernels behind tested equivalence contracts.
+``repro.replay``
+    Live traffic replay & load generation over asyncio TCP/UDP with
+    drift-corrected pacing and closed-loop statistical validation.
 """
 
-__version__ = "1.1.0"
+from importlib import metadata as _metadata
+
+#: Fallback for source checkouts run via PYTHONPATH (not pip-installed);
+#: keep in sync with pyproject.toml.
+_FALLBACK_VERSION = "1.2.0"
+
+try:
+    __version__ = _metadata.version("repro")
+except _metadata.PackageNotFoundError:  # pragma: no cover - env-dependent
+    __version__ = _FALLBACK_VERSION
 
 __all__ = [
+    "__version__",
     "arrivals",
     "core",
     "distributions",
     "engine",
     "experiments",
+    "kernels",
     "queueing",
+    "replay",
     "selfsim",
     "stats",
+    "stream",
     "traces",
     "utils",
 ]

@@ -14,6 +14,14 @@ Usage::
     # out-of-core streaming analytics (repro.stream):
     python -m repro stream synth big.txt.gz --packets 2000000 --seed 1
     python -m repro stream scan big.txt.gz --jobs 4 --bin-width 0.01
+    python -m repro stream scan day1.txt day2.txt.gz   # merged in order
+
+    # live traffic replay & load generation (repro.replay):
+    python -m repro replay loopback --packets 100000 --validate
+    python -m repro replay loopback --trace big.txt --speed 60 --flows 4
+    python -m repro replay recv --port 9900 --capture cap.txt
+    python -m repro replay send big.txt --port 9900 --speed 0
+    python -m repro replay validate big.txt cap.txt
 
 ``-v`` on any subcommand turns on structured progress logging (per-
 experiment start/finish with wall time and cache hit/miss, per-chunk scan
@@ -38,6 +46,7 @@ import json
 import logging
 import sys
 
+import repro
 from repro.engine import ResultCache, run_experiments, write_bench_files
 from repro.experiments import REGISTRY
 
@@ -56,10 +65,21 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce tables/figures of Paxson & Floyd (1994).",
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {repro.__version__}",
     )
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("-v", "--verbose", action="store_true",
@@ -100,7 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
         "scan", help="sharded bounded-memory scan of a v1 trace file",
         parents=[common],
     )
-    scan.add_argument("path", help="trace file (.gz transparently handled)")
+    scan.add_argument("paths", nargs="+", metavar="path",
+                      help="trace file(s) (.gz transparently handled); "
+                           "several files are scanned separately and their "
+                           "sketches merged in argument order")
     scan.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                       help="worker processes for chunk scans (default 1; "
                            "results are independent of N)")
@@ -139,6 +162,104 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--scale", type=_positive_float, default=None,
                        help="traffic intensity multiplier (default: "
                             "auto-calibrated to hit --packets)")
+
+    replay = sub.add_parser(
+        "replay", help="live traffic replay & load generation"
+    )
+    replay_sub = replay.add_subparsers(dest="replay_command", required=True)
+
+    pacing_common = argparse.ArgumentParser(add_help=False)
+    pacing_common.add_argument(
+        "--speed", type=_nonnegative_float, default=0.0, metavar="X",
+        help="time-compression factor: 1 is real time, 60 is a minute per "
+             "second, 0 (default) is as fast as possible")
+    pacing_common.add_argument(
+        "--rate-cap", type=_positive_float, default=None, metavar="PPS",
+        help="token-bucket packet-rate ceiling (default: uncapped)")
+    pacing_common.add_argument(
+        "--bucket-depth", type=_positive_float, default=64.0, metavar="PKTS",
+        help="token-bucket burst allowance in packets (default 64)")
+    pacing_common.add_argument(
+        "--flows", type=_positive_int, default=1, metavar="N",
+        help="concurrent multiplexed flows, records routed by "
+             "connection id (default 1)")
+    pacing_common.add_argument(
+        "--transport", choices=["tcp", "udp"], default="tcp",
+        help="wire transport (default tcp)")
+
+    source_common = argparse.ArgumentParser(add_help=False)
+    source_common.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay a v1/gz packet trace file (out-of-core)")
+    source_common.add_argument(
+        "--packets", type=_positive_int, default=None, metavar="N",
+        help="synthesize N packets live instead of reading a trace")
+    source_common.add_argument(
+        "--model", default="fulltel",
+        help="synthesis model for --packets: fulltel, ftp, poisson, "
+             "pareto, or mix (default fulltel)")
+    source_common.add_argument(
+        "--seed", type=int, default=0, help="synthesis RNG seed")
+    source_common.add_argument(
+        "--rate", type=_positive_float, default=None,
+        help="synthesis arrival rate override (model-dependent)")
+
+    collector_common = argparse.ArgumentParser(add_help=False)
+    collector_common.add_argument(
+        "--policy", choices=["block", "drop"], default="block",
+        help="backpressure policy when the capture queue fills: block the "
+             "sender (lossless, default) or drop records (lossy, counted)")
+    collector_common.add_argument(
+        "--queue-depth", type=_positive_int, default=256, metavar="BATCHES",
+        help="bounded capture-queue depth (default 256)")
+
+    loop = replay_sub.add_parser(
+        "loopback",
+        help="send through localhost and capture on the same process",
+        parents=[common, pacing_common, source_common, collector_common],
+    )
+    loop.add_argument("--capture", default=None, metavar="PATH",
+                      help="capture file (default: temp file, deleted)")
+    loop.add_argument("--validate", action="store_true",
+                      help="run the closed-loop statistical battery "
+                           "(Poisson sessions, Pareto tail, variance-time) "
+                           "on source vs. capture")
+    loop.add_argument("--json", action="store_true", dest="as_json",
+                      help="print BENCH-shaped replay metrics as JSON")
+    loop.add_argument("--out", default=None, metavar="DIR",
+                      help="write BENCH_replay.json into DIR")
+
+    send = replay_sub.add_parser(
+        "send", help="replay a source to a remote collector",
+        parents=[common, pacing_common, source_common],
+    )
+    send.add_argument("--host", default="127.0.0.1")
+    send.add_argument("--port", type=_positive_int, required=True)
+    send.add_argument("--json", action="store_true", dest="as_json",
+                      help="print per-flow send metrics as JSON")
+
+    recv = replay_sub.add_parser(
+        "recv", help="collect replayed traffic into a capture file",
+        parents=[common, collector_common],
+    )
+    recv.add_argument("--host", default="127.0.0.1")
+    recv.add_argument("--port", type=_positive_int, default=0,
+                      help="listen port (default: ephemeral, printed)")
+    recv.add_argument("--transport", choices=["tcp", "udp"], default="tcp")
+    recv.add_argument("--capture", required=True, metavar="PATH",
+                      help="capture file to write")
+    recv.add_argument("--json", action="store_true", dest="as_json",
+                      help="print collector metrics as JSON")
+
+    val = replay_sub.add_parser(
+        "validate",
+        help="statistically compare a capture against its source trace",
+        parents=[common],
+    )
+    val.add_argument("source", help="source trace file")
+    val.add_argument("capture", help="capture file from a replay run")
+    val.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the validation report as JSON")
     return parser
 
 
@@ -196,7 +317,7 @@ def _run_command(args) -> int:
 
 
 def _stream_command(args) -> int:
-    from repro.stream import ScanReport, SummaryConfig, scan_trace
+    from repro.stream import ScanReport, SummaryConfig, scan_traces
     from repro.stream import write_stream_trace
 
     if args.stream_command == "synth":
@@ -215,8 +336,8 @@ def _stream_command(args) -> int:
             f"scale {info.scale:.3g}, {info.n_windows} windows)"
         )
         return 0
-    report: ScanReport = scan_trace(
-        args.path,
+    report: ScanReport = scan_traces(
+        args.paths,
         jobs=args.jobs,
         config=SummaryConfig(
             bin_width=args.bin_width,
@@ -235,6 +356,185 @@ def _stream_command(args) -> int:
     return 0
 
 
+def _write_bench_json(payload: dict, out_dir: str, name: str) -> str:
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, name)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def _build_replay_source(args):
+    """``--trace PATH`` (streamed from disk) or ``--packets N --model M``."""
+    from repro.replay import model_help, synthesize_packets
+
+    if args.trace is not None and args.packets is not None:
+        raise SystemExit("--trace and --packets are mutually exclusive")
+    if args.trace is not None:
+        return args.trace
+    if args.packets is None:
+        raise SystemExit("one of --trace PATH or --packets N is required")
+    try:
+        return synthesize_packets(
+            args.model, args.packets, seed=args.seed, rate=args.rate
+        )
+    except KeyError:
+        raise SystemExit(
+            f"unknown model {args.model!r}; available:\n{model_help()}"
+        ) from None
+
+
+def _replay_pacing(args):
+    from repro.replay import PacingConfig
+
+    return PacingConfig(
+        speed=args.speed,
+        rate_cap=args.rate_cap,
+        bucket_depth=args.bucket_depth,
+    )
+
+
+def _replay_loopback_command(args) -> int:
+    import os
+    import tempfile
+
+    from repro.replay import run_loopback
+
+    source = _build_replay_source(args)
+    capture = args.capture
+    tmp_dir = None
+    if capture is None:
+        tmp_dir = tempfile.mkdtemp(prefix="repro-replay-")
+        capture = os.path.join(tmp_dir, "capture.txt")
+    try:
+        result = run_loopback(
+            source,
+            capture_path=capture,
+            pacing=_replay_pacing(args),
+            flows=args.flows,
+            transport=args.transport,
+            policy=args.policy,
+            queue_depth=args.queue_depth,
+            validate=args.validate,
+        )
+    finally:
+        if tmp_dir is not None:
+            import shutil
+
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+    if args.out:
+        _write_bench_json(result.bench_payload(), args.out,
+                          "BENCH_replay.json")
+    if args.as_json:
+        print(json.dumps(result.bench_payload(), indent=2))
+    else:
+        print(result.render())
+    ok = result.zero_loss if args.policy == "block" else True
+    if args.validate and result.validation is not None:
+        ok = ok and result.validation.ok
+    return 0 if ok else 1
+
+
+def _replay_send_command(args) -> int:
+    import asyncio
+
+    from repro.replay import (
+        file_source,
+        merged_pacing,
+        replay_source,
+        trace_source,
+    )
+    from repro.traces.trace import PacketTrace
+
+    source = _build_replay_source(args)
+    batches = (
+        trace_source(source) if isinstance(source, PacketTrace)
+        else file_source(source)
+    )
+    results = asyncio.run(replay_source(
+        batches, args.host, args.port,
+        flows=args.flows,
+        pacing=_replay_pacing(args),
+        transport=args.transport,
+    ))
+    payload = {
+        "n_flows": len(results),
+        "n_sent": sum(f.n_packets for f in results),
+        "wire_bytes": sum(f.wire_bytes for f in results),
+        "pacing": merged_pacing(results),
+        "flows": [f.payload() for f in results],
+    }
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"sent {payload['n_sent']:,d} packets "
+              f"({payload['wire_bytes']:,d} wire bytes) over "
+              f"{payload['n_flows']} {args.transport.upper()} flow(s) "
+              f"to {args.host}:{args.port}")
+        pacing = payload["pacing"]
+        if pacing.get("n_paced"):
+            print(f"pacing error p50={pacing['error_p50_s'] * 1e3:.3f}ms "
+                  f"p99={pacing['error_p99_s'] * 1e3:.3f}ms "
+                  f"({pacing['n_late']:,d} late)")
+    return 0
+
+
+def _replay_recv_command(args) -> int:
+    import asyncio
+
+    from repro.replay import Collector
+
+    async def _serve():
+        collector = Collector(
+            capture_path=args.capture,
+            policy=args.policy,
+            queue_depth=args.queue_depth,
+        )
+        port = await collector.start(
+            host=args.host, port=args.port, transport=args.transport
+        )
+        print(f"listening on {args.host}:{port} ({args.transport}); "
+              f"capture -> {args.capture}", flush=True)
+        # Wait for the first sender, then drain to completion and stop.
+        while not collector.flows:
+            await asyncio.sleep(0.05)
+        return await collector.stop()
+
+    report = asyncio.run(_serve())
+    if args.as_json:
+        print(json.dumps(report.payload(), indent=2))
+    else:
+        print(f"captured {report.n_packets:,d} packets "
+              f"({report.trace_bytes:,d} trace bytes) from "
+              f"{len(report.flows)} flow(s); "
+              f"dropped {report.dropped_records:,d}")
+    return 0 if report.dropped_records == 0 else 1
+
+
+def _replay_validate_command(args) -> int:
+    from repro.replay import validate_replay
+
+    report = validate_replay(args.source, args.capture)
+    if args.as_json:
+        print(json.dumps(report.payload(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _replay_command(args) -> int:
+    handler = {
+        "loopback": _replay_loopback_command,
+        "send": _replay_send_command,
+        "recv": _replay_recv_command,
+        "validate": _replay_validate_command,
+    }[args.replay_command]
+    return handler(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "verbose", False):
@@ -245,11 +545,16 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "stream":
         return _stream_command(args)
+    if args.command == "replay":
+        return _replay_command(args)
     if args.command == "list":
+        width = max(len(name) for name in REGISTRY) + 2
         for name in sorted(REGISTRY):
             doc = (REGISTRY[name].__doc__ or "").strip().splitlines()
-            summary = doc[0] if doc else ""
-            print(f"{name:18s} {summary}")
+            summary = doc[0].strip() if doc and doc[0].strip() else (
+                "(no description)"
+            )
+            print(f"{name:<{width}} {summary}")
         return 0
     if args.command == "cache":
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()

@@ -1,0 +1,81 @@
+"""Live traffic replay & load generation with closed-loop validation.
+
+The analysis side of the repo measures traces; this subsystem *emits*
+them: an asyncio sender paces packet records onto real TCP/UDP transports
+at their trace timestamps (under a ``speed`` compression factor and an
+optional token-bucket rate cap), a bounded-queue collector timestamps and
+captures what arrives, and a validation loop re-runs the paper's
+statistical battery on the capture to confirm that Poisson-session,
+heavy-tail, and variance-time structure survived the replay path.
+
+Entry points::
+
+    from repro.replay import PacingConfig, run_loopback, validate_replay
+
+    result = run_loopback("trace.txt", capture_path="capture.txt",
+                          pacing=PacingConfig(speed=0), validate=True)
+    assert result.zero_loss and result.validation.ok
+
+or from the CLI: ``repro replay loopback --packets 100000 --validate``.
+"""
+
+from repro.replay.collector import Collector, CollectorReport, FlowStats
+from repro.replay.loopback import LoopbackResult, loopback, run_loopback
+from repro.replay.pacing import Pacer, PacingConfig, PacingStats, TokenBucket
+from repro.replay.server import (
+    FlowResult,
+    merged_pacing,
+    replay_source,
+    send_flow,
+)
+from repro.replay.source import (
+    MODELS,
+    file_source,
+    model_help,
+    synthesize_packets,
+    trace_source,
+)
+from repro.replay.validate import (
+    TraceBattery,
+    ValidationReport,
+    evaluate_trace,
+    session_arrival_times,
+    validate_replay,
+)
+from repro.replay.wire import (
+    RECORD_BYTES,
+    RECORD_DTYPE,
+    decode_records,
+    encode_batch,
+)
+
+__all__ = [
+    "Collector",
+    "CollectorReport",
+    "FlowResult",
+    "FlowStats",
+    "LoopbackResult",
+    "MODELS",
+    "Pacer",
+    "PacingConfig",
+    "PacingStats",
+    "RECORD_BYTES",
+    "RECORD_DTYPE",
+    "TokenBucket",
+    "TraceBattery",
+    "ValidationReport",
+    "decode_records",
+    "encode_batch",
+    "evaluate_trace",
+    "file_source",
+    "loopback",
+    "merged_pacing",
+    "model_help",
+    "replay_source",
+    "run_loopback",
+    "send_flow",
+    "session_arrival_times",
+    "synthesize_packets",
+    "trace_source",
+    "validate_replay",
+]

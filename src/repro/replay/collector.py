@@ -1,0 +1,360 @@
+"""Asyncio capture collector: timestamp, bound, decode, persist.
+
+The collector is the receiving half of the replay loop.  Per transport
+connection it reads raw wire bytes, stamps each read block with the event
+loop's monotonic clock, carves whole records, and hands the block to a
+single writer task through one *bounded* queue — the explicit backpressure
+point of the subsystem:
+
+* ``policy="block"`` — when the queue is full the receiving coroutine
+  awaits ``queue.put``; it stops reading, the kernel's TCP window fills,
+  and the sender's ``drain()`` blocks.  Nothing is lost, the *source* is
+  slowed (lossless mode, the default).
+* ``policy="drop"`` — a full queue drops the block and counts the dropped
+  records per flow (load-shedding mode; what a finite router buffer would
+  do, and the knob that makes overload experiments honest).
+
+The writer task decodes blocks back into column batches and appends them
+to the capture file through :mod:`repro.traces.io`'s v1 text format
+(``.gz`` transparently compressed).  Records are written in arrival
+order; a single-flow TCP replay therefore captures the *byte-identical*
+line sequence of the source trace.  Shutdown is a graceful drain: close
+the listener, wait for in-flight handlers, then let the writer empty the
+queue before the file is flushed and closed.
+
+Queue-depth high-water marks, per-flow packet/byte counts, and UDP
+sequence-gap loss estimates are reported in :class:`CollectorReport` and
+flow into ``BENCH_replay.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+from dataclasses import dataclass, field
+
+from repro.replay.wire import (
+    KIND_FIN,
+    RECORD_BYTES,
+    TCP_HELLO,
+    decode_records,
+    unpack_datagram,
+    unpack_hello,
+)
+from repro.traces.io import PKT_HEADER, open_trace
+
+#: Target bytes per TCP read (a few thousand records).
+READ_BYTES = 256 * 1024
+
+
+@dataclass
+class FlowStats:
+    """Per-flow accounting on the receive side."""
+
+    flow_id: int
+    n_packets: int = 0
+    trace_bytes: int = 0
+    wire_bytes: int = 0
+    dropped_records: int = 0
+    n_blocks: int = 0
+    max_seq: int = -1          # UDP only
+    n_datagrams: int = 0       # UDP only
+    fin_seen: bool = False     # UDP only
+    first_arrival: float | None = None
+    last_arrival: float | None = None
+
+    def stamp(self, arrival: float) -> None:
+        if self.first_arrival is None:
+            self.first_arrival = arrival
+        self.last_arrival = arrival
+
+    @property
+    def udp_lost(self) -> int:
+        """Sequence-gap loss estimate (0 for TCP flows)."""
+        if self.max_seq < 0:
+            return 0
+        return max(0, (self.max_seq + 1) - self.n_datagrams)
+
+    def payload(self) -> dict:
+        return {
+            "flow_id": self.flow_id,
+            "n_packets": self.n_packets,
+            "trace_bytes": self.trace_bytes,
+            "wire_bytes": self.wire_bytes,
+            "dropped_records": self.dropped_records,
+            "n_blocks": self.n_blocks,
+            "udp_lost_datagrams": self.udp_lost,
+            "arrival_span_s": (
+                self.last_arrival - self.first_arrival
+                if self.first_arrival is not None else 0.0
+            ),
+        }
+
+
+@dataclass
+class CollectorReport:
+    """Merged receive-side result of one replay run."""
+
+    transport: str
+    policy: str
+    queue_depth: int
+    queue_high_water: int
+    capture_path: str | None
+    flows: dict[int, FlowStats] = field(default_factory=dict)
+
+    @property
+    def n_packets(self) -> int:
+        return sum(f.n_packets for f in self.flows.values())
+
+    @property
+    def trace_bytes(self) -> int:
+        return sum(f.trace_bytes for f in self.flows.values())
+
+    @property
+    def dropped_records(self) -> int:
+        return sum(f.dropped_records for f in self.flows.values())
+
+    def payload(self) -> dict:
+        return {
+            "transport": self.transport,
+            "policy": self.policy,
+            "queue_depth": self.queue_depth,
+            "queue_high_water": self.queue_high_water,
+            "capture_path": self.capture_path,
+            "n_flows": len(self.flows),
+            "n_packets": self.n_packets,
+            "trace_bytes": self.trace_bytes,
+            "dropped_records": self.dropped_records,
+            "flows": [
+                self.flows[f].payload() for f in sorted(self.flows)
+            ],
+        }
+
+
+class Collector:
+    """Bounded-queue capture server for replayed traffic."""
+
+    def __init__(
+        self,
+        *,
+        capture_path: str | os.PathLike | None = None,
+        policy: str = "block",
+        queue_depth: int = 256,
+    ):
+        if policy not in ("block", "drop"):
+            raise ValueError(f"policy must be 'block' or 'drop', got {policy!r}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.capture_path = (
+            None if capture_path is None else os.fspath(capture_path)
+        )
+        self.policy = policy
+        self.queue_depth = queue_depth
+        self.queue_high_water = 0
+        self.flows: dict[int, FlowStats] = {}
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self._server: asyncio.AbstractServer | None = None
+        self._udp_transport = None
+        self._writer_task: asyncio.Task | None = None
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._transport_kind = "tcp"
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0,
+                    transport: str = "tcp") -> int:
+        """Bind and start serving; returns the bound port."""
+        if transport not in ("tcp", "udp"):
+            raise ValueError(
+                f"transport must be 'tcp' or 'udp', got {transport!r}"
+            )
+        self._transport_kind = transport
+        self._loop = asyncio.get_running_loop()
+        self._writer_task = asyncio.create_task(self._write_loop())
+        if transport == "tcp":
+            self._server = await asyncio.start_server(
+                self._handle_tcp, host, port
+            )
+            bound = self._server.sockets[0].getsockname()[1]
+        else:
+            self._udp_transport, _ = (
+                await self._loop.create_datagram_endpoint(
+                    lambda: _CollectorUdp(self), local_addr=(host, port)
+                )
+            )
+            sock = self._udp_transport.get_extra_info("socket")
+            if sock is not None:
+                try:
+                    sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
+                                    8 * 1024 * 1024)
+                except OSError:  # pragma: no cover - platform-dependent
+                    pass
+            bound = self._udp_transport.get_extra_info("sockname")[1]
+        return int(bound)
+
+    async def drain(self, timeout: float = 30.0) -> None:
+        """Wait for in-flight handlers (TCP) or FINs (UDP), with a cap."""
+        if self._transport_kind == "tcp":
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout)
+            except asyncio.TimeoutError:  # pragma: no cover - safety net
+                pass
+        else:
+            deadline = self._loop.time() + timeout
+            while self._loop.time() < deadline:
+                if self.flows and all(
+                    f.fin_seen for f in self.flows.values()
+                ):
+                    break
+                await asyncio.sleep(0.02)
+
+    async def stop(self) -> CollectorReport:
+        """Drain handlers, flush the writer, close the capture file."""
+        await self.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._udp_transport is not None:
+            self._udp_transport.close()
+        await self._queue.put(None)
+        await self._writer_task
+        return self.report()
+
+    def report(self) -> CollectorReport:
+        return CollectorReport(
+            transport=self._transport_kind,
+            policy=self.policy,
+            queue_depth=self.queue_depth,
+            queue_high_water=self.queue_high_water,
+            capture_path=self.capture_path,
+            flows=self.flows,
+        )
+
+    # -- ingest --------------------------------------------------------
+    def _flow(self, flow_id: int) -> FlowStats:
+        if flow_id not in self.flows:
+            self.flows[flow_id] = FlowStats(flow_id)
+        return self.flows[flow_id]
+
+    async def _enqueue(self, flow_id: int, block: bytes,
+                       arrival: float) -> None:
+        stats = self._flow(flow_id)
+        stats.wire_bytes += len(block)
+        stats.n_blocks += 1
+        stats.stamp(arrival)
+        item = (flow_id, block, arrival)
+        if self.policy == "block":
+            await self._queue.put(item)
+        else:
+            try:
+                self._queue.put_nowait(item)
+            except asyncio.QueueFull:
+                stats.dropped_records += len(block) // RECORD_BYTES
+                return
+        self.queue_high_water = max(
+            self.queue_high_water, self._queue.qsize()
+        )
+
+    async def _handle_tcp(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        self._active += 1
+        self._idle.clear()
+        try:
+            hello = await reader.readexactly(TCP_HELLO.size)
+            flow_id = unpack_hello(hello)
+            self._flow(flow_id).wire_bytes += len(hello)
+            carry = b""
+            while True:
+                data = await reader.read(READ_BYTES)
+                if not data:
+                    break
+                arrival = self._loop.time()
+                data = carry + data
+                cut = len(data) - (len(data) % RECORD_BYTES)
+                carry = data[cut:]
+                if cut:
+                    await self._enqueue(flow_id, data[:cut], arrival)
+            if carry:
+                raise ValueError(
+                    f"flow {flow_id}: {len(carry)} trailing bytes are not "
+                    "a whole record"
+                )
+        except asyncio.IncompleteReadError:
+            pass  # connection closed before a full hello: ignore
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+    def _ingest_datagram(self, data: bytes) -> None:
+        arrival = self._loop.time()
+        kind, flow_id, seq, payload = unpack_datagram(data)
+        stats = self._flow(flow_id)
+        if kind == KIND_FIN:
+            stats.fin_seen = True
+            return
+        stats.n_datagrams += 1
+        stats.max_seq = max(stats.max_seq, seq)
+        if not payload:
+            return
+        stats.wire_bytes += len(data)
+        stats.n_blocks += 1
+        stats.stamp(arrival)
+        item = (flow_id, payload, arrival)
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            # UDP never blocks the socket callback: a full queue sheds
+            # load regardless of policy (that is what UDP means).
+            stats.dropped_records += len(payload) // RECORD_BYTES
+            return
+        self.queue_high_water = max(
+            self.queue_high_water, self._queue.qsize()
+        )
+
+    # -- persist -------------------------------------------------------
+    async def _write_loop(self) -> None:
+        fh = None
+        if self.capture_path is not None:
+            fh = open_trace(self.capture_path, "wt")
+            fh.write(PKT_HEADER + "\n")
+        try:
+            while True:
+                item = await self._queue.get()
+                if item is None:
+                    break
+                flow_id, block, _arrival = item
+                batch = decode_records(block)
+                stats = self._flow(flow_id)
+                stats.n_packets += len(batch)
+                stats.trace_bytes += int(batch.sizes.sum())
+                if fh is not None:
+                    rows = zip(batch.timestamps, batch.protocols,
+                               batch.connection_ids, batch.directions,
+                               batch.sizes, batch.user_data)
+                    fh.writelines(
+                        f"{float(t)!r} {proto} {cid} {d} {size} {int(ud)}\n"
+                        for t, proto, cid, d, size, ud in rows
+                    )
+        finally:
+            if fh is not None:
+                fh.close()
+
+
+class _CollectorUdp(asyncio.DatagramProtocol):
+    def __init__(self, collector: Collector):
+        self._collector = collector
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        try:
+            self._collector._ingest_datagram(data)
+        except ValueError:  # pragma: no cover - malformed stray datagram
+            pass

@@ -1,0 +1,144 @@
+"""End-to-end loopback replay: collector + sender + validation in one call.
+
+``run_loopback`` binds a :class:`~repro.replay.collector.Collector` on an
+ephemeral localhost port, replays a source through it over real TCP/UDP
+sockets, drains gracefully, and (optionally) runs the closed-loop
+statistical battery of :mod:`repro.replay.validate` on source vs capture.
+This is the acceptance path of the subsystem, the CLI's
+``repro replay loopback``, and the workload behind ``BENCH_replay.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from dataclasses import dataclass
+
+from repro.replay.collector import Collector, CollectorReport
+from repro.replay.pacing import PacingConfig
+from repro.replay.server import FlowResult, merged_pacing, replay_source
+from repro.replay.source import file_source, trace_source
+from repro.replay.validate import ValidationReport, validate_replay
+from repro.traces.trace import PacketTrace
+
+
+@dataclass(frozen=True)
+class LoopbackResult:
+    """Everything one loopback run measured."""
+
+    flow_results: list[FlowResult]
+    collector: CollectorReport
+    wall_s: float
+    validation: ValidationReport | None = None
+
+    @property
+    def n_sent(self) -> int:
+        return sum(f.n_packets for f in self.flow_results)
+
+    @property
+    def n_received(self) -> int:
+        return self.collector.n_packets
+
+    @property
+    def zero_loss(self) -> bool:
+        return (self.n_received == self.n_sent
+                and self.collector.dropped_records == 0)
+
+    def bench_payload(self) -> dict:
+        """A ``BENCH_*``-family record for the replay path."""
+        pacing = merged_pacing(self.flow_results)
+        wire_bytes = sum(f.wire_bytes for f in self.flow_results)
+        return {
+            "bench": "replay",
+            "unit": "s",
+            "n_flows": len(self.flow_results),
+            "n_sent": self.n_sent,
+            "n_received": self.n_received,
+            "dropped_records": self.collector.dropped_records,
+            "zero_loss": self.zero_loss,
+            "wall_s": self.wall_s,
+            "packets_per_s": self.n_sent / self.wall_s
+            if self.wall_s > 0 else 0.0,
+            "wire_bytes_per_s": wire_bytes / self.wall_s
+            if self.wall_s > 0 else 0.0,
+            "trace_bytes": self.collector.trace_bytes,
+            "pacing": pacing,
+            "queue_high_water": self.collector.queue_high_water,
+            "collector": self.collector.payload(),
+            "flows": [f.payload() for f in self.flow_results],
+            "validation": (
+                None if self.validation is None
+                else self.validation.payload()
+            ),
+        }
+
+    def render(self) -> str:
+        pacing = merged_pacing(self.flow_results)
+        lines = [
+            f"replay loopback: {self.n_sent:,d} packets over "
+            f"{len(self.flow_results)} {self.collector.transport.upper()} "
+            f"flow(s) in {self.wall_s:.2f}s "
+            f"({self.n_sent / self.wall_s if self.wall_s else 0.0:,.0f} pkts/s)",
+            f"  received       {self.n_received:>14,d}"
+            f"   (dropped {self.collector.dropped_records:,d}, "
+            f"{'zero loss' if self.zero_loss else 'LOSSY'})",
+            f"  queue depth    {self.collector.queue_high_water:>14,d}"
+            f"   high-water (cap {self.collector.queue_depth}, "
+            f"policy {self.collector.policy})",
+        ]
+        if pacing.get("n_paced"):
+            lines.append(
+                f"  pacing error   p50={pacing['error_p50_s'] * 1e3:.3f}ms"
+                f"  p99={pacing['error_p99_s'] * 1e3:.3f}ms"
+                f"  max={pacing['error_max_s'] * 1e3:.3f}ms"
+                f"  ({pacing['n_late']:,d} late)"
+            )
+        if self.validation is not None:
+            lines.append(self.validation.render())
+        return "\n".join(lines)
+
+
+async def loopback(
+    source: PacketTrace | str | os.PathLike,
+    *,
+    capture_path: str | os.PathLike,
+    pacing: PacingConfig | None = None,
+    flows: int = 1,
+    transport: str = "tcp",
+    policy: str = "block",
+    queue_depth: int = 256,
+    validate: bool = False,
+    host: str = "127.0.0.1",
+) -> LoopbackResult:
+    """Replay ``source`` to a local collector and return both sides."""
+    collector = Collector(capture_path=capture_path, policy=policy,
+                          queue_depth=queue_depth)
+    port = await collector.start(host=host, transport=transport)
+    t0 = time.perf_counter()
+    batches = (
+        trace_source(source) if isinstance(source, PacketTrace)
+        else file_source(source)
+    )
+    try:
+        flow_results = await replay_source(
+            batches, host, port,
+            flows=flows, pacing=pacing, transport=transport,
+        )
+    finally:
+        report = await collector.stop()
+    wall = time.perf_counter() - t0
+    validation = None
+    if validate:
+        validation = validate_replay(source, os.fspath(capture_path))
+    return LoopbackResult(
+        flow_results=list(flow_results),
+        collector=report,
+        wall_s=wall,
+        validation=validation,
+    )
+
+
+def run_loopback(source, **kwargs) -> LoopbackResult:
+    """Synchronous wrapper around :func:`loopback`."""
+    return asyncio.run(loopback(source, **kwargs))

@@ -1,0 +1,214 @@
+"""Drift-corrected pacing for live trace replay.
+
+The scheduler's contract: emit record *i* at wall-clock time
+
+    ``wall_start + (t_i - t_0) / speed``
+
+where ``t_i`` is the record's trace timestamp and ``speed`` is the time
+compression factor (``speed=60`` replays an hour of trace in a minute;
+``speed=0`` means as-fast-as-possible, no pacing at all).  Targets are
+computed *absolutely* from the flow's wall start, never incrementally from
+the previous send, so scheduling jitter does not accumulate as drift.
+
+Late-event accounting: the pacer never sleeps once a deadline has passed —
+a late record is sent immediately and its (non-negative) pacing error
+``actual - target`` is recorded into a mergeable :class:`PacingStats`
+(quantile sketch + moments), from which ``p50/p90/p99/max`` percentiles
+are reported.  Errors beyond ``late_threshold`` count as "late events".
+
+Rate capping is a deficit token bucket (:class:`TokenBucket`): ``acquire``
+may take the balance negative on a burst larger than the bucket depth, so
+arbitrarily large batches are admitted while the *average* rate converges
+to the cap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.stream.sketches import QuantileSketch, StreamingMoments
+
+
+@dataclass(frozen=True)
+class PacingConfig:
+    """How a replay flow schedules its sends (picklable, hashable)."""
+
+    #: Trace-time / wall-time compression factor; 0 = as fast as possible.
+    speed: float = 1.0
+    #: Records per wall-second admitted by the token bucket (None = no cap).
+    rate_cap: float | None = None
+    #: Token-bucket burst allowance, in records.
+    bucket_depth: float = 64.0
+    #: Pacing error beyond which a send counts as a late event (seconds).
+    late_threshold: float = 0.005
+
+    def __post_init__(self):
+        if self.speed < 0:
+            raise ValueError(f"speed must be >= 0, got {self.speed}")
+        if self.rate_cap is not None and self.rate_cap <= 0:
+            raise ValueError(f"rate_cap must be > 0, got {self.rate_cap}")
+        if self.bucket_depth <= 0:
+            raise ValueError(
+                f"bucket_depth must be > 0, got {self.bucket_depth}"
+            )
+        if self.late_threshold < 0:
+            raise ValueError("late_threshold must be >= 0")
+
+    @property
+    def paced(self) -> bool:
+        """Whether sends follow trace timestamps at all."""
+        return self.speed > 0
+
+
+class PacingStats:
+    """Mergeable record of one flow's pacing errors."""
+
+    def __init__(self, late_threshold: float = 0.005):
+        self.late_threshold = late_threshold
+        self.n_sent = 0
+        self.n_late = 0
+        self.errors = QuantileSketch(512)
+        self.moments = StreamingMoments()
+
+    def record(self, error: float) -> None:
+        """Fold in one paced send's error (clamped at 0: early sends were
+        slept away, only residual lateness is meaningful)."""
+        err = max(float(error), 0.0)
+        self.n_sent += 1
+        if err > self.late_threshold:
+            self.n_late += 1
+        self.errors.update([err])
+        self.moments.update([err])
+
+    def count_unpaced(self, n: int = 1) -> None:
+        """Count sends that had no deadline (``speed=0`` fast path)."""
+        self.n_sent += int(n)
+
+    def merge(self, other: "PacingStats") -> None:
+        self.n_sent += other.n_sent
+        self.n_late += other.n_late
+        self.errors.merge(other.errors)
+        self.moments.merge(other.moments)
+
+    # ------------------------------------------------------------------
+    def percentiles(self) -> dict[str, float]:
+        if self.moments.n == 0:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        p50, p90, p99 = self.errors.quantiles([0.5, 0.9, 0.99])
+        return {
+            "p50": float(p50),
+            "p90": float(p90),
+            "p99": float(p99),
+            "max": float(self.moments.max),
+        }
+
+    def payload(self) -> dict:
+        return {
+            "n_sent": self.n_sent,
+            "n_paced": int(self.moments.n),
+            "n_late": self.n_late,
+            "late_threshold_s": self.late_threshold,
+            "mean_error_s": float(self.moments.mean)
+            if self.moments.n else 0.0,
+            **{f"error_{k}_s": v for k, v in self.percentiles().items()},
+        }
+
+
+class TokenBucket:
+    """Virtual-scheduling (GCRA) token bucket: ``rate`` records/second
+    average with a ``depth``-record burst allowance.
+
+    The bucket tracks a theoretical arrival time instead of a token count,
+    so a single ``acquire(n)`` with ``n`` far beyond the depth still waits
+    out the full ``n / rate`` budget — batch-granular capping converges to
+    the same average rate as per-record capping.
+    """
+
+    def __init__(self, rate: float, depth: float = 64.0, *,
+                 clock=time.monotonic, sleep=asyncio.sleep):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if depth <= 0:
+            raise ValueError(f"depth must be > 0, got {depth}")
+        self.rate = float(rate)
+        self.depth = float(depth)
+        self._clock = clock
+        self._sleep = sleep
+        self._tat: float | None = None  # theoretical arrival time
+
+    async def acquire(self, n: float = 1.0) -> None:
+        """Admit ``n`` records, sleeping until the average rate allows it."""
+        now = self._clock()
+        if self._tat is None:
+            self._tat = now
+        burst_s = self.depth / self.rate
+        # An idle bucket accrues at most `depth` records of credit: the
+        # theoretical arrival time never lags behind the present, and the
+        # conformance tolerance below is exactly one burst.
+        self._tat = max(self._tat, now) + n / self.rate
+        wait = self._tat - now - burst_s
+        if wait > 0:
+            await self._sleep(wait)
+
+
+class Pacer:
+    """One flow's drift-corrected send scheduler."""
+
+    def __init__(self, config: PacingConfig, *,
+                 bucket: TokenBucket | None = None,
+                 clock=time.monotonic, sleep=asyncio.sleep):
+        self.config = config
+        self.stats = PacingStats(config.late_threshold)
+        if bucket is None and config.rate_cap is not None:
+            bucket = TokenBucket(config.rate_cap, config.bucket_depth,
+                                 clock=clock, sleep=sleep)
+        self.bucket = bucket
+        self._clock = clock
+        self._sleep = sleep
+        self._wall0: float | None = None
+        self._ts0: float | None = None
+
+    def start(self, wall0: float | None = None) -> None:
+        """Pin the flow's wall-clock origin (idempotent via first pace)."""
+        self._wall0 = self._clock() if wall0 is None else wall0
+
+    @property
+    def fast_path(self) -> bool:
+        """Whole batches may be sent without per-record scheduling."""
+        return not self.config.paced and self.bucket is None
+
+    async def pace(self, ts: float) -> float:
+        """Schedule the record stamped ``ts``; return its pacing error.
+
+        Sleeps only while the deadline is in the future — a record already
+        past its deadline is released immediately and accounted as late.
+        """
+        if self.bucket is not None:
+            await self.bucket.acquire(1.0)
+        if not self.config.paced:
+            self.stats.count_unpaced()
+            return 0.0
+        if self._wall0 is None:
+            self.start()
+        if self._ts0 is None:
+            self._ts0 = float(ts)
+        target = self._wall0 + (float(ts) - self._ts0) / self.config.speed
+        now = self._clock()
+        if now < target:
+            await self._sleep(target - now)
+            now = self._clock()
+        error = now - target
+        self.stats.record(error)
+        return max(error, 0.0)
+
+    async def admit_batch(self, n: int) -> None:
+        """Batch-granular admission for the unpaced (``speed=0``) path.
+
+        The sender chunks its writes at the bucket depth, so each admitted
+        run is released within its rate budget.
+        """
+        if self.bucket is not None:
+            await self.bucket.acquire(float(n))
+        self.stats.count_unpaced(n)

@@ -1,0 +1,342 @@
+"""Asyncio replay sender: paced emission of packet batches over TCP/UDP.
+
+One *flow* is one transport connection replaying a (sub)stream of packet
+records under its own :class:`~repro.replay.pacing.Pacer`.
+``replay_source`` fans a single source out over ``flows`` concurrent
+multiplexed flows — records are routed by ``connection_id % flows`` so a
+connection's packets stay ordered within one flow — through bounded
+per-flow queues, giving end-to-end backpressure: a slow flow stalls the
+distributor, which stops pulling batches from the (possibly out-of-core)
+source.
+
+Send paths per batch:
+
+* **fast path** (``speed=0``, no rate cap): the whole batch is encoded in
+  one vectorized call and written at once, throttled only by
+  ``writer.drain()`` (TCP flow control);
+* **capped-unpaced** (``speed=0`` + rate cap): batch-granular token-bucket
+  admission, then the vectorized write;
+* **paced** (``speed>0``): per-record deadline scheduling with periodic
+  drains.
+
+TCP flows end with EOF (the collector's drain signal); UDP flows end with
+redundant FIN datagrams and carry sequence numbers so the collector can
+count loss.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.replay.pacing import Pacer, PacingConfig, TokenBucket
+from repro.replay.wire import (
+    KIND_FIN,
+    MAX_DATAGRAM_RECORDS,
+    RECORD_BYTES,
+    encode_batch,
+    pack_datagram,
+    pack_hello,
+)
+from repro.stream.reader import PacketBatch
+
+#: Drain (await TCP flow control) at least every this many paced records.
+DRAIN_EVERY = 256
+
+#: Bounded depth of each flow's batch queue (batches, not records).
+FLOW_QUEUE_BATCHES = 4
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """What one flow sent, and how punctually."""
+
+    flow_id: int
+    n_packets: int
+    wire_bytes: int
+    trace_bytes: int
+    wall_s: float
+    pacing: dict
+
+    def payload(self) -> dict:
+        return {
+            "flow_id": self.flow_id,
+            "n_packets": self.n_packets,
+            "wire_bytes": self.wire_bytes,
+            "trace_bytes": self.trace_bytes,
+            "wall_s": self.wall_s,
+            "packets_per_s": self.n_packets / self.wall_s
+            if self.wall_s > 0 else 0.0,
+            "pacing": self.pacing,
+        }
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self):
+        self.transport: asyncio.DatagramTransport | None = None
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def error_received(self, exc):  # pragma: no cover - kernel-dependent
+        pass
+
+
+async def _send_tcp(
+    batches: "asyncio.Queue[PacketBatch | None] | Iterable[PacketBatch]",
+    host: str,
+    port: int,
+    flow_id: int,
+    pacer: Pacer,
+) -> tuple[int, int, int]:
+    reader, writer = await asyncio.open_connection(host, port)
+    n_packets = wire_bytes = trace_bytes = 0
+    try:
+        hello = pack_hello(flow_id)
+        writer.write(hello)
+        wire_bytes += len(hello)
+        async for batch in _aiter_batches(batches):
+            payload = encode_batch(batch)
+            if not pacer.config.paced:
+                if pacer.bucket is None:
+                    await pacer.admit_batch(len(batch))
+                    writer.write(payload)
+                    await writer.drain()
+                else:
+                    # Chunk capped writes at the bucket depth so the batch
+                    # is released across its rate budget, not in one burst.
+                    step = max(int(pacer.bucket.depth), 1)
+                    view = memoryview(payload)
+                    for off in range(0, len(batch), step):
+                        m = min(step, len(batch) - off)
+                        await pacer.admit_batch(m)
+                        writer.write(
+                            view[off * RECORD_BYTES:
+                                 (off + m) * RECORD_BYTES]
+                        )
+                        await writer.drain()
+            else:
+                ts = batch.timestamps
+                view = memoryview(payload)
+                for i in range(len(batch)):
+                    await pacer.pace(float(ts[i]))
+                    writer.write(
+                        view[i * RECORD_BYTES:(i + 1) * RECORD_BYTES]
+                    )
+                    if i % DRAIN_EVERY == 0:
+                        await writer.drain()
+                await writer.drain()
+            n_packets += len(batch)
+            wire_bytes += len(payload)
+            trace_bytes += int(batch.sizes.sum())
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return n_packets, wire_bytes, trace_bytes
+
+
+async def _send_udp(
+    batches: "asyncio.Queue[PacketBatch | None] | Iterable[PacketBatch]",
+    host: str,
+    port: int,
+    flow_id: int,
+    pacer: Pacer,
+) -> tuple[int, int, int]:
+    loop = asyncio.get_running_loop()
+    transport, proto = await loop.create_datagram_endpoint(
+        _UdpProtocol, remote_addr=(host, port)
+    )
+    n_packets = wire_bytes = trace_bytes = 0
+    seq = 0
+    try:
+        async for batch in _aiter_batches(batches):
+            payload = encode_batch(batch)
+            view = memoryview(payload)
+            if pacer.config.paced:
+                # One record per datagram keeps pacing record-accurate.
+                ts = batch.timestamps
+                for i in range(len(batch)):
+                    await pacer.pace(float(ts[i]))
+                    dgram = pack_datagram(
+                        flow_id, seq,
+                        bytes(view[i * RECORD_BYTES:(i + 1) * RECORD_BYTES]),
+                    )
+                    transport.sendto(dgram)
+                    wire_bytes += len(dgram)
+                    seq += 1
+            else:
+                for off in range(0, len(batch), MAX_DATAGRAM_RECORDS):
+                    chunk = bytes(
+                        view[off * RECORD_BYTES:
+                             (off + MAX_DATAGRAM_RECORDS) * RECORD_BYTES]
+                    )
+                    await pacer.admit_batch(len(chunk) // RECORD_BYTES)
+                    dgram = pack_datagram(flow_id, seq, chunk)
+                    transport.sendto(dgram)
+                    wire_bytes += len(dgram)
+                    seq += 1
+                    # Yield so the local collector's socket gets serviced;
+                    # UDP has no flow control and will shed load otherwise.
+                    await asyncio.sleep(0)
+            n_packets += len(batch)
+            trace_bytes += int(batch.sizes.sum())
+        for _ in range(3):  # redundant FINs: datagrams may drop
+            fin = pack_datagram(flow_id, seq, b"", kind=KIND_FIN)
+            transport.sendto(fin)
+            wire_bytes += len(fin)
+            await asyncio.sleep(0.01)
+    finally:
+        transport.close()
+    return n_packets, wire_bytes, trace_bytes
+
+
+async def _aiter_batches(batches):
+    """Uniform async iteration over a queue of batches or a plain iterable."""
+    if isinstance(batches, asyncio.Queue):
+        while True:
+            item = await batches.get()
+            if item is None:
+                return
+            yield item
+    else:
+        for batch in batches:
+            yield batch
+            await asyncio.sleep(0)  # yield to the collector between batches
+
+
+async def send_flow(
+    batches,
+    host: str,
+    port: int,
+    *,
+    flow_id: int = 0,
+    pacing: PacingConfig | None = None,
+    pacer: Pacer | None = None,
+    transport: str = "tcp",
+) -> FlowResult:
+    """Replay one flow's batches to ``host:port`` under a pacing policy."""
+    if pacer is None:
+        pacer = Pacer(pacing if pacing is not None else PacingConfig())
+    if transport not in ("tcp", "udp"):
+        raise ValueError(f"transport must be 'tcp' or 'udp', got {transport!r}")
+    t0 = time.perf_counter()
+    pacer.start()
+    sender = _send_tcp if transport == "tcp" else _send_udp
+    n_packets, wire_bytes, trace_bytes = await sender(
+        batches, host, port, flow_id, pacer
+    )
+    return FlowResult(
+        flow_id=flow_id,
+        n_packets=n_packets,
+        wire_bytes=wire_bytes,
+        trace_bytes=trace_bytes,
+        wall_s=time.perf_counter() - t0,
+        pacing=pacer.stats.payload(),
+    )
+
+
+def _split_batch(batch: PacketBatch, flows: int) -> list[PacketBatch | None]:
+    """Route records to flows by ``connection_id % flows`` (order-preserving
+    within each flow)."""
+    lanes = batch.connection_ids % flows
+    out: list[PacketBatch | None] = []
+    for f in range(flows):
+        mask = lanes == f
+        if not mask.any():
+            out.append(None)
+            continue
+        out.append(PacketBatch(
+            timestamps=batch.timestamps[mask],
+            protocols=batch.protocols[mask],
+            connection_ids=batch.connection_ids[mask],
+            directions=batch.directions[mask],
+            sizes=batch.sizes[mask],
+            user_data=batch.user_data[mask],
+        ))
+    return out
+
+
+async def _distribute(
+    source: Iterator[PacketBatch],
+    queues: "list[asyncio.Queue]",
+) -> None:
+    flows = len(queues)
+    try:
+        for batch in source:
+            if flows == 1:
+                await queues[0].put(batch)
+            else:
+                for q, sub in zip(queues, _split_batch(batch, flows)):
+                    if sub is not None:
+                        await q.put(sub)
+    finally:
+        for q in queues:
+            await q.put(None)
+
+
+async def replay_source(
+    source: Iterator[PacketBatch],
+    host: str,
+    port: int,
+    *,
+    flows: int = 1,
+    pacing: PacingConfig | None = None,
+    transport: str = "tcp",
+) -> list[FlowResult]:
+    """Replay one source over ``flows`` concurrent multiplexed flows.
+
+    All flows share one wall-clock origin and — when a rate cap is set —
+    one token bucket, so the cap applies to the *aggregate*, matching how
+    a bottleneck link would see the multiplexed stream.
+    """
+    if flows < 1:
+        raise ValueError(f"flows must be >= 1, got {flows}")
+    config = pacing if pacing is not None else PacingConfig()
+    shared_bucket = (
+        TokenBucket(config.rate_cap, config.bucket_depth)
+        if config.rate_cap is not None else None
+    )
+    wall0 = time.monotonic()
+    pacers = []
+    for _ in range(flows):
+        p = Pacer(config, bucket=shared_bucket)
+        p.start(wall0)
+        pacers.append(p)
+    queues: list[asyncio.Queue] = [
+        asyncio.Queue(maxsize=FLOW_QUEUE_BATCHES) for _ in range(flows)
+    ]
+    feeder = asyncio.create_task(_distribute(source, queues))
+    try:
+        results = await asyncio.gather(*[
+            send_flow(q, host, port, flow_id=f, pacer=pacers[f],
+                      transport=transport)
+            for f, q in enumerate(queues)
+        ])
+    finally:
+        if not feeder.done():
+            feeder.cancel()
+        try:
+            await feeder
+        except asyncio.CancelledError:
+            pass
+    return list(results)
+
+
+def merged_pacing(results: Iterable[FlowResult]) -> dict:
+    """Aggregate per-flow pacing payloads (worst-case percentiles)."""
+    results = list(results)
+    if not results:
+        return {}
+    n_sent = sum(r.pacing["n_sent"] for r in results)
+    n_late = sum(r.pacing["n_late"] for r in results)
+    n_paced = sum(r.pacing["n_paced"] for r in results)
+    keys = ("error_p50_s", "error_p90_s", "error_p99_s", "error_max_s")
+    merged = {k: max(r.pacing[k] for r in results) for k in keys}
+    mean = (
+        sum(r.pacing["mean_error_s"] * r.pacing["n_paced"] for r in results)
+        / n_paced if n_paced else 0.0
+    )
+    return {"n_sent": n_sent, "n_paced": n_paced, "n_late": n_late,
+            "mean_error_s": mean, **merged}

@@ -1,0 +1,225 @@
+"""Pluggable replay feeds: on-disk traces and live model synthesis.
+
+A replay *source* is just an iterator of time-sorted
+:class:`~repro.stream.reader.PacketBatch` columns — the same currency the
+streaming scan consumes — so the sender never needs a whole trace in
+memory:
+
+* :func:`file_source` streams any v1/``.gz`` packet trace through the
+  chunked reader of :mod:`repro.stream.reader` (multi-GB traces replay
+  out-of-core);
+* :func:`trace_source` slices an in-memory :class:`PacketTrace`;
+* :func:`synthesize_packets` builds an exactly-``n``-packet trace live
+  from the paper's source models (``fulltel``, ``ftp``, ``poisson``,
+  ``pareto``, ``mix``), auto-calibrating the synthesis horizon from a
+  probe run the way ``repro stream synth`` does.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.arrivals.pareto_renewal import pareto_renewal_arrivals
+from repro.arrivals.poisson import homogeneous_poisson
+from repro.core.ftp import FtpSessionModel
+from repro.core.fulltel import FullTelModel
+from repro.stream.reader import PacketBatch, iter_trace_batches, sniff_kind
+from repro.stream.synth import _assign_packet_sizes
+from repro.traces.trace import PacketTrace
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs
+
+DEFAULT_BATCH_RECORDS = 8192
+
+
+def file_source(
+    path: str | os.PathLike,
+    *,
+    block_bytes: int | None = None,
+) -> Iterator[PacketBatch]:
+    """Stream a v1 packet trace file as batches, out-of-core."""
+    kind = sniff_kind(path)
+    if kind != "packet":
+        raise ValueError(f"{path}: replay needs a packet trace, got {kind}")
+    kwargs = {} if block_bytes is None else {"block_bytes": block_bytes}
+    return iter_trace_batches(path, "packet", **kwargs)
+
+
+def trace_source(
+    trace: PacketTrace, batch_records: int = DEFAULT_BATCH_RECORDS
+) -> Iterator[PacketBatch]:
+    """Slice an in-memory packet trace into replay batches."""
+    if batch_records < 1:
+        raise ValueError(f"batch_records must be >= 1, got {batch_records}")
+    for i in range(0, len(trace), batch_records):
+        sl = slice(i, i + batch_records)
+        yield PacketBatch(
+            timestamps=trace.timestamps[sl],
+            protocols=trace.protocols[sl],
+            connection_ids=trace.connection_ids[sl],
+            directions=trace.directions[sl],
+            sizes=trace.sizes[sl],
+            user_data=trace.user_data[sl],
+        )
+
+
+# ----------------------------------------------------------------------
+# Live model synthesis
+# ----------------------------------------------------------------------
+def _fulltel(duration: float, seed, rate: float | None) -> PacketTrace:
+    """TELNET packets from the FULL-TEL source model (Section IV)."""
+    return FullTelModel(
+        connections_per_hour=rate if rate is not None else 136.5
+    ).synthesize(duration, seed=seed)
+
+
+def _ftp(duration: float, seed, rate: float | None) -> PacketTrace:
+    """FTPDATA packets: Section VI session/burst model, constant-rate
+    512-byte segments within each connection."""
+    model = FtpSessionModel(
+        sessions_per_hour=rate if rate is not None else 40.0
+    )
+    rng = as_rng(seed)
+    records = model.synthesize(duration, seed=rng)
+    parts_t, parts_c = [], []
+    for i, r in enumerate(records):
+        if r.protocol != "FTPDATA":
+            continue
+        n = max(1, int(round(r.total_bytes / 512.0)))
+        span = max(r.duration, 1e-3)
+        parts_t.append(r.start_time + span * (np.arange(1, n + 1) / n))
+        parts_c.append(np.full(n, i, dtype=np.int64))
+    if not parts_t:
+        return PacketTrace("FTP-REPLAY", timestamps=np.zeros(0))
+    times = np.concatenate(parts_t)
+    cids = np.concatenate(parts_c)
+    keep = times < duration
+    times, cids = times[keep], cids[keep]
+    n = times.size
+    return PacketTrace(
+        "FTP-REPLAY",
+        timestamps=times,
+        protocols=np.full(n, "FTPDATA", dtype=object),
+        connection_ids=cids,
+        sizes=np.full(n, 512, dtype=np.int64),
+    )
+
+
+def _poisson(duration: float, seed, rate: float | None) -> PacketTrace:
+    """Homogeneous Poisson packet arrivals — the paper's null model."""
+    rng = as_rng(seed)
+    per_sec = (rate if rate is not None else 360_000.0) / 3600.0
+    times = homogeneous_poisson(per_sec, duration, seed=rng)
+    n = times.size
+    return PacketTrace(
+        "POISSON-REPLAY",
+        timestamps=times,
+        protocols=np.full(n, "OTHER", dtype=object),
+        connection_ids=np.arange(n, dtype=np.int64),
+        sizes=_assign_packet_sizes(np.full(n, "OTHER", dtype=object), rng),
+    )
+
+
+def _pareto(duration: float, seed, rate: float | None) -> PacketTrace:
+    """Pareto-renewal packet arrivals (Appendix C's failure mode)."""
+    rng = as_rng(seed)
+    per_sec = (rate if rate is not None else 360_000.0) / 3600.0
+    location = 0.5 / per_sec  # Pareto(loc, 1.5) mean = 3*loc = 1.5/per_sec
+    n = max(int(duration * per_sec), 16)
+    times = pareto_renewal_arrivals(n, 1.5, location=location, seed=rng)
+    times = times[times < duration]
+    n = times.size
+    return PacketTrace(
+        "PARETO-REPLAY",
+        timestamps=times,
+        protocols=np.full(n, "OTHER", dtype=object),
+        connection_ids=np.arange(n, dtype=np.int64),
+        sizes=_assign_packet_sizes(np.full(n, "OTHER", dtype=object), rng),
+    )
+
+
+def _mix(duration: float, seed, rate: float | None) -> PacketTrace:
+    """The full Table-II packet mix (TELNET + FTPDATA + background)."""
+    from repro.traces.synthesis import synthesize_packet_trace
+
+    rng = as_rng(seed)
+    trace = synthesize_packet_trace(
+        "LBL PKT-1", seed=rng, hours=duration / 3600.0,
+        scale=rate if rate is not None else 1.0,
+    )
+    sizes = _assign_packet_sizes(trace.protocols, rng)
+    return PacketTrace(
+        "MIX-REPLAY",
+        timestamps=trace.timestamps,
+        protocols=trace.protocols,
+        connection_ids=trace.connection_ids,
+        directions=trace.directions,
+        sizes=sizes,
+        user_data=trace.user_data,
+    )
+
+
+#: name -> builder(duration_s, seed, rate) for ``repro replay --model``.
+MODELS: dict[str, Callable[[float, object, float | None], PacketTrace]] = {
+    "fulltel": _fulltel,
+    "ftp": _ftp,
+    "poisson": _poisson,
+    "pareto": _pareto,
+    "mix": _mix,
+}
+
+
+def model_help() -> str:
+    return "; ".join(
+        f"{name}: {(fn.__doc__ or '').strip().splitlines()[0]}"
+        for name, fn in MODELS.items()
+    )
+
+
+def synthesize_packets(
+    model: str,
+    n_packets: int,
+    *,
+    seed: SeedLike = 0,
+    rate: float | None = None,
+    probe_hours: float = 0.25,
+) -> PacketTrace:
+    """Synthesize exactly ``n_packets`` live from one of :data:`MODELS`.
+
+    A probe run at ``probe_hours`` estimates the model's packet rate; the
+    horizon is then scaled (with 20% headroom, doubling on shortfall) and
+    the result truncated to exactly ``n_packets`` rows.  Deterministic for
+    a given ``(model, n_packets, seed, rate)``.
+    """
+    if model not in MODELS:
+        raise KeyError(
+            f"unknown model {model!r}; choose from {sorted(MODELS)}"
+        )
+    if n_packets < 1:
+        raise ValueError(f"n_packets must be >= 1, got {n_packets}")
+    build = MODELS[model]
+    probe_rng, *rngs = spawn_rngs(seed, 7)
+    probe = build(probe_hours * 3600.0, probe_rng, rate)
+    per_sec = max(len(probe) / (probe_hours * 3600.0), 1e-9)
+    duration = 1.2 * n_packets / per_sec
+    for rng in rngs:
+        trace = build(duration, rng, rate)
+        if len(trace) >= n_packets:
+            break
+        duration *= 2.0
+    else:
+        raise RuntimeError(
+            f"model {model!r} produced only {len(trace)} of "
+            f"{n_packets} packets; pass a higher rate"
+        )
+    return PacketTrace(
+        trace.name,
+        timestamps=trace.timestamps[:n_packets],
+        protocols=trace.protocols[:n_packets],
+        connection_ids=trace.connection_ids[:n_packets],
+        directions=trace.directions[:n_packets],
+        sizes=trace.sizes[:n_packets],
+        user_data=trace.user_data[:n_packets],
+    )

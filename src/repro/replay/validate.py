@@ -1,0 +1,253 @@
+"""Closed-loop statistical validation of a replayed trace.
+
+The paper's burden of proof is statistical: Poisson session arrivals,
+heavy-tailed interarrivals, and slowly decaying variance-time curves.  A
+replay path that preserves packets but mangled their structure would be
+useless for load generation, so the closed loop runs the same battery on
+the *source* trace and on the *capture* and compares verdicts:
+
+* **A² Poisson test on session arrivals** — each connection's first packet
+  is its session arrival; Appendix A's Anderson-Darling + lag-1
+  independence battery (:func:`repro.stats.poisson_tests
+  .evaluate_arrival_process`) must reach the same consistency verdict on
+  both sides.
+* **Pareto tail fit on interarrivals** — the streamed β of the upper
+  interarrival tail (Section IV's heavy-tail signature), computed through
+  the :mod:`repro.stream.sketches` ``TopK`` reservoir, must agree within a
+  relative tolerance.
+* **Variance-time slope** — the Hurst-parameter signature (Fig. 4-5) of
+  the count process from the ``CountLadder`` sketch, within an absolute
+  tolerance.
+
+Both sides are summarized through the identical
+:class:`~repro.stream.summary.StreamSummary` accumulators, so a lossless
+replay (block mode, zero drops) reproduces the source's numbers *exactly*
+— any mismatch localizes a defect in the replay path itself.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.poisson_tests import evaluate_arrival_process
+from repro.stream.summary import StreamSummary, SummaryConfig
+from repro.traces.io import read_packet_trace
+from repro.traces.trace import PacketTrace
+
+#: Feed the sketches in slices of this many records.
+BATCH_RECORDS = 65_536
+
+
+@dataclass(frozen=True)
+class TraceBattery:
+    """One trace's results for the validation battery."""
+
+    name: str
+    n_packets: int
+    n_sessions: int
+    trace_bytes: float
+    duration: float
+    poisson_consistent: bool
+    exponential_pass_rate: float
+    independence_pass_rate: float
+    interval_length: float
+    n_intervals_tested: int
+    gap_beta: float
+    gap_tail_fraction: float
+    vt_slope: float | None
+
+    def payload(self) -> dict:
+        return {
+            "name": self.name,
+            "n_packets": self.n_packets,
+            "n_sessions": self.n_sessions,
+            "trace_bytes": self.trace_bytes,
+            "duration_s": self.duration,
+            "poisson_consistent": self.poisson_consistent,
+            "exponential_pass_rate": self.exponential_pass_rate,
+            "independence_pass_rate": self.independence_pass_rate,
+            "interval_length_s": self.interval_length,
+            "n_intervals_tested": self.n_intervals_tested,
+            "gap_beta": self.gap_beta,
+            "gap_tail_fraction": self.gap_tail_fraction,
+            "vt_slope": self.vt_slope,
+        }
+
+
+def session_arrival_times(trace: PacketTrace) -> np.ndarray:
+    """Each connection's first packet time (cid >= 0), sorted.
+
+    Connection ids below zero are the synthesizers' shared-background
+    sentinels, not sessions, and are excluded.
+    """
+    cids = trace.connection_ids
+    mask = cids >= 0
+    # timestamps are time-sorted, so the first occurrence of a cid is that
+    # connection's first packet.
+    _, first_idx = np.unique(cids[mask], return_index=True)
+    return np.sort(trace.timestamps[mask][first_idx])
+
+
+def evaluate_trace(
+    trace_or_path: PacketTrace | str | os.PathLike,
+    *,
+    bin_width: float = 0.01,
+    interval_s: float = 600.0,
+    tail_fraction: float = 0.03,
+    min_arrivals: int = 8,
+) -> TraceBattery:
+    """Run the validation battery on one trace (path or in-memory)."""
+    if isinstance(trace_or_path, PacketTrace):
+        trace = trace_or_path
+    else:
+        trace = read_packet_trace(trace_or_path)
+    if len(trace) < 2:
+        raise ValueError(f"{trace.name}: need >= 2 packets to validate")
+
+    summary = StreamSummary(SummaryConfig(bin_width=bin_width))
+    for i in range(0, len(trace), BATCH_RECORDS):
+        sl = slice(i, i + BATCH_RECORDS)
+        summary.update(trace.timestamps[sl], trace.sizes[sl].astype(float))
+
+    sessions = session_arrival_times(trace)
+    # Clamp the fixed-rate hypothesis window so at least two complete
+    # intervals fit the session span (short traces); sparser failures
+    # (too few sessions per interval) propagate as ValueError.
+    interval = float(interval_s)
+    span = float(sessions[-1] - sessions[0]) if sessions.size else 0.0
+    if span > 0 and interval > span / 2.0:
+        interval = span / 2.0
+    poisson = evaluate_arrival_process(
+        sessions, interval, min_arrivals=min_arrivals
+    )
+
+    frac = summary.best_tail_fraction(tail_fraction, "gap")
+    _, beta, _k = summary.gap_tail.tail_fit(frac)
+
+    process = summary.counts.as_count_process()
+    vt_slope = None
+    if process.n_bins >= 100 and process.mean > 0:
+        curve = summary.counts.variance_time()
+        top = int(curve.levels[-1])
+        mid = max(min(10, top // 2), 1)
+        vt_slope = float(curve.slope(min_level=mid, max_level=top))
+
+    return TraceBattery(
+        name=trace.name,
+        n_packets=len(trace),
+        n_sessions=int(sessions.size),
+        trace_bytes=float(trace.sizes.sum()),
+        duration=float(trace.duration),
+        poisson_consistent=poisson.poisson_consistent,
+        exponential_pass_rate=poisson.exponential_pass_rate,
+        independence_pass_rate=poisson.independence_pass_rate,
+        interval_length=interval,
+        n_intervals_tested=poisson.n_intervals_tested,
+        gap_beta=float(beta),
+        gap_tail_fraction=float(frac),
+        vt_slope=vt_slope,
+    )
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Source-vs-capture verdict of the closed loop."""
+
+    source: TraceBattery
+    capture: TraceBattery
+    beta_rtol: float
+    vt_atol: float
+
+    @property
+    def packets_match(self) -> bool:
+        return self.source.n_packets == self.capture.n_packets
+
+    @property
+    def poisson_match(self) -> bool:
+        return (
+            self.source.poisson_consistent == self.capture.poisson_consistent
+        )
+
+    @property
+    def beta_match(self) -> bool:
+        a, b = self.source.gap_beta, self.capture.gap_beta
+        return abs(a - b) <= self.beta_rtol * max(abs(a), 1e-12)
+
+    @property
+    def vt_match(self) -> bool:
+        a, b = self.source.vt_slope, self.capture.vt_slope
+        if a is None or b is None:
+            return a is None and b is None
+        return abs(a - b) <= self.vt_atol
+
+    @property
+    def ok(self) -> bool:
+        return (self.packets_match and self.poisson_match
+                and self.beta_match and self.vt_match)
+
+    def payload(self) -> dict:
+        return {
+            "ok": self.ok,
+            "packets_match": self.packets_match,
+            "poisson_match": self.poisson_match,
+            "beta_match": self.beta_match,
+            "vt_match": self.vt_match,
+            "beta_rtol": self.beta_rtol,
+            "vt_atol": self.vt_atol,
+            "source": self.source.payload(),
+            "capture": self.capture.payload(),
+        }
+
+    def render(self) -> str:
+        s, c = self.source, self.capture
+
+        def row(label, a, b, match):
+            flag = "ok" if match else "MISMATCH"
+            return f"  {label:<26s} {a!s:>14s} {b!s:>14s}   {flag}"
+
+        lines = [
+            "replay validation: source vs capture",
+            f"  {'':<26s} {'source':>14s} {'capture':>14s}",
+            row("packets", s.n_packets, c.n_packets, self.packets_match),
+            row("sessions", s.n_sessions, c.n_sessions,
+                s.n_sessions == c.n_sessions),
+            row("A2 Poisson consistent", s.poisson_consistent,
+                c.poisson_consistent, self.poisson_match),
+            row("exp pass rate",
+                f"{100 * s.exponential_pass_rate:.1f}%",
+                f"{100 * c.exponential_pass_rate:.1f}%", True),
+            row(f"gap tail beta (upper {100 * s.gap_tail_fraction:.2g}%)",
+                f"{s.gap_beta:.4f}", f"{c.gap_beta:.4f}", self.beta_match),
+            row("var-time slope",
+                "n/a" if s.vt_slope is None else f"{s.vt_slope:.4f}",
+                "n/a" if c.vt_slope is None else f"{c.vt_slope:.4f}",
+                self.vt_match),
+            f"  verdict: {'PASS' if self.ok else 'FAIL'} — statistics "
+            + ("survived the replay path"
+               if self.ok else "did NOT survive the replay path"),
+        ]
+        return "\n".join(lines)
+
+
+def validate_replay(
+    source: PacketTrace | str | os.PathLike,
+    capture: PacketTrace | str | os.PathLike,
+    *,
+    bin_width: float = 0.01,
+    interval_s: float = 600.0,
+    tail_fraction: float = 0.03,
+    beta_rtol: float = 0.05,
+    vt_atol: float = 0.05,
+) -> ValidationReport:
+    """Run the battery on both sides of a replay and compare verdicts."""
+    kw = dict(bin_width=bin_width, interval_s=interval_s,
+              tail_fraction=tail_fraction)
+    return ValidationReport(
+        source=evaluate_trace(source, **kw),
+        capture=evaluate_trace(capture, **kw),
+        beta_rtol=beta_rtol,
+        vt_atol=vt_atol,
+    )

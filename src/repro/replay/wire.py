@@ -1,0 +1,137 @@
+"""Binary wire format for replayed packet records.
+
+One trace record travels as a fixed-size 38-byte cell — big-endian
+``timestamp/connection_id/protocol/direction/size/user_data`` — encoded
+and decoded as whole :class:`~repro.stream.reader.PacketBatch` columns via
+a numpy structured dtype, so both ends of the replay path move batches at
+array speed rather than per-record ``struct`` calls.  ``float64``
+timestamps cross the wire bit-for-bit, which is what lets a captured
+stream round-trip byte-identically through :mod:`repro.traces.io`'s
+shortest-round-trip float formatting.
+
+Framing:
+
+* **TCP** — one 12-byte hello (magic, version, flow id) per connection,
+  then a plain stream of record cells; the FIN/EOF marks end-of-flow and
+  drives the collector's graceful drain.
+* **UDP** — each datagram carries a 20-byte header (magic, version, kind,
+  record count, flow id, sequence number) plus up to
+  :data:`MAX_DATAGRAM_RECORDS` cells.  Sequence numbers let the collector
+  count loss; ``KIND_FIN`` datagrams (sent redundantly) mark end-of-flow.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.stream.reader import PacketBatch
+
+MAGIC = b"RPRO"
+VERSION = 1
+
+#: Fixed width of the protocol-name field (longest v1 token is "FTPDATA").
+PROTO_BYTES = 12
+
+#: One packet record on the wire, as a numpy structured dtype.  Big-endian
+#: throughout so the bytes are identical to a ``!dq12sbqB`` struct pack.
+RECORD_DTYPE = np.dtype([
+    ("timestamp", ">f8"),
+    ("connection_id", ">i8"),
+    ("protocol", f"S{PROTO_BYTES}"),
+    ("direction", "i1"),
+    ("size", ">i8"),
+    ("user_data", "u1"),
+])
+
+RECORD_BYTES = RECORD_DTYPE.itemsize
+
+#: TCP per-connection hello: magic, version, pad, flow id.
+TCP_HELLO = struct.Struct("!4sB3xI")
+
+#: UDP per-datagram header: magic, version, kind, n_records, flow id, seq.
+UDP_HEADER = struct.Struct("!4sBBHIQ")
+
+KIND_DATA = 0
+KIND_FIN = 1
+
+#: Records per UDP datagram, sized to keep datagrams under a conservative
+#: 1400-byte MTU budget.
+MAX_DATAGRAM_RECORDS = (1400 - UDP_HEADER.size) // RECORD_BYTES
+
+
+def encode_batch(batch: PacketBatch) -> bytes:
+    """Encode one batch as a contiguous run of wire cells."""
+    n = len(batch)
+    protos = np.asarray(batch.protocols).astype("S")
+    if protos.dtype.itemsize > PROTO_BYTES:
+        longest = max(batch.protocols.tolist(), key=len)
+        raise ValueError(
+            f"protocol name {longest!r} exceeds the {PROTO_BYTES}-byte "
+            "wire field"
+        )
+    cells = np.empty(n, dtype=RECORD_DTYPE)
+    cells["timestamp"] = batch.timestamps
+    cells["connection_id"] = batch.connection_ids
+    cells["protocol"] = protos
+    cells["direction"] = batch.directions
+    cells["size"] = batch.sizes
+    cells["user_data"] = batch.user_data
+    return cells.tobytes()
+
+
+def decode_records(buf: bytes | bytearray | memoryview) -> PacketBatch:
+    """Decode a run of wire cells back into a :class:`PacketBatch`."""
+    if len(buf) % RECORD_BYTES:
+        raise ValueError(
+            f"wire payload of {len(buf)} bytes is not a whole number of "
+            f"{RECORD_BYTES}-byte records"
+        )
+    cells = np.frombuffer(buf, dtype=RECORD_DTYPE)
+    return PacketBatch(
+        timestamps=cells["timestamp"].astype("=f8"),
+        protocols=cells["protocol"].astype("U").astype(object),
+        connection_ids=cells["connection_id"].astype(np.int64),
+        directions=cells["direction"].astype(np.int8),
+        sizes=cells["size"].astype(np.int64),
+        user_data=cells["user_data"].astype(bool),
+    )
+
+
+def pack_hello(flow_id: int) -> bytes:
+    return TCP_HELLO.pack(MAGIC, VERSION, flow_id)
+
+
+def unpack_hello(buf: bytes) -> int:
+    """Validate a TCP hello and return its flow id."""
+    magic, version, flow_id = TCP_HELLO.unpack(buf)
+    if magic != MAGIC:
+        raise ValueError(f"bad hello magic {magic!r}")
+    if version != VERSION:
+        raise ValueError(f"unsupported wire version {version}")
+    return flow_id
+
+
+def pack_datagram(flow_id: int, seq: int, payload: bytes,
+                  kind: int = KIND_DATA) -> bytes:
+    n = len(payload) // RECORD_BYTES
+    return UDP_HEADER.pack(MAGIC, VERSION, kind, n, flow_id, seq) + payload
+
+
+def unpack_datagram(data: bytes) -> tuple[int, int, int, bytes]:
+    """Return ``(kind, flow_id, seq, payload)`` for one datagram."""
+    if len(data) < UDP_HEADER.size:
+        raise ValueError(f"datagram of {len(data)} bytes is too short")
+    magic, version, kind, n, flow_id, seq = UDP_HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ValueError(f"bad datagram magic {magic!r}")
+    if version != VERSION:
+        raise ValueError(f"unsupported wire version {version}")
+    payload = data[UDP_HEADER.size:]
+    if len(payload) != n * RECORD_BYTES:
+        raise ValueError(
+            f"datagram announces {n} records but carries {len(payload)} "
+            "payload bytes"
+        )
+    return kind, flow_id, seq, payload

@@ -23,6 +23,7 @@ from repro.stream.driver import (
     ScanReport,
     scan_chunk,
     scan_trace,
+    scan_traces,
 )
 from repro.stream.reader import (
     ConnectionBatch,
@@ -62,6 +63,7 @@ __all__ = [
     "plan_chunks",
     "scan_chunk",
     "scan_trace",
+    "scan_traces",
     "sniff_kind",
     "write_stream_trace",
 ]

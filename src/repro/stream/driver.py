@@ -308,3 +308,63 @@ def scan_trace(
         jobs=jobs,
         total_wall_s=time.perf_counter() - t0,
     )
+
+
+def scan_traces(
+    paths,
+    *,
+    kind: str | None = None,
+    jobs: int = 1,
+    config: SummaryConfig | None = None,
+    per_protocol: bool = False,
+    target_chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+) -> ScanReport:
+    """Scan several trace files and merge their sketches in argument order.
+
+    File boundaries behave exactly like chunk boundaries: the merge chains
+    the interarrival between file A's last record and file B's first, so
+    scanning a trace split across files is bit-identical to scanning the
+    concatenated trace (the accumulators' ``merge()`` is exact and
+    associative).  All files must be the same trace kind.
+    """
+    paths = [os.fspath(p) for p in paths]
+    if not paths:
+        raise ValueError("need at least one trace path")
+    cfg = config if config is not None else SummaryConfig()
+    reports = []
+    for path in paths:
+        report = scan_trace(
+            path, kind=kind, jobs=jobs, config=cfg,
+            per_protocol=per_protocol,
+            target_chunk_bytes=target_chunk_bytes,
+            block_bytes=block_bytes,
+        )
+        if reports and report.kind != reports[0].kind:
+            raise ValueError(
+                f"{path}: is a {report.kind} trace, but "
+                f"{paths[0]} is a {reports[0].kind} trace"
+            )
+        reports.append(report)
+    if len(reports) == 1:
+        return reports[0]
+    total = reports[0].summary
+    per_proto = dict(reports[0].per_protocol)
+    all_metrics = list(reports[0].chunk_metrics)
+    for report in reports[1:]:
+        total.merge(report.summary)
+        for proto, part in report.per_protocol.items():
+            if proto in per_proto:
+                per_proto[proto].merge(part)
+            else:
+                per_proto[proto] = part
+        all_metrics.extend(report.chunk_metrics)
+    return ScanReport(
+        path=",".join(paths),
+        kind=reports[0].kind,
+        summary=total,
+        per_protocol=per_proto,
+        chunk_metrics=all_metrics,
+        jobs=jobs,
+        total_wall_s=sum(r.total_wall_s for r in reports),
+    )

@@ -1,0 +1,447 @@
+"""End-to-end and unit tests for live traffic replay (repro.replay).
+
+The acceptance properties of the subsystem:
+
+* a ``speed=0`` TCP loopback over a real localhost socket is lossless in
+  block mode and the capture file is *byte-identical* to the source;
+* a multiplexed replay (N flows) loses nothing and preserves the record
+  multiset (arrival order interleaves, timestamps sort back equal);
+* pacing honours absolute deadlines — drift-corrected targets, no sleep
+  after a deadline, late events counted — and the token bucket caps the
+  average rate even for batches far beyond its depth;
+* the closed-loop battery (Poisson sessions, Pareto tail, variance-time)
+  reports PASS for a lossless replay and FAIL for a truncated capture;
+* the CLI surface (``repro --version``, ``repro list``, ``repro replay
+  loopback/validate``, multi-file ``repro stream scan``) works end to end.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main
+from repro.replay import (
+    Collector,
+    PacingConfig,
+    Pacer,
+    TokenBucket,
+    decode_records,
+    encode_batch,
+    merged_pacing,
+    run_loopback,
+    synthesize_packets,
+    validate_replay,
+)
+from repro.replay.wire import (
+    KIND_FIN,
+    RECORD_BYTES,
+    pack_datagram,
+    pack_hello,
+    unpack_datagram,
+    unpack_hello,
+)
+from repro.stream import scan_trace, scan_traces
+from repro.stream.reader import PacketBatch
+from repro.traces.io import PKT_HEADER, read_packet_trace, write_packet_trace
+
+N_PACKETS = 50_000
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_packets("fulltel", N_PACKETS, seed=42)
+
+
+@pytest.fixture(scope="module")
+def trace_path(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("replay") / "source.txt"
+    write_packet_trace(trace, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return synthesize_packets("fulltel", 3_000, seed=7)
+
+
+class FakeTime:
+    """Deterministic clock + sleep for pacing unit tests."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    async def sleep(self, dt: float) -> None:
+        self.sleeps.append(dt)
+        self.now += dt
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+class TestWire:
+    def _batch(self, n=100, seed=0):
+        rng = np.random.default_rng(seed)
+        return PacketBatch(
+            timestamps=np.sort(rng.uniform(0, 1e6, n)),
+            protocols=np.array(["TELNET", "FTPDATA"] * (n // 2), dtype=object),
+            connection_ids=rng.integers(-1, 1000, n),
+            directions=rng.integers(0, 2, n).astype(np.int8),
+            sizes=rng.integers(1, 65536, n),
+            user_data=rng.integers(0, 2, n).astype(bool),
+        )
+
+    def test_roundtrip_is_exact(self):
+        batch = self._batch()
+        buf = encode_batch(batch)
+        assert len(buf) == 100 * RECORD_BYTES
+        out = decode_records(buf)
+        assert np.array_equal(out.timestamps, batch.timestamps)
+        assert out.timestamps.dtype == np.float64  # bit-exact floats
+        assert list(out.protocols) == list(batch.protocols)
+        assert np.array_equal(out.connection_ids, batch.connection_ids)
+        assert np.array_equal(out.directions, batch.directions)
+        assert np.array_equal(out.sizes, batch.sizes)
+        assert np.array_equal(out.user_data, batch.user_data)
+
+    def test_oversize_protocol_rejected(self):
+        batch = self._batch(n=2)
+        batch.protocols[0] = "X" * 13
+        with pytest.raises(ValueError, match="exceeds"):
+            encode_batch(batch)
+
+    def test_partial_record_rejected(self):
+        with pytest.raises(ValueError, match="whole number"):
+            decode_records(b"\x00" * (RECORD_BYTES + 1))
+
+    def test_hello_roundtrip(self):
+        assert unpack_hello(pack_hello(7)) == 7
+        with pytest.raises(ValueError, match="magic"):
+            unpack_hello(b"XXXX" + pack_hello(0)[4:])
+
+    def test_datagram_roundtrip(self):
+        payload = encode_batch(self._batch(n=4))
+        kind, flow, seq, out = unpack_datagram(
+            pack_datagram(3, 99, payload)
+        )
+        assert (kind, flow, seq) == (0, 3, 99)
+        assert out == payload
+        kind, _, _, out = unpack_datagram(
+            pack_datagram(3, 100, b"", kind=KIND_FIN)
+        )
+        assert kind == KIND_FIN and out == b""
+
+
+# ----------------------------------------------------------------------
+# Pacing
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_average_rate_converges(self):
+        ft = FakeTime()
+        bucket = TokenBucket(100.0, depth=10.0, clock=ft.clock,
+                             sleep=ft.sleep)
+
+        async def drive():
+            for _ in range(20):
+                await bucket.acquire(50.0)
+
+        t0 = ft.now
+        asyncio.run(drive())
+        elapsed = ft.now - t0
+        # 1000 records at 100/s with a 10-record burst allowance.
+        assert elapsed == pytest.approx(1000 / 100.0 - 10 / 100.0, rel=1e-9)
+
+    def test_single_oversized_acquire_waits(self):
+        ft = FakeTime()
+        bucket = TokenBucket(1000.0, depth=64.0, clock=ft.clock,
+                             sleep=ft.sleep)
+        asyncio.run(bucket.acquire(10_000.0))
+        # Even ONE batch far beyond the depth waits out its rate budget.
+        assert sum(ft.sleeps) == pytest.approx(10_000 / 1000 - 64 / 1000)
+
+    def test_idle_credit_is_capped_at_depth(self):
+        ft = FakeTime()
+        bucket = TokenBucket(100.0, depth=10.0, clock=ft.clock,
+                             sleep=ft.sleep)
+        asyncio.run(bucket.acquire(10.0))
+        ft.now += 1000.0  # long idle must not accrue unbounded credit
+        t0 = ft.now
+        asyncio.run(bucket.acquire(100.0))
+        assert ft.now - t0 == pytest.approx((100 - 10) / 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, depth=0.0)
+
+
+class TestPacer:
+    def test_drift_corrected_targets(self):
+        ft = FakeTime()
+        pacer = Pacer(PacingConfig(speed=2.0), clock=ft.clock,
+                      sleep=ft.sleep)
+
+        async def drive():
+            for ts in [0.0, 1.0, 2.0, 3.0]:
+                await pacer.pace(ts)
+
+        asyncio.run(drive())
+        # speed=2: one trace-second every 0.5 wall-seconds, from the origin.
+        assert ft.sleeps == pytest.approx([0.5, 0.5, 0.5])
+        assert pacer.stats.n_late == 0
+        assert pacer.stats.percentiles()["max"] == 0.0
+
+    def test_never_sleeps_after_deadline(self):
+        ft = FakeTime()
+        pacer = Pacer(PacingConfig(speed=1.0), clock=ft.clock,
+                      sleep=ft.sleep)
+
+        async def drive():
+            await pacer.pace(0.0)
+            ft.now += 10.0  # stall: next deadline is long past
+            return await pacer.pace(1.0)
+
+        error = asyncio.run(drive())
+        assert error == pytest.approx(9.0)
+        assert ft.sleeps == []  # late records go out immediately
+        assert pacer.stats.n_late == 1
+
+    def test_speed_zero_is_fast_path(self):
+        ft = FakeTime()
+        config = PacingConfig(speed=0.0)
+        pacer = Pacer(config, clock=ft.clock, sleep=ft.sleep)
+        assert not config.paced
+        assert pacer.fast_path
+
+        async def drive():
+            await pacer.pace(0.0)
+            await pacer.admit_batch(1000)
+
+        asyncio.run(drive())
+        assert ft.sleeps == []
+        assert pacer.stats.n_sent == 1001
+
+    def test_rate_cap_disables_fast_path(self):
+        pacer = Pacer(PacingConfig(speed=0.0, rate_cap=100.0))
+        assert not pacer.fast_path
+        assert pacer.bucket is not None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PacingConfig(speed=-1.0)
+        with pytest.raises(ValueError):
+            PacingConfig(rate_cap=0.0)
+
+
+# ----------------------------------------------------------------------
+# Loopback over real sockets
+# ----------------------------------------------------------------------
+class TestLoopback:
+    def test_speed0_tcp_capture_is_byte_identical(self, trace_path,
+                                                  tmp_path):
+        capture = tmp_path / "capture.txt"
+        result = run_loopback(
+            str(trace_path), capture_path=capture,
+            pacing=PacingConfig(speed=0.0),
+        )
+        assert result.n_sent == N_PACKETS
+        assert result.zero_loss
+        assert capture.read_bytes() == trace_path.read_bytes()
+
+    def test_multiflow_preserves_record_multiset(self, trace, tmp_path):
+        capture = tmp_path / "capture4.txt"
+        result = run_loopback(
+            trace, capture_path=capture,
+            pacing=PacingConfig(speed=0.0), flows=4,
+        )
+        assert len(result.flow_results) == 4
+        assert result.zero_loss
+        got = read_packet_trace(capture)
+        assert np.array_equal(np.sort(got.timestamps),
+                              np.sort(trace.timestamps))
+        assert np.array_equal(np.sort(got.connection_ids),
+                              np.sort(trace.connection_ids))
+
+    def test_speed1000_pacing_error_bounded(self, small_trace, tmp_path):
+        result = run_loopback(
+            small_trace, capture_path=tmp_path / "paced.txt",
+            pacing=PacingConfig(speed=1000.0),
+        )
+        assert result.zero_loss
+        pacing = merged_pacing(result.flow_results)
+        assert pacing["n_paced"] == len(small_trace)
+        # Generous bound: scheduling error stays well under 50ms even on
+        # loaded CI machines; locally p99 is ~1-2ms.
+        assert pacing["error_p99_s"] < 0.05
+
+    def test_udp_speed0_is_lossless_locally(self, small_trace, tmp_path):
+        result = run_loopback(
+            small_trace, capture_path=tmp_path / "udp.txt",
+            pacing=PacingConfig(speed=0.0), transport="udp",
+        )
+        assert result.n_sent == len(small_trace)
+        assert result.n_received == result.n_sent
+        got = read_packet_trace(tmp_path / "udp.txt")
+        assert np.array_equal(np.sort(got.timestamps),
+                              np.sort(small_trace.timestamps))
+
+    def test_rate_cap_slows_the_send(self, tmp_path):
+        trace = synthesize_packets("fulltel", 2_000, seed=11)
+        result = run_loopback(
+            trace, capture_path=tmp_path / "capped.txt",
+            pacing=PacingConfig(speed=0.0, rate_cap=10_000.0),
+        )
+        assert result.zero_loss
+        # 2000 packets at <= 10k/s (64-record burst): >= ~0.19s of wall.
+        assert result.wall_s >= 0.15
+
+    def test_drop_policy_counts_shed_records(self):
+        async def drive():
+            collector = Collector(policy="drop", queue_depth=1)
+            collector._loop = asyncio.get_running_loop()
+            collector._queue.put_nowait((0, b"", 0.0))  # fill the queue
+            await collector._enqueue(0, b"\x00" * (2 * RECORD_BYTES), 1.0)
+            return collector.flows[0].dropped_records
+
+        assert asyncio.run(drive()) == 2
+
+    def test_collector_validation(self):
+        with pytest.raises(ValueError, match="policy"):
+            Collector(policy="tail-drop")
+        with pytest.raises(ValueError, match="queue_depth"):
+            Collector(queue_depth=0)
+
+
+# ----------------------------------------------------------------------
+# Closed-loop validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_lossless_replay_passes(self, trace, trace_path):
+        report = validate_replay(trace, str(trace_path))
+        assert report.ok
+        assert report.packets_match
+        payload = report.payload()
+        assert payload["ok"] is True
+        assert payload["source"]["n_packets"] == N_PACKETS
+        assert payload["capture"]["gap_beta"] == pytest.approx(
+            payload["source"]["gap_beta"]
+        )
+        assert "PASS" in report.render()
+
+    def test_truncated_capture_fails(self, trace_path, tmp_path):
+        lines = trace_path.read_text().splitlines()
+        truncated = tmp_path / "truncated.txt"
+        truncated.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+        report = validate_replay(str(trace_path), str(truncated))
+        assert not report.packets_match
+        assert not report.ok
+        assert "FAIL" in report.render()
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+        assert repro.__version__.count(".") == 2
+
+    def test_list_includes_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        assert len(lines) > 10
+        # every row is "name  description", description non-empty
+        for ln in lines:
+            name, rest = ln.split(None, 1)
+            assert rest.strip()
+
+    def test_replay_loopback_json_and_bench(self, tmp_path, capsys):
+        rc = main([
+            "replay", "loopback", "--packets", "2000", "--seed", "5",
+            "--model", "fulltel", "--json", "--out", str(tmp_path),
+            "--validate",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["zero_loss"] is True
+        assert payload["n_sent"] == 2000
+        assert payload["validation"]["ok"] is True
+        bench = json.loads((tmp_path / "BENCH_replay.json").read_text())
+        assert bench["bench"] == "replay"
+        assert bench["packets_per_s"] > 0
+        assert "error_p99_s" in bench["pacing"]
+        assert "queue_high_water" in bench
+
+    def test_replay_validate_command(self, trace_path, tmp_path, capsys):
+        capture = tmp_path / "cap.txt"
+        rc = main([
+            "replay", "loopback", "--trace", str(trace_path),
+            "--capture", str(capture),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["replay", "validate", str(trace_path), str(capture)])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_replay_source_args_are_validated(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "loopback"])  # neither --trace nor --packets
+        with pytest.raises(SystemExit):
+            main(["replay", "loopback", "--packets", "10", "--model",
+                  "no-such-model"])
+
+
+# ----------------------------------------------------------------------
+# Multi-file stream scan
+# ----------------------------------------------------------------------
+class TestMultiFileScan:
+    #: bench keys that legitimately differ between one file and two
+    #: (timing, paths, chunking) — everything else must be identical.
+    NON_STATISTICAL = {
+        "path", "chunks", "n_chunks", "n_bytes", "total_wall_s",
+        "rows_per_s", "bytes_per_s", "peak_rss_kb",
+    }
+
+    @pytest.fixture()
+    def split_paths(self, trace_path, tmp_path):
+        lines = trace_path.read_text().splitlines()
+        header, body = lines[0], lines[1:]
+        assert header == PKT_HEADER
+        half = len(body) // 2
+        a = tmp_path / "part_a.txt"
+        b = tmp_path / "part_b.txt"
+        a.write_text("\n".join([header] + body[:half]) + "\n")
+        b.write_text("\n".join([header] + body[half:]) + "\n")
+        return a, b
+
+    def test_merged_scan_equals_whole_scan(self, trace_path, split_paths):
+        a, b = split_paths
+        whole = scan_trace(str(trace_path)).bench_payload()
+        merged = scan_traces([str(a), str(b)]).bench_payload()
+        for key in set(whole) - self.NON_STATISTICAL:
+            assert merged[key] == whole[key], key
+
+    def test_single_path_list_matches_scalar(self, trace_path):
+        one = scan_traces([str(trace_path)]).bench_payload()
+        scalar = scan_trace(str(trace_path)).bench_payload()
+        for key in set(scalar) - {"total_wall_s", "rows_per_s",
+                                  "bytes_per_s", "chunks", "peak_rss_kb"}:
+            assert one[key] == scalar[key], key
+
+    def test_cli_accepts_multiple_paths(self, split_paths, capsys):
+        a, b = split_paths
+        assert main(["stream", "scan", str(a), str(b), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_records"] == N_PACKETS
