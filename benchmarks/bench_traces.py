@@ -1,0 +1,292 @@
+"""Benchmarks of the columnar trace data plane.
+
+Two faces, mirroring ``bench_kernels.py``:
+
+* **pytest-benchmark micro-tests** (run with
+  ``pytest benchmarks/bench_traces.py --benchmark-only``) timing trace
+  construction and I/O on their own;
+* **a CLI** (``PYTHONPATH=src python benchmarks/bench_traces.py``) that
+  times the columnar read/write/construct paths against the frozen
+  pre-columnar record loops from :mod:`repro.kernels.reference`, verifies
+  the equivalence claim for each (byte-identical files, column-identical
+  traces), and records the baseline in ``BENCH_traces.json``.
+  ``--check BASELINE`` compares the *normalized* ratio
+  ``columnar/loop`` against the recorded one and fails when any path
+  regressed past 1.5x — machine-independent, so CI can enforce it on
+  whatever hardware it gets.
+
+The ``full`` scale reads a 1M-row packet trace: the PR's acceptance
+criterion is a >=10x columnar read speedup at that size.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.kernels import reference as ref
+from repro.traces.io import (
+    read_connection_trace,
+    read_packet_trace,
+    write_connection_trace,
+    write_packet_trace,
+)
+from repro.traces.trace import ConnectionTrace, PacketTrace
+
+PROTOCOLS = np.array(
+    ["TELNET", "FTP", "FTPDATA", "SMTP", "NNTP", "OTHER"], dtype=object
+)
+
+
+def _packet_arrays(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "timestamps": np.cumsum(rng.exponential(0.01, n)),
+        "protocols": PROTOCOLS[rng.integers(0, PROTOCOLS.size, n)],
+        "connection_ids": rng.integers(0, n // 10 + 1, n),
+        "directions": rng.integers(0, 2, n).astype(np.int8),
+        "sizes": rng.integers(1, 1460, n),
+        "user_data": rng.random(n) < 0.9,
+    }
+
+
+def _connection_arrays(n, seed=1):
+    rng = np.random.default_rng(seed)
+    sids = rng.integers(-1, n // 5 + 1, n)
+    return {
+        "start_times": np.cumsum(rng.exponential(0.5, n)),
+        "durations": rng.exponential(30.0, n),
+        "protocols": PROTOCOLS[rng.integers(0, PROTOCOLS.size, n)],
+        "bytes_orig": rng.integers(1, 10**7, n),
+        "bytes_resp": rng.integers(1, 10**7, n),
+        "orig_hosts": rng.integers(0, 500, n),
+        "resp_hosts": rng.integers(500, 1000, n),
+        "session_ids": sids,
+    }
+
+
+def _packet_trace(n, seed=0):
+    return PacketTrace.from_arrays("bench", **_packet_arrays(n, seed))
+
+
+def _connection_trace(n, seed=1):
+    return ConnectionTrace.from_arrays("bench", **_connection_arrays(n, seed))
+
+
+def _records_of(trace):
+    return [trace.record(i) for i in range(len(trace))]
+
+
+def _pkt_traces_equal(a, b):
+    return (np.array_equal(a.timestamps, b.timestamps)
+            and np.array_equal(a.protocols, b.protocols)
+            and np.array_equal(a.connection_ids, b.connection_ids)
+            and np.array_equal(a.directions, b.directions)
+            and np.array_equal(a.sizes, b.sizes)
+            and np.array_equal(a.user_data, b.user_data))
+
+
+def _conn_traces_equal(a, b):
+    return (np.array_equal(a.start_times, b.start_times)
+            and np.array_equal(a.durations, b.durations)
+            and np.array_equal(a.protocols, b.protocols)
+            and np.array_equal(a.bytes_orig, b.bytes_orig)
+            and np.array_equal(a.bytes_resp, b.bytes_resp)
+            and np.array_equal(a.orig_hosts, b.orig_hosts)
+            and np.array_equal(a.resp_hosts, b.resp_hosts)
+            and np.array_equal(a.session_ids, b.session_ids))
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark micro-tests
+# ----------------------------------------------------------------------
+def test_trace_packet_from_arrays(benchmark):
+    arrays = _packet_arrays(100_000)
+    trace = benchmark(lambda: PacketTrace.from_arrays("bench", **arrays))
+    assert len(trace) == 100_000
+
+
+def test_trace_packet_read_columnar(benchmark, tmp_path):
+    path = tmp_path / "pkt.txt"
+    write_packet_trace(_packet_trace(100_000), path)
+    trace = benchmark(read_packet_trace, path)
+    assert len(trace) == 100_000
+
+
+def test_trace_packet_write_columnar(benchmark, tmp_path):
+    trace = _packet_trace(100_000)
+    path = tmp_path / "pkt.txt"
+    benchmark(write_packet_trace, trace, path)
+    assert path.exists()
+
+
+def test_trace_connection_read_columnar(benchmark, tmp_path):
+    path = tmp_path / "conn.txt"
+    write_connection_trace(_connection_trace(50_000), path)
+    trace = benchmark(read_connection_trace, path)
+    assert len(trace) == 50_000
+
+
+# ----------------------------------------------------------------------
+# CLI: record-loop vs columnar baseline for BENCH_traces.json
+# ----------------------------------------------------------------------
+def _time(fn, repeats):
+    best = np.inf
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def trace_cases(scale, tmpdir):
+    """Yield (name, n, loop_fn, columnar_fn, identical_fn, identity)."""
+    full = scale == "full"
+    tmpdir = Path(tmpdir)
+
+    # The acceptance target: a 1M-row packet trace at full scale.
+    n_pkt = 1_000_000 if full else 100_000
+    n_conn = 300_000 if full else 50_000
+
+    pkt_arrays = _packet_arrays(n_pkt)
+    pkt_trace = PacketTrace.from_arrays("bench", **pkt_arrays)
+    pkt_records = _records_of(pkt_trace)
+    conn_arrays = _connection_arrays(n_conn)
+    conn_trace = ConnectionTrace.from_arrays("bench", **conn_arrays)
+    conn_records = _records_of(conn_trace)
+
+    yield ("packet_construct", n_pkt,
+           lambda: PacketTrace("bench", pkt_records),
+           lambda: PacketTrace.from_arrays("bench", **pkt_arrays),
+           _pkt_traces_equal,
+           "record list and from_arrays build column-identical traces")
+
+    yield ("connection_construct", n_conn,
+           lambda: ConnectionTrace("bench", conn_records),
+           lambda: ConnectionTrace.from_arrays("bench", **conn_arrays),
+           _conn_traces_equal,
+           "record list and from_arrays build column-identical traces")
+
+    pkt_loop_path = tmpdir / "pkt-loop.txt"
+    pkt_col_path = tmpdir / "pkt-col.txt"
+    yield ("packet_write", n_pkt,
+           lambda: ref.write_packet_trace_loop(pkt_trace, pkt_loop_path),
+           lambda: write_packet_trace(pkt_trace, pkt_col_path),
+           lambda loop, vec: (pkt_loop_path.read_bytes()
+                              == pkt_col_path.read_bytes()),
+           "batched writer emits a byte-identical file")
+
+    conn_loop_path = tmpdir / "conn-loop.txt"
+    conn_col_path = tmpdir / "conn-col.txt"
+    yield ("connection_write", n_conn,
+           lambda: ref.write_connection_trace_loop(conn_trace, conn_loop_path),
+           lambda: write_connection_trace(conn_trace, conn_col_path),
+           lambda loop, vec: (conn_loop_path.read_bytes()
+                              == conn_col_path.read_bytes()),
+           "batched writer emits a byte-identical file")
+
+    pkt_path = tmpdir / "pkt.txt"
+    write_packet_trace(pkt_trace, pkt_path)
+    yield ("packet_read", n_pkt,
+           lambda: ref.read_packet_trace_loop(pkt_path),
+           lambda: read_packet_trace(pkt_path),
+           _pkt_traces_equal,
+           "batched reader returns a column-identical trace")
+
+    conn_path = tmpdir / "conn.txt"
+    write_connection_trace(conn_trace, conn_path)
+    yield ("connection_read", n_conn,
+           lambda: ref.read_connection_trace_loop(conn_path),
+           lambda: read_connection_trace(conn_path),
+           _conn_traces_equal,
+           "batched reader returns a column-identical trace")
+
+
+def run_suite(scale, repeats):
+    results = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        for case in trace_cases(scale, tmpdir):
+            name, n, loop_fn, col_fn, identical_fn, identity = case
+            loop_s, loop_out = _time(loop_fn, repeats)
+            col_s, col_out = _time(col_fn, repeats)
+            identical = bool(identical_fn(loop_out, col_out))
+            results[name] = {
+                "n": int(n),
+                "loop_s": round(loop_s, 6),
+                "columnar_s": round(col_s, 6),
+                "speedup": round(loop_s / col_s, 2) if col_s > 0 else None,
+                "identical": identical,
+                "identity": identity,
+            }
+            print(f"{name:24s} n={n:>9d}  loop {loop_s:9.4f}s  "
+                  f"col {col_s:9.4f}s  x{loop_s / col_s:8.1f}  "
+                  f"{'OK' if identical else 'MISMATCH'}")
+    return results
+
+
+def check_against(baseline_path, scale, results, factor=1.5):
+    """Fail when any path's columnar/loop ratio regressed past ``factor`` x
+    the recorded one (normalized, so machine speed cancels)."""
+    payload = json.loads(Path(baseline_path).read_text())
+    base = payload.get("scales", {}).get(scale)
+    if base is None:
+        raise SystemExit(f"baseline {baseline_path} has no '{scale}' scale")
+    failures = []
+    for name, now in results.items():
+        if not now["identical"]:
+            failures.append(f"{name}: equivalence check failed")
+            continue
+        then = base.get(name)
+        if then is None:
+            continue  # new case: no baseline yet
+        ratio_now = now["columnar_s"] / now["loop_s"]
+        ratio_then = then["columnar_s"] / then["loop_s"]
+        if now["columnar_s"] < 0.005 and ratio_now < 1.0:
+            # Sub-5ms paths sit at timer resolution: their ratio is all
+            # jitter.  As long as they still beat the loop, they pass.
+            continue
+        if ratio_now > factor * ratio_then:
+            failures.append(
+                f"{name}: columnar/loop ratio {ratio_now:.4f} exceeds "
+                f"{factor}x baseline {ratio_then:.4f}"
+            )
+    if failures:
+        raise SystemExit("trace benchmark regressions:\n  "
+                         + "\n  ".join(failures))
+    print(f"check passed: no path slower than {factor}x its recorded ratio")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("small", "full"), default="small")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=str(Path(__file__).parent
+                                             / "BENCH_traces.json"))
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare against a recorded baseline and fail "
+                             "on >1.5x normalized regressions")
+    args = parser.parse_args(argv)
+
+    results = run_suite(args.scale, args.repeats)
+    if args.check:
+        check_against(args.check, args.scale, results)
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    payload = (json.loads(out.read_text())
+               if out.exists() else {"script": "benchmarks/bench_traces.py"})
+    payload.setdefault("scales", {})[args.scale] = results
+    payload["repeats"] = args.repeats
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

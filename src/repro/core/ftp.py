@@ -27,6 +27,7 @@ from repro.distributions.pareto import Pareto
 from repro.utils.pool import pool_map
 from repro.kernels.segments import grouped_sum
 from repro.stats.tail import concentration_curve, top_fraction_share
+from repro.traces.columns import ConnectionBatch, decode_protocols
 from repro.traces.records import ConnectionRecord
 from repro.traces.trace import ConnectionTrace
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
@@ -259,7 +260,95 @@ class FtpSessionModel:
         computes every connection's start time with one ``cumsum`` over the
         session's increments, bit-identical to the scalar accumulation of
         ``batch=False``.
+
+        The batched path assembles columns (:meth:`synthesize_columns` is
+        the array-native entry point; :meth:`synthesize_trace` skips record
+        objects entirely) and materializes this record list as a view of
+        them; ``batch=False`` is the scalar record-path reference.
         """
+        if not batch:
+            return _records_loop(self, duration, seed, first_session_id,
+                                 start_offset, session_starts, jobs)
+        cols = self._columns(duration, seed, first_session_id,
+                             start_offset, session_starts, jobs)
+        starts, durations, codes, b_orig, b_resp, o_hosts, r_hosts, sids = cols
+        names = FTP_PROTOCOL_TABLE.tolist()
+        return [
+            ConnectionRecord(
+                start_time=st,
+                duration=du,
+                protocol=names[c],
+                bytes_orig=bo,
+                bytes_resp=br,
+                orig_host=oh,
+                resp_host=rh,
+                session_id=si,
+            )
+            for st, du, c, bo, br, oh, rh, si in zip(
+                starts.tolist(), durations.tolist(), codes.tolist(),
+                b_orig.tolist(), b_resp.tolist(), o_hosts.tolist(),
+                r_hosts.tolist(), sids.tolist(),
+            )
+        ]
+
+    def synthesize_columns(
+        self,
+        duration: float,
+        seed: SeedLike = None,
+        first_session_id: int = 0,
+        start_offset: float = 0.0,
+        session_starts: np.ndarray | None = None,
+        jobs: int = 1,
+    ) -> ConnectionBatch:
+        """Array-native synthesis: the same stream contract as
+        :meth:`synthesize`, assembled directly into a
+        :class:`~repro.traces.columns.ConnectionBatch` (bit-identical
+        column values; no record objects)."""
+        (starts, durations, codes, b_orig, b_resp, o_hosts, r_hosts,
+         sids) = self._columns(duration, seed, first_session_id,
+                               start_offset, session_starts, jobs)
+        return ConnectionBatch(
+            start_times=starts,
+            durations=durations,
+            protocols=decode_protocols(codes, FTP_PROTOCOL_TABLE),
+            bytes_orig=b_orig,
+            bytes_resp=b_resp,
+            orig_hosts=o_hosts,
+            resp_hosts=r_hosts,
+            session_ids=sids,
+        )
+
+    def synthesize_trace(
+        self,
+        duration: float,
+        seed: SeedLike = None,
+        name: str = "ftp-model",
+        first_session_id: int = 0,
+        start_offset: float = 0.0,
+        session_starts: np.ndarray | None = None,
+        jobs: int = 1,
+    ) -> ConnectionTrace:
+        """Synthesize straight into a :class:`ConnectionTrace`: columns all
+        the way, with the protocol table passed through pre-interned."""
+        (starts, durations, codes, b_orig, b_resp, o_hosts, r_hosts,
+         sids) = self._columns(duration, seed, first_session_id,
+                               start_offset, session_starts, jobs)
+        return ConnectionTrace.from_arrays(
+            name,
+            start_times=starts,
+            durations=durations,
+            protocol_codes=codes,
+            protocol_table=FTP_PROTOCOL_TABLE,
+            bytes_orig=b_orig,
+            bytes_resp=b_resp,
+            orig_hosts=o_hosts,
+            resp_hosts=r_hosts,
+            session_ids=sids,
+        )
+
+    def _columns(self, duration, seed, first_session_id, start_offset,
+                 session_starts, jobs):
+        """Shared columnar synthesis core (session fan-out + concat)."""
         require_positive(duration, "duration")
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -272,8 +361,8 @@ class FtpSessionModel:
         session_rngs = spawn_rngs(rng, t0s.size)
 
         if jobs == 1 or t0s.size <= 1:
-            records = _session_group(self, first_session_id, t0s,
-                                     session_rngs, batch)
+            cols = _session_group_columns(self, first_session_id, t0s,
+                                          session_rngs)
         else:
             groups = [
                 g for g in np.array_split(np.arange(t0s.size), jobs)
@@ -281,52 +370,92 @@ class FtpSessionModel:
             ]
             tasks = [
                 (self, first_session_id + int(g[0]), t0s[g],
-                 [session_rngs[i] for i in g], batch)
+                 [session_rngs[i] for i in g])
                 for g in groups
             ]
-            outcomes = pool_map(_session_group, tasks, jobs)
-            records = []
+            outcomes = pool_map(_session_group_columns, tasks, jobs)
+            parts = []
             for outcome in outcomes:
                 if isinstance(outcome, Exception):
                     raise outcome
-                records.extend(outcome)
+                parts.append(outcome)
+            cols = tuple(
+                np.concatenate([p[j] for p in parts])
+                for j in range(len(parts[0]))
+            )
         if start_offset:
-            records = [
-                ConnectionRecord(
-                    start_time=r.start_time + start_offset,
-                    duration=r.duration,
-                    protocol=r.protocol,
-                    bytes_orig=r.bytes_orig,
-                    bytes_resp=r.bytes_resp,
-                    orig_host=r.orig_host,
-                    resp_host=r.resp_host,
-                    session_id=r.session_id,
-                )
-                for r in records
-            ]
-        return records
+            cols = (cols[0] + start_offset,) + cols[1:]
+        return cols
 
 
-def _session_group(model: FtpSessionModel, sid0, t0s, rngs, batch):
-    """Pool worker: synthesize a contiguous group of sessions."""
+#: The model's protocol category table (sorted, as interning requires).
+FTP_PROTOCOL_TABLE = np.array(["FTP", "FTPDATA"], dtype=object)
+_FTP_CODE = 0
+_FTPDATA_CODE = 1
+
+
+def _records_loop(model, duration, seed, first_session_id, start_offset,
+                  session_starts, jobs):
+    """The ``batch=False`` scalar record path (the stream reference)."""
+    require_positive(duration, "duration")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    rng = as_rng(seed)
+    if session_starts is None:
+        session_starts = homogeneous_poisson(
+            model.sessions_per_hour / 3600.0, duration, seed=rng
+        )
+    t0s = np.asarray(session_starts, dtype=float)
+    session_rngs = spawn_rngs(rng, t0s.size)
+
+    if jobs == 1 or t0s.size <= 1:
+        records = _session_group_records(model, first_session_id, t0s,
+                                         session_rngs)
+    else:
+        groups = [
+            g for g in np.array_split(np.arange(t0s.size), jobs)
+            if g.size
+        ]
+        tasks = [
+            (model, first_session_id + int(g[0]), t0s[g],
+             [session_rngs[i] for i in g])
+            for g in groups
+        ]
+        outcomes = pool_map(_session_group_records, tasks, jobs)
+        records = []
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                raise outcome
+            records.extend(outcome)
+    if start_offset:
+        records = [
+            ConnectionRecord(
+                start_time=r.start_time + start_offset,
+                duration=r.duration,
+                protocol=r.protocol,
+                bytes_orig=r.bytes_orig,
+                bytes_resp=r.bytes_resp,
+                orig_host=r.orig_host,
+                resp_host=r.resp_host,
+                session_id=r.session_id,
+            )
+            for r in records
+        ]
+    return records
+
+
+def _session_distributions(model):
     gap_dist = Log2Normal(model.inter_burst_gap_log2_mean,
                           model.inter_burst_gap_log2_sd)
     conn_count = Pareto(1.0, model.conns_per_burst_shape)
     burst_bytes = Pareto(model.burst_bytes_location, model.burst_bytes_shape)
-    records: list[ConnectionRecord] = []
-    for k, (t0, rng) in enumerate(zip(t0s, rngs)):
-        records.extend(
-            _one_session(model, sid0 + k, float(t0), rng,
-                         gap_dist, conn_count, burst_bytes, batch)
-        )
-    return records
+    return gap_dist, conn_count, burst_bytes
 
 
-def _one_session(model, sid, t0, rng, gap_dist, conn_count, burst_bytes,
-                 batch):
-    """One session's records; all stochastic draws happen here, in a fixed
-    order of vectorized calls (the per-session stream contract), before
-    either assembly path runs."""
+def _session_draws(model, rng, gap_dist, conn_count, burst_bytes):
+    """One session's stochastic draws, in the frozen per-session stream
+    order (host pair, burst count, counts, totals, gaps, weights, intra
+    gaps, control bytes) — shared by every assembly path."""
     # per-session host pair, so periodic-source detection and
     # host-level analyses see realistic structure
     orig = int(rng.integers(0, 500))
@@ -344,29 +473,75 @@ def _one_session(model, sid, t0, rng, gap_dist, conn_count, burst_bytes,
     intra = rng.exponential(model.intra_burst_gap_mean, size=total_conns)
     ctrl_orig = int(rng.integers(200, 2000))
     ctrl_resp = int(rng.integers(500, 5000))
+    return (orig, resp, n_conns, totals, inter_gaps, weights, intra,
+            ctrl_orig, ctrl_resp)
 
-    if batch:
+
+def _session_group_columns(model: FtpSessionModel, sid0, t0s, rngs):
+    """Pool worker: columns for a contiguous group of sessions.
+
+    Per session the row order is the FTPDATA connections in start order
+    followed by the FTP control row — the same order the record paths
+    emit, so the concatenated columns are bit-identical to them.
+    """
+    gap_dist, conn_count, burst_bytes = _session_distributions(model)
+    parts = []
+    for k, (t0, rng) in enumerate(zip(t0s, rngs)):
+        t0 = float(t0)
+        (orig, resp, n_conns, totals, inter_gaps, weights, intra,
+         ctrl_orig, ctrl_resp) = _session_draws(
+            model, rng, gap_dist, conn_count, burst_bytes)
         shares, durs, conn_starts, session_end = _assemble_batched(
             model, t0, n_conns, totals, inter_gaps, weights, intra
         )
-        records = [
-            ConnectionRecord(
-                start_time=float(start),
-                duration=float(dur),
-                protocol="FTPDATA",
-                bytes_orig=0,
-                bytes_resp=int(share),
-                orig_host=orig,
-                resp_host=resp,
-                session_id=sid,
-            )
-            for start, dur, share in zip(conn_starts, durs, shares)
-        ]
-    else:
-        records, session_end = _assemble_loop(
-            model, sid, t0, n_conns, totals, inter_gaps, weights, intra,
-            orig, resp,
+        n = conn_starts.size
+        starts = np.append(conn_starts, t0)
+        durations = np.append(durs, max(session_end - t0, 1.0))
+        codes = np.full(n + 1, _FTPDATA_CODE, dtype=np.int8)
+        codes[-1] = _FTP_CODE
+        b_orig = np.zeros(n + 1, dtype=np.int64)
+        b_orig[-1] = ctrl_orig
+        b_resp = np.append(shares, np.int64(ctrl_resp))
+        parts.append((
+            starts, durations, codes, b_orig, b_resp,
+            np.full(n + 1, orig, dtype=np.int64),
+            np.full(n + 1, resp, dtype=np.int64),
+            np.full(n + 1, sid0 + k, dtype=np.int64),
+        ))
+    if not parts:
+        return (np.zeros(0), np.zeros(0), np.zeros(0, dtype=np.int8),
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64))
+    if len(parts) == 1:
+        return parts[0]
+    return tuple(
+        np.concatenate([p[j] for p in parts]) for j in range(len(parts[0]))
+    )
+
+
+def _session_group_records(model: FtpSessionModel, sid0, t0s, rngs):
+    """Pool worker: scalar-assembly records for a group of sessions."""
+    gap_dist, conn_count, burst_bytes = _session_distributions(model)
+    records: list[ConnectionRecord] = []
+    for k, (t0, rng) in enumerate(zip(t0s, rngs)):
+        records.extend(
+            _one_session_records(model, sid0 + k, float(t0), rng,
+                                 gap_dist, conn_count, burst_bytes)
         )
+    return records
+
+
+def _one_session_records(model, sid, t0, rng, gap_dist, conn_count,
+                         burst_bytes):
+    """One session's records via the scalar assembly reference."""
+    (orig, resp, n_conns, totals, inter_gaps, weights, intra,
+     ctrl_orig, ctrl_resp) = _session_draws(
+        model, rng, gap_dist, conn_count, burst_bytes)
+    records, session_end = _assemble_loop(
+        model, sid, t0, n_conns, totals, inter_gaps, weights, intra,
+        orig, resp,
+    )
     records.append(
         ConnectionRecord(
             start_time=t0,

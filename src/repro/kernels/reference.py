@@ -22,7 +22,17 @@ from repro.core.ftp import BURST_SPACING_SECONDS, Burst
 from repro.core.telnet import connection_packet_times
 from repro.distributions import tcplib
 from repro.selfsim.rs_analysis import rescaled_range
-from repro.traces.records import ConnectionRecord
+from repro.traces.io import (
+    CONN_HEADER,
+    PKT_HEADER,
+    _expect_header,
+    _name_from,
+    format_connection_line,
+    format_packet_line,
+    open_trace,
+)
+from repro.traces.records import ConnectionRecord, Direction, PacketRecord
+from repro.traces.trace import ConnectionTrace, PacketTrace
 from repro.utils.rng import as_rng
 
 
@@ -279,3 +289,77 @@ def onoff_intervals_loop(source, duration, seed=None, start_on=None):
         t += length
         on = not on
     return out
+
+
+# ----------------------------------------------------------------------
+# traces/io.py
+# ----------------------------------------------------------------------
+def write_connection_trace_loop(trace, path):
+    """Pre-columnar writer: one ``trace.record(i)`` + format call per row."""
+    with open_trace(path, "wt") as fh:
+        fh.write(CONN_HEADER + "\n")
+        for i in range(len(trace)):
+            fh.write(format_connection_line(trace.record(i)) + "\n")
+
+
+def read_connection_trace_loop(path, name=None):
+    """Pre-columnar reader: one ``ConnectionRecord`` per line."""
+    with open_trace(path, "rt") as fh:
+        _expect_header(fh, CONN_HEADER, path)
+        records = []
+        for lineno, line in enumerate(fh, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 8:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 8 fields, got {len(parts)}"
+                )
+            sid = int(parts[7])
+            records.append(
+                ConnectionRecord(
+                    start_time=float(parts[0]),
+                    duration=float(parts[1]),
+                    protocol=parts[2],
+                    bytes_orig=int(parts[3]),
+                    bytes_resp=int(parts[4]),
+                    orig_host=int(parts[5]),
+                    resp_host=int(parts[6]),
+                    session_id=None if sid < 0 else sid,
+                )
+            )
+    return ConnectionTrace(name or _name_from(path), records)
+
+
+def write_packet_trace_loop(trace, path):
+    """Pre-columnar writer: one ``trace.record(i)`` + format call per row."""
+    with open_trace(path, "wt") as fh:
+        fh.write(PKT_HEADER + "\n")
+        for i in range(len(trace)):
+            fh.write(format_packet_line(trace.record(i)) + "\n")
+
+
+def read_packet_trace_loop(path, name=None):
+    """Pre-columnar reader: one ``PacketRecord`` per line."""
+    with open_trace(path, "rt") as fh:
+        _expect_header(fh, PKT_HEADER, path)
+        packets = []
+        for lineno, line in enumerate(fh, start=2):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) != 6:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 6 fields, got {len(parts)}"
+                )
+            packets.append(
+                PacketRecord(
+                    timestamp=float(parts[0]),
+                    protocol=parts[1],
+                    connection_id=int(parts[2]),
+                    direction=Direction(int(parts[3])),
+                    size=int(parts[4]),
+                    user_data=bool(int(parts[5])),
+                )
+            )
+    return PacketTrace(name or _name_from(path), packets)

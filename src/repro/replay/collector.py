@@ -42,7 +42,7 @@ from repro.replay.wire import (
     unpack_datagram,
     unpack_hello,
 )
-from repro.traces.io import PKT_HEADER, open_trace
+from repro.traces.io import PKT_HEADER, format_packet_columns, open_trace
 
 #: Target bytes per TCP read (a few thousand records).
 READ_BYTES = 256 * 1024
@@ -337,13 +337,11 @@ class Collector:
                 stats.n_packets += len(batch)
                 stats.trace_bytes += int(batch.sizes.sum())
                 if fh is not None:
-                    rows = zip(batch.timestamps, batch.protocols,
-                               batch.connection_ids, batch.directions,
-                               batch.sizes, batch.user_data)
-                    fh.writelines(
-                        f"{float(t)!r} {proto} {cid} {d} {size} {int(ud)}\n"
-                        for t, proto, cid, d, size, ud in rows
-                    )
+                    fh.write(format_packet_columns(
+                        batch.timestamps, batch.protocols,
+                        batch.connection_ids, batch.directions,
+                        batch.sizes, batch.user_data,
+                    ))
         finally:
             if fh is not None:
                 fh.close()

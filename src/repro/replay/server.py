@@ -254,6 +254,8 @@ def _split_batch(batch: PacketBatch, flows: int) -> list[PacketBatch | None]:
             directions=batch.directions[mask],
             sizes=batch.sizes[mask],
             user_data=batch.user_data[mask],
+            protocols_s=None if batch.protocols_s is None
+            else batch.protocols_s[mask],
         ))
     return out
 

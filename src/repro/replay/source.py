@@ -50,18 +50,30 @@ def file_source(
 def trace_source(
     trace: PacketTrace, batch_records: int = DEFAULT_BATCH_RECORDS
 ) -> Iterator[PacketBatch]:
-    """Slice an in-memory packet trace into replay batches."""
+    """Slice an in-memory packet trace into replay batches.
+
+    Numeric columns are zero-copy views of the trace's arrays; protocol
+    names are gathered per batch from the trace's interned code table —
+    both as the object column and pre-encoded wire bytes (``protocols_s``),
+    so :func:`repro.replay.wire.encode_batch` never re-encodes strings.
+    """
     if batch_records < 1:
         raise ValueError(f"batch_records must be >= 1, got {batch_records}")
+    table_obj = trace.protocol_table
+    table_s = table_obj.astype("S") if table_obj.size else None
+    codes = trace.protocol_codes
     for i in range(0, len(trace), batch_records):
         sl = slice(i, i + batch_records)
+        c = codes[sl]
         yield PacketBatch(
             timestamps=trace.timestamps[sl],
-            protocols=trace.protocols[sl],
+            protocols=table_obj[c] if table_obj.size
+            else np.zeros(0, dtype=object),
             connection_ids=trace.connection_ids[sl],
             directions=trace.directions[sl],
             sizes=trace.sizes[sl],
             user_data=trace.user_data[sl],
+            protocols_s=table_s[c] if table_s is not None else None,
         )
 
 
@@ -82,19 +94,22 @@ def _ftp(duration: float, seed, rate: float | None) -> PacketTrace:
         sessions_per_hour=rate if rate is not None else 40.0
     )
     rng = as_rng(seed)
-    records = model.synthesize(duration, seed=rng)
-    parts_t, parts_c = [], []
-    for i, r in enumerate(records):
-        if r.protocol != "FTPDATA":
-            continue
-        n = max(1, int(round(r.total_bytes / 512.0)))
-        span = max(r.duration, 1e-3)
-        parts_t.append(r.start_time + span * (np.arange(1, n + 1) / n))
-        parts_c.append(np.full(n, i, dtype=np.int64))
-    if not parts_t:
+    cols = model.synthesize_columns(duration, seed=rng)
+    idx = np.flatnonzero(cols.protocols == "FTPDATA")
+    if idx.size == 0:
         return PacketTrace("FTP-REPLAY", timestamps=np.zeros(0))
-    times = np.concatenate(parts_t)
-    cids = np.concatenate(parts_c)
+    totals = (cols.bytes_orig + cols.bytes_resp)[idx]
+    counts = np.maximum(1, np.round(totals / 512.0).astype(np.int64))
+    spans = np.maximum(cols.durations[idx], 1e-3)
+    total = int(counts.sum())
+    # Per-packet index 1..n within each connection, then the same
+    # elementwise start + span * (j/n) the per-record loop computed
+    # (identical float ops, so identical bits).
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    j = (np.arange(total, dtype=np.int64) - offsets + 1).astype(float)
+    times = (np.repeat(cols.start_times[idx], counts)
+             + np.repeat(spans, counts) * (j / np.repeat(counts, counts)))
+    cids = np.repeat(idx, counts)
     keep = times < duration
     times, cids = times[keep], cids[keep]
     n = times.size

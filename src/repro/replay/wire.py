@@ -62,11 +62,18 @@ MAX_DATAGRAM_RECORDS = (1400 - UDP_HEADER.size) // RECORD_BYTES
 
 
 def encode_batch(batch: PacketBatch) -> bytes:
-    """Encode one batch as a contiguous run of wire cells."""
+    """Encode one batch as a contiguous run of wire cells.
+
+    Columnar producers (e.g. ``trace_source``) ship pre-encoded byte
+    protocols in ``batch.protocols_s``; those are used as-is, skipping the
+    object-array ``astype("S")`` pass.
+    """
     n = len(batch)
-    protos = np.asarray(batch.protocols).astype("S")
+    protos = batch.protocols_s
+    if protos is None:
+        protos = np.asarray(batch.protocols).astype("S")
     if protos.dtype.itemsize > PROTO_BYTES:
-        longest = max(batch.protocols.tolist(), key=len)
+        longest = max(np.asarray(batch.protocols).tolist(), key=len)
         raise ValueError(
             f"protocol name {longest!r} exceeds the {PROTO_BYTES}-byte "
             "wire field"

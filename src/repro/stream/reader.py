@@ -16,13 +16,27 @@ from __future__ import annotations
 
 import gzip
 import os
-from dataclasses import dataclass
+import warnings
 from typing import Iterator
 
 import numpy as np
 
 from repro.stream.chunks import Chunk, plan_chunks
+from repro.traces.columns import (
+    MAX_PROTOCOLS,
+    PROTOCOL_CODE_DTYPE,
+    ConnectionBatch,
+    PacketBatch,
+    concat_connection_batches,
+    concat_packet_batches,
+)
 from repro.traces.io import CONN_HEADER, PKT_HEADER
+
+__all__ = [
+    "ConnectionBatch", "PacketBatch", "DEFAULT_BLOCK_BYTES", "sniff_kind",
+    "iter_chunk_batches", "iter_trace_batches",
+    "read_connection_columns", "read_packet_columns",
+]
 
 #: Bytes of text parsed per yielded batch.
 DEFAULT_BLOCK_BYTES = 8 * 1024 * 1024
@@ -30,50 +44,31 @@ DEFAULT_BLOCK_BYTES = 8 * 1024 * 1024
 _PKT_FIELDS = 6
 _CONN_FIELDS = 8
 
+#: Fixed protocol-token width of the whole-file fast path.  Tokens that
+#: fill the field completely may have been truncated, and drop that read
+#: onto the width-agnostic batched path instead.
+_TOKEN_BYTES = 32
 
-@dataclass(frozen=True)
-class PacketBatch:
-    """A run of consecutive packet records as parallel columns."""
-
-    timestamps: np.ndarray    # float64
-    protocols: np.ndarray     # object (str)
-    connection_ids: np.ndarray  # int64
-    directions: np.ndarray    # int8
-    sizes: np.ndarray         # int64
-    user_data: np.ndarray     # bool
-
-    def __len__(self) -> int:
-        return int(self.timestamps.size)
-
-    @property
-    def times(self) -> np.ndarray:
-        return self.timestamps
-
-
-@dataclass(frozen=True)
-class ConnectionBatch:
-    """A run of consecutive connection records as parallel columns."""
-
-    start_times: np.ndarray   # float64
-    durations: np.ndarray     # float64
-    protocols: np.ndarray     # object (str)
-    bytes_orig: np.ndarray    # int64
-    bytes_resp: np.ndarray    # int64
-    orig_hosts: np.ndarray    # int64
-    resp_hosts: np.ndarray    # int64
-    session_ids: np.ndarray   # int64 (-1 = none)
-
-    def __len__(self) -> int:
-        return int(self.start_times.size)
-
-    @property
-    def times(self) -> np.ndarray:
-        return self.start_times
-
-    @property
-    def sizes(self) -> np.ndarray:
-        """Total bytes per connection (the Section VI 'burst size')."""
-        return self.bytes_orig + self.bytes_resp
+#: One v1 text line per kind, as a structured row for ``np.loadtxt``'s
+#: C tokenizer — the whole-file fast path parses every field in C.
+_PKT_ROW_DTYPE = np.dtype([
+    ("timestamp", "f8"),
+    ("protocol", f"S{_TOKEN_BYTES}"),
+    ("connection_id", "i8"),
+    ("direction", "i1"),
+    ("size", "i8"),
+    ("user_data", "i1"),
+])
+_CONN_ROW_DTYPE = np.dtype([
+    ("start_time", "f8"),
+    ("duration", "f8"),
+    ("protocol", f"S{_TOKEN_BYTES}"),
+    ("bytes_orig", "i8"),
+    ("bytes_resp", "i8"),
+    ("orig_host", "i8"),
+    ("resp_host", "i8"),
+    ("session_id", "i8"),
+])
 
 
 def sniff_kind(path: str | os.PathLike) -> str:
@@ -211,3 +206,127 @@ def iter_trace_batches(
     kwargs = {} if target_chunk_bytes is None else {"target_bytes": target_chunk_bytes}
     for chunk in plan_chunks(path, **kwargs):
         yield from iter_chunk_batches(chunk, kind, block_bytes=block_bytes)
+
+
+# ----------------------------------------------------------------------
+# Whole-file fast path
+# ----------------------------------------------------------------------
+def _load_rows(path, header: str, dtype: np.dtype) -> np.ndarray:
+    """Header-checked one-shot parse of a whole trace file in C."""
+    from repro.traces.io import is_gzip_path, open_trace
+
+    with open_trace(path, "rt") as fh:
+        first = fh.readline().rstrip("\n")
+        if first != header:
+            raise ValueError(
+                f"{path}: bad header {first!r}; expected {header!r}"
+            )
+        with warnings.catch_warnings():
+            # A header-only file is a valid empty trace, not a warning.
+            warnings.simplefilter("ignore")
+            if is_gzip_path(path):
+                return np.loadtxt(fh, dtype=dtype, comments=None, ndmin=1)
+    # Plain files: hand loadtxt the path, not the text handle — its own
+    # buffered reader skips the Python text layer (~25% faster).
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return np.loadtxt(os.fspath(path), dtype=dtype, comments=None,
+                          ndmin=1, skiprows=1)
+
+
+def _intern_tokens(col: np.ndarray):
+    """``(codes, table)`` from a fixed-width byte token column, or None
+    when any token fills the field (possibly truncated) or is not decodable
+    — the caller then retries on the width-agnostic batched path."""
+    col = np.ascontiguousarray(col)
+    if col.size and col.view(np.uint8).reshape(col.size, -1)[:, -1].any():
+        return None
+    if col.size == 0:
+        return (np.zeros(0, dtype=PROTOCOL_CODE_DTYPE),
+                np.zeros(0, dtype=object))
+    # Vocabulary from a sparse sample, verified exactly: when the sample
+    # already saw every token (the overwhelmingly common case — a handful
+    # of protocols over millions of rows) one binary search + compare pass
+    # encodes the column; a miss falls back to a full hash dedup.
+    names = sorted(set(col[::max(col.size // 2048, 1)].tolist()))
+    table_s = np.array(names, dtype=col.dtype)
+    codes = np.minimum(np.searchsorted(table_s, col), len(names) - 1)
+    if not np.array_equal(table_s[codes], col):
+        names = sorted(set(col.tolist()))
+        table_s = np.array(names, dtype=col.dtype)
+        codes = np.searchsorted(table_s, col)
+    if len(names) > MAX_PROTOCOLS:
+        raise ValueError(
+            f"{len(names)} distinct protocols exceed the int8 code space "
+            f"({MAX_PROTOCOLS})"
+        )
+    try:
+        table = np.array([b.decode("ascii") for b in names], dtype=object)
+    except UnicodeDecodeError:
+        return None
+    return codes.astype(PROTOCOL_CODE_DTYPE), table
+
+
+def read_packet_columns(path: str | os.PathLike) -> dict:
+    """Read a whole v1 packet trace as ``PacketTrace.from_arrays`` kwargs.
+
+    All six fields are parsed by numpy's C tokenizer in one pass (~10x the
+    per-record loop at 1M rows) and the protocol column arrives already
+    interned; traces with protocol names past :data:`_TOKEN_BYTES` bytes
+    fall back to the batched block reader.
+    """
+    cells = _load_rows(path, PKT_HEADER, _PKT_ROW_DTYPE)
+    interned = _intern_tokens(cells["protocol"])
+    if interned is None:
+        batch = concat_packet_batches(list(iter_trace_batches(path, "packet")))
+        return {
+            "timestamps": batch.timestamps,
+            "protocols": batch.protocols,
+            "connection_ids": batch.connection_ids,
+            "directions": batch.directions,
+            "sizes": batch.sizes,
+            "user_data": batch.user_data,
+        }
+    codes, table = interned
+    return {
+        "timestamps": np.ascontiguousarray(cells["timestamp"]),
+        "protocol_codes": codes,
+        "protocol_table": table,
+        "connection_ids": np.ascontiguousarray(cells["connection_id"]),
+        "directions": np.ascontiguousarray(cells["direction"]),
+        "sizes": np.ascontiguousarray(cells["size"]),
+        "user_data": cells["user_data"].astype(bool),
+    }
+
+
+def read_connection_columns(path: str | os.PathLike) -> dict:
+    """Read a whole v1 connection trace as ``ConnectionTrace.from_arrays``
+    kwargs (see :func:`read_packet_columns`)."""
+    cells = _load_rows(path, CONN_HEADER, _CONN_ROW_DTYPE)
+    interned = _intern_tokens(cells["protocol"])
+    if interned is None:
+        batch = concat_connection_batches(
+            list(iter_trace_batches(path, "connection"))
+        )
+        return {
+            "start_times": batch.start_times,
+            "durations": batch.durations,
+            "protocols": batch.protocols,
+            "bytes_orig": batch.bytes_orig,
+            "bytes_resp": batch.bytes_resp,
+            "orig_hosts": batch.orig_hosts,
+            "resp_hosts": batch.resp_hosts,
+            "session_ids": batch.session_ids,
+        }
+    codes, table = interned
+    return {
+        "start_times": np.ascontiguousarray(cells["start_time"]),
+        "durations": np.ascontiguousarray(cells["duration"]),
+        "protocol_codes": codes,
+        "protocol_table": table,
+        "bytes_orig": np.ascontiguousarray(cells["bytes_orig"]),
+        "bytes_resp": np.ascontiguousarray(cells["bytes_resp"]),
+        "orig_hosts": np.ascontiguousarray(cells["orig_host"]),
+        "resp_hosts": np.ascontiguousarray(cells["resp_host"]),
+        "session_ids": np.ascontiguousarray(cells["session_id"]),
+    }

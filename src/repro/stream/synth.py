@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.traces.io import PKT_HEADER, open_trace
+from repro.traces.io import PKT_HEADER, format_packet_columns, open_trace
 from repro.traces.synthesis import PACKET_TRACE_CONFIGS, synthesize_packet_trace
 from repro.utils.rng import SeedLike, spawn_rngs
 
@@ -129,18 +129,10 @@ def write_stream_trace(
             # shared background/unattributed streams and stay as-is).
             cids = trace.connection_ids[:take].copy()
             cids[cids >= 0] += w * 10_000_000
-            rows = zip(
-                ts,
-                trace.protocols[:take],
-                cids,
-                trace.directions[:take],
-                sizes[:take],
-                trace.user_data[:take],
-            )
-            fh.writelines(
-                f"{float(t)!r} {proto} {cid} {d} {size} {int(ud)}\n"
-                for t, proto, cid, d, size, ud in rows
-            )
+            fh.write(format_packet_columns(
+                ts, trace.protocols[:take], cids, trace.directions[:take],
+                sizes[:take], trace.user_data[:take],
+            ))
             written += take
             if take:
                 last_time = float(ts[-1])

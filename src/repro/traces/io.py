@@ -11,6 +11,15 @@ Paths ending in ``.gz`` are transparently compressed/decompressed by both
 the writers and the readers (and by the chunked readers in
 :mod:`repro.stream`, which share :func:`open_trace`).
 
+Both directions are columnar: the readers stream the file through
+:mod:`repro.stream.reader`'s batched block parser (whole-block ``str.split``
++ strided column construction — the same code path as the out-of-core
+scanners) straight into ``from_arrays``, and the writers format whole
+column blocks at a time instead of materializing a record object per row.
+The per-line ``format_*_line`` helpers remain the format's row-level
+definition (and the frozen reference loops in :mod:`repro.kernels.reference`
+still exercise them).
+
 Connection trace format::
 
     #repro-connections v1
@@ -28,7 +37,9 @@ import gzip
 import os
 from typing import IO, TextIO
 
-from repro.traces.records import ConnectionRecord, Direction, PacketRecord
+import numpy as np
+
+from repro.traces.records import ConnectionRecord, PacketRecord
 from repro.traces.trace import ConnectionTrace, PacketTrace
 
 CONN_HEADER = "#repro-connections v1"
@@ -37,6 +48,9 @@ PKT_HEADER = "#repro-packets v1"
 # Back-compat aliases (pre-stream-subsystem private names).
 _CONN_HEADER = CONN_HEADER
 _PKT_HEADER = PKT_HEADER
+
+#: Rows formatted per writer block (bounds transient formatting memory).
+WRITE_BLOCK_ROWS = 131072
 
 
 def is_gzip_path(path: str | os.PathLike) -> bool:
@@ -75,71 +89,95 @@ def format_packet_line(p: PacketRecord) -> str:
     )
 
 
+def format_connection_columns(
+    start_times, durations, protocols, bytes_orig, bytes_resp,
+    orig_hosts, resp_hosts, session_ids,
+) -> str:
+    """v1 text (newline-terminated lines) for a block of connection columns.
+
+    Byte-identical to joining :func:`format_connection_line` over the
+    equivalent records: ``tolist()`` yields Python floats, whose ``repr``
+    is exactly what the per-record path writes.
+    """
+    return "".join(
+        f"{t!r} {d!r} {p} {bo} {br} {oh} {rh} {sid}\n"
+        for t, d, p, bo, br, oh, rh, sid in zip(
+            np.asarray(start_times, dtype=float).tolist(),
+            np.asarray(durations, dtype=float).tolist(),
+            protocols,
+            np.asarray(bytes_orig).tolist(),
+            np.asarray(bytes_resp).tolist(),
+            np.asarray(orig_hosts).tolist(),
+            np.asarray(resp_hosts).tolist(),
+            np.asarray(session_ids).tolist(),
+        )
+    )
+
+
+def format_packet_columns(
+    timestamps, protocols, connection_ids, directions, sizes, user_data,
+) -> str:
+    """v1 text (newline-terminated lines) for a block of packet columns."""
+    return "".join(
+        f"{t!r} {p} {c} {d} {s} {u}\n"
+        for t, p, c, d, s, u in zip(
+            np.asarray(timestamps, dtype=float).tolist(),
+            protocols,
+            np.asarray(connection_ids).tolist(),
+            np.asarray(directions).tolist(),
+            np.asarray(sizes).tolist(),
+            np.asarray(user_data).astype(np.int64).tolist(),
+        )
+    )
+
+
 def write_connection_trace(trace: ConnectionTrace, path: str | os.PathLike) -> None:
     """Write a connection trace to ``path`` (gzipped when it ends in .gz)."""
+    protocols = trace.protocols
     with open_trace(path, "wt") as fh:
         fh.write(CONN_HEADER + "\n")
-        for i in range(len(trace)):
-            fh.write(format_connection_line(trace.record(i)) + "\n")
+        for lo in range(0, len(trace), WRITE_BLOCK_ROWS):
+            sl = slice(lo, lo + WRITE_BLOCK_ROWS)
+            fh.write(format_connection_columns(
+                trace.start_times[sl], trace.durations[sl], protocols[sl],
+                trace.bytes_orig[sl], trace.bytes_resp[sl],
+                trace.orig_hosts[sl], trace.resp_hosts[sl],
+                trace.session_ids[sl],
+            ))
 
 
 def read_connection_trace(path: str | os.PathLike, name: str | None = None) -> ConnectionTrace:
     """Read a connection trace written by :func:`write_connection_trace`."""
-    with open_trace(path, "rt") as fh:
-        _expect_header(fh, CONN_HEADER, path)
-        records = []
-        for lineno, line in enumerate(fh, start=2):
-            parts = line.split()
-            if not parts:
-                continue
-            if len(parts) != 8:
-                raise ValueError(f"{path}:{lineno}: expected 8 fields, got {len(parts)}")
-            sid = int(parts[7])
-            records.append(
-                ConnectionRecord(
-                    start_time=float(parts[0]),
-                    duration=float(parts[1]),
-                    protocol=parts[2],
-                    bytes_orig=int(parts[3]),
-                    bytes_resp=int(parts[4]),
-                    orig_host=int(parts[5]),
-                    resp_host=int(parts[6]),
-                    session_id=None if sid < 0 else sid,
-                )
-            )
-    return ConnectionTrace(name or _name_from(path), records)
+    # Deferred import: repro.stream builds on this module.
+    from repro.stream.reader import read_connection_columns
+
+    return ConnectionTrace.from_arrays(
+        name or _name_from(path), **read_connection_columns(path)
+    )
 
 
 def write_packet_trace(trace: PacketTrace, path: str | os.PathLike) -> None:
     """Write a packet trace to ``path`` (gzipped when it ends in .gz)."""
+    protocols = trace.protocols
     with open_trace(path, "wt") as fh:
         fh.write(PKT_HEADER + "\n")
-        for i in range(len(trace)):
-            fh.write(format_packet_line(trace.record(i)) + "\n")
+        for lo in range(0, len(trace), WRITE_BLOCK_ROWS):
+            sl = slice(lo, lo + WRITE_BLOCK_ROWS)
+            fh.write(format_packet_columns(
+                trace.timestamps[sl], protocols[sl],
+                trace.connection_ids[sl], trace.directions[sl],
+                trace.sizes[sl], trace.user_data[sl],
+            ))
 
 
 def read_packet_trace(path: str | os.PathLike, name: str | None = None) -> PacketTrace:
     """Read a packet trace written by :func:`write_packet_trace`."""
-    with open_trace(path, "rt") as fh:
-        _expect_header(fh, PKT_HEADER, path)
-        packets = []
-        for lineno, line in enumerate(fh, start=2):
-            parts = line.split()
-            if not parts:
-                continue
-            if len(parts) != 6:
-                raise ValueError(f"{path}:{lineno}: expected 6 fields, got {len(parts)}")
-            packets.append(
-                PacketRecord(
-                    timestamp=float(parts[0]),
-                    protocol=parts[1],
-                    connection_id=int(parts[2]),
-                    direction=Direction(int(parts[3])),
-                    size=int(parts[4]),
-                    user_data=bool(int(parts[5])),
-                )
-            )
-    return PacketTrace(name or _name_from(path), packets)
+    # Deferred import: repro.stream builds on this module.
+    from repro.stream.reader import read_packet_columns
+
+    return PacketTrace.from_arrays(
+        name or _name_from(path), **read_packet_columns(path)
+    )
 
 
 def _expect_header(fh: TextIO, expected: str, path) -> None:

@@ -41,8 +41,12 @@ from repro.distributions.exponential import Exponential
 from repro.distributions.lognormal import Log2Normal
 from repro.distributions.logextreme import LogExtreme
 from repro.distributions.pareto import Pareto
+from repro.traces.columns import (
+    ConnectionBatch,
+    concat_connection_batches,
+    empty_connection_columns,
+)
 from repro.traces.diurnal import hourly_profile, hourly_rates
-from repro.traces.records import ConnectionRecord
 from repro.traces.trace import ConnectionTrace, PacketTrace
 from repro.utils.rng import SeedLike, as_rng, spawn_rngs
 
@@ -167,40 +171,46 @@ PACKET_TRACE_CONFIGS: dict[str, PacketTraceConfig] = {
 # ----------------------------------------------------------------------
 # Connection-trace synthesis
 # ----------------------------------------------------------------------
-def _user_session_records(
+def _user_session_columns(
     protocol: str,
     per_hour: float,
     hours: int,
     site: str,
     rng,
     scale: float,
-) -> list[ConnectionRecord]:
+) -> ConnectionBatch:
     """Poisson-with-fixed-hourly-rates user sessions (TELNET, RLOGIN)."""
     rates = hourly_rates(protocol, scale * per_hour / 3600.0, hours, site)
     starts = piecewise_poisson(rates, 3600.0, seed=rng)
     if starts.size == 0:
-        return []
-    durations = Log2Normal(8.0, 1.8).sample(starts.size, seed=rng)  # median 256 s
-    bytes_orig = LogExtreme.paxson_telnet_bytes().sample(starts.size, seed=rng)
+        return empty_connection_columns()
+    n = starts.size
+    durations = Log2Normal(8.0, 1.8).sample(n, seed=rng)  # median 256 s
+    bytes_orig = LogExtreme.paxson_telnet_bytes().sample(n, seed=rng)
     # The untruncated log-extreme has infinite mean (beta ln2 > 1); cap it
     # at 100 KB of keystrokes so interactive traffic does not swamp the
     # byte budget the way no real trace's TELNET did.
     bytes_orig = np.clip(bytes_orig, 1, 100_000).astype(np.int64)
-    return [
-        ConnectionRecord(
-            start_time=float(t),
-            duration=float(d),
-            protocol=protocol,
-            bytes_orig=int(bo),
-            bytes_resp=int(bo) * 15,  # echoes + command output
-            orig_host=int(rng.integers(0, 200)),
-            resp_host=int(rng.integers(200, 400)),
-        )
-        for t, d, bo in zip(starts, durations, bytes_orig)
-    ]
+    # Host pairs stay scalar draws, interleaved per row (the frozen
+    # per-stream draw order of the record-based implementation).
+    orig_hosts = np.empty(n, dtype=np.int64)
+    resp_hosts = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        orig_hosts[i] = rng.integers(0, 200)
+        resp_hosts[i] = rng.integers(200, 400)
+    return ConnectionBatch(
+        start_times=starts.astype(float),
+        durations=durations.astype(float),
+        protocols=np.full(n, protocol, dtype=object),
+        bytes_orig=bytes_orig,
+        bytes_resp=bytes_orig * 15,  # echoes + command output
+        orig_hosts=orig_hosts,
+        resp_hosts=resp_hosts,
+        session_ids=np.full(n, -1, dtype=np.int64),
+    )
 
 
-def _smtp_records(per_hour, hours, site, rng, scale) -> list[ConnectionRecord]:
+def _smtp_columns(per_hour, hours, site, rng, scale) -> ConnectionBatch:
     """Timer/queue-modulated SMTP plus mailing-list explosions."""
     duration = hours * 3600.0
     base = scale * per_hour / 3600.0
@@ -221,16 +231,27 @@ def _smtp_records(per_hour, hours, site, rng, scale) -> list[ConnectionRecord]:
     t_burst = t_burst[keep]
     times = np.sort(np.concatenate([t_mod, t_burst]))
     sizes = Log2Normal(11.0, 1.5).sample(times.size, seed=rng)  # median 2 KB
-    return [
-        ConnectionRecord(float(t), float(rng.exponential(20.0)), "SMTP",
-                         bytes_orig=int(min(s, 5e7)), bytes_resp=300,
-                         orig_host=int(rng.integers(0, 300)),
-                         resp_host=int(rng.integers(300, 600)))
-        for t, s in zip(times, sizes)
-    ]
+    n = times.size
+    durations = np.empty(n)
+    orig_hosts = np.empty(n, dtype=np.int64)
+    resp_hosts = np.empty(n, dtype=np.int64)
+    for i in range(n):  # scalar draws interleaved per row (frozen order)
+        durations[i] = rng.exponential(20.0)
+        orig_hosts[i] = rng.integers(0, 300)
+        resp_hosts[i] = rng.integers(300, 600)
+    return ConnectionBatch(
+        start_times=times,
+        durations=durations,
+        protocols=np.full(n, "SMTP", dtype=object),
+        bytes_orig=np.minimum(sizes, 5e7).astype(np.int64),
+        bytes_resp=np.full(n, 300, dtype=np.int64),
+        orig_hosts=orig_hosts,
+        resp_hosts=resp_hosts,
+        session_ids=np.full(n, -1, dtype=np.int64),
+    )
 
 
-def _nntp_records(per_hour, hours, rng, scale) -> list[ConnectionRecord]:
+def _nntp_columns(per_hour, hours, rng, scale) -> ConnectionBatch:
     """Flooding cascades + timer-driven exchanges."""
     duration = hours * 3600.0
     base = scale * per_hour / 3600.0
@@ -241,22 +262,33 @@ def _nntp_records(per_hour, hours, rng, scale) -> list[ConnectionRecord]:
                                     batch_gap=2.0, seed=rng)
     times = np.sort(np.concatenate([t_cascade, t_timer]))
     sizes = Pareto(500.0, 1.2).sample(times.size, seed=rng)
-    return [
-        ConnectionRecord(float(t), float(rng.exponential(60.0)), "NNTP",
-                         bytes_orig=int(min(s, 1e8)), bytes_resp=500,
-                         orig_host=int(rng.integers(0, 50)),
-                         resp_host=int(rng.integers(50, 100)))
-        for t, s in zip(times, sizes)
-    ]
+    n = times.size
+    durations = np.empty(n)
+    orig_hosts = np.empty(n, dtype=np.int64)
+    resp_hosts = np.empty(n, dtype=np.int64)
+    for i in range(n):  # scalar draws interleaved per row (frozen order)
+        durations[i] = rng.exponential(60.0)
+        orig_hosts[i] = rng.integers(0, 50)
+        resp_hosts[i] = rng.integers(50, 100)
+    return ConnectionBatch(
+        start_times=times,
+        durations=durations,
+        protocols=np.full(n, "NNTP", dtype=object),
+        bytes_orig=np.minimum(sizes, 1e8).astype(np.int64),
+        bytes_resp=np.full(n, 500, dtype=np.int64),
+        orig_hosts=orig_hosts,
+        resp_hosts=resp_hosts,
+        session_ids=np.full(n, -1, dtype=np.int64),
+    )
 
 
 #: Session-id offset separating X11/WWW sessions from FTP sessions.
 _CLUSTER_SESSION_BASE = 1_000_000
 
 
-def _clustered_session_records(
+def _clustered_session_columns(
     protocol, per_hour, hours, site, rng, scale
-) -> list[ConnectionRecord]:
+) -> ConnectionBatch:
     """WWW / X11: many connections per user session (not Poisson).
 
     Session *triggers* arrive as a diurnal Poisson process (the paper's
@@ -272,7 +304,12 @@ def _clustered_session_records(
         0.2 * base * np.tile(profile, int(np.ceil(hours / 24.0)))[:hours],
         3600.0, seed=rng,
     )
-    records = []
+    row_starts: list[float] = []
+    row_durs: list[float] = []
+    row_bytes: list[int] = []
+    row_orig: list[int] = []
+    row_resp: list[int] = []
+    row_sids: list[int] = []
     for k, t0 in enumerate(triggers):
         sid = _CLUSTER_SESSION_BASE + k
         n = max(1, int(np.floor(float(Pareto(2.0, 1.3).sample(1, seed=rng)[0]) - 1.0)))
@@ -282,37 +319,58 @@ def _clustered_session_records(
         resp = int(rng.integers(400, 500))
         sizes = Pareto(300.0, 1.3).sample(n, seed=rng)
         for t, size in zip(starts, sizes):
+            # The early break keeps the duration draw data-dependent (no
+            # draw for rows past the horizon), so this inner loop stays.
             if t >= duration:
                 break
-            records.append(
-                ConnectionRecord(float(t), float(rng.exponential(8.0)),
-                                 protocol, bytes_orig=300,
-                                 bytes_resp=int(min(size, 1e8)),
-                                 orig_host=orig, resp_host=resp,
-                                 session_id=sid)
-            )
-    return records
+            row_starts.append(float(t))
+            row_durs.append(float(rng.exponential(8.0)))
+            row_bytes.append(int(min(size, 1e8)))
+            row_orig.append(orig)
+            row_resp.append(resp)
+            row_sids.append(sid)
+    n_rows = len(row_starts)
+    return ConnectionBatch(
+        start_times=np.array(row_starts, dtype=float),
+        durations=np.array(row_durs, dtype=float),
+        protocols=np.full(n_rows, protocol, dtype=object),
+        bytes_orig=np.full(n_rows, 300, dtype=np.int64),
+        bytes_resp=np.array(row_bytes, dtype=np.int64),
+        orig_hosts=np.array(row_orig, dtype=np.int64),
+        resp_hosts=np.array(row_resp, dtype=np.int64),
+        session_ids=np.array(row_sids, dtype=np.int64),
+    )
 
 
-def _weathermap_records(hours, rng) -> list[ConnectionRecord]:
+def _weathermap_columns(hours, rng) -> ConnectionBatch:
     """The hourly weather-map FTP job: timer-driven, one host pair."""
     duration = hours * 3600.0
     firings = timer_driven_arrivals(3600.0, duration, jitter_sd=20.0,
                                     phase=120.0, seed=rng)
-    records = []
-    for k, t in enumerate(firings):
-        sid = 2_000_000 + k
-        records.append(
-            ConnectionRecord(float(t), 30.0, "FTP", bytes_orig=400,
-                             bytes_resp=1200, orig_host=990, resp_host=991,
-                             session_id=sid)
-        )
-        records.append(
-            ConnectionRecord(float(t) + 2.0, 25.0, "FTPDATA", bytes_orig=0,
-                             bytes_resp=int(rng.integers(40_000, 60_000)),
-                             orig_host=990, resp_host=991, session_id=sid)
-        )
-    return records
+    n = firings.size
+    # Two rows per firing: the FTP control record, then its FTPDATA
+    # transfer 2 s later (same interleaved row order as the record path).
+    starts = np.empty(2 * n)
+    starts[0::2] = firings
+    starts[1::2] = firings + 2.0
+    durations = np.tile([30.0, 25.0], n)
+    protocols = np.tile(np.array(["FTP", "FTPDATA"], dtype=object), n)
+    bytes_orig = np.tile(np.array([400, 0], dtype=np.int64), n)
+    bytes_resp = np.empty(2 * n, dtype=np.int64)
+    bytes_resp[0::2] = 1200
+    for k in range(n):  # per-firing scalar draw (frozen order)
+        bytes_resp[2 * k + 1] = rng.integers(40_000, 60_000)
+    sids = np.repeat(2_000_000 + np.arange(n, dtype=np.int64), 2)
+    return ConnectionBatch(
+        start_times=starts,
+        durations=durations,
+        protocols=protocols,
+        bytes_orig=bytes_orig,
+        bytes_resp=bytes_resp,
+        orig_hosts=np.full(2 * n, 990, dtype=np.int64),
+        resp_hosts=np.full(2 * n, 991, dtype=np.int64),
+        session_ids=sids,
+    )
 
 
 def synthesize_connection_trace(
@@ -330,14 +388,14 @@ def synthesize_connection_trace(
     cfg = CONNECTION_TRACE_CONFIGS[name]
     h = cfg.hours if hours is None else hours
     rngs = spawn_rngs(seed, 6)
-    records: list[ConnectionRecord] = []
+    batches: list[ConnectionBatch] = []
 
     if cfg.telnet_per_hour:
-        records += _user_session_records("TELNET", cfg.telnet_per_hour, h,
-                                         cfg.site, rngs[0], scale)
+        batches.append(_user_session_columns("TELNET", cfg.telnet_per_hour, h,
+                                             cfg.site, rngs[0], scale))
     if cfg.rlogin_per_hour:
-        records += _user_session_records("RLOGIN", cfg.rlogin_per_hour, h,
-                                         cfg.site, rngs[1], scale)
+        batches.append(_user_session_columns("RLOGIN", cfg.rlogin_per_hour, h,
+                                             cfg.site, rngs[1], scale))
     if cfg.ftp_sessions_per_hour:
         rates = hourly_rates("FTP", scale * cfg.ftp_sessions_per_hour / 3600.0,
                              h, cfg.site)
@@ -346,38 +404,58 @@ def synthesize_connection_trace(
         # circular import (core builds on the trace data model)
 
         model = FtpSessionModel(sessions_per_hour=scale * cfg.ftp_sessions_per_hour)
-        records += model.synthesize(h * 3600.0, seed=rngs[2],
-                                    session_starts=session_starts)
+        batches.append(model.synthesize_columns(h * 3600.0, seed=rngs[2],
+                                                session_starts=session_starts))
     if cfg.smtp_per_hour:
-        records += _smtp_records(cfg.smtp_per_hour, h, cfg.site, rngs[3], scale)
+        batches.append(_smtp_columns(cfg.smtp_per_hour, h, cfg.site, rngs[3],
+                                     scale))
     if cfg.nntp_per_hour:
-        records += _nntp_records(cfg.nntp_per_hour, h, rngs[4], scale)
+        batches.append(_nntp_columns(cfg.nntp_per_hour, h, rngs[4], scale))
     if cfg.www_per_hour:
-        records += _clustered_session_records("WWW", cfg.www_per_hour, h,
-                                              cfg.site, rngs[5], scale)
+        batches.append(_clustered_session_columns("WWW", cfg.www_per_hour, h,
+                                                  cfg.site, rngs[5], scale))
     if cfg.x11_per_hour:
-        records += _clustered_session_records("X11", cfg.x11_per_hour, h,
-                                              cfg.site, rngs[5], scale)
+        batches.append(_clustered_session_columns("X11", cfg.x11_per_hour, h,
+                                                  cfg.site, rngs[5], scale))
     if cfg.weathermap:
-        records += _weathermap_records(h, rngs[5])
+        batches.append(_weathermap_columns(h, rngs[5]))
 
-    horizon = h * 3600.0
-    records = [r for r in records if r.start_time < horizon]
-    return ConnectionTrace(name, records)
+    cols = concat_connection_batches(batches)
+    keep = cols.start_times < h * 3600.0
+    return ConnectionTrace.from_arrays(
+        name,
+        start_times=cols.start_times[keep],
+        durations=cols.durations[keep],
+        protocols=cols.protocols[keep],
+        bytes_orig=cols.bytes_orig[keep],
+        bytes_resp=cols.bytes_resp[keep],
+        orig_hosts=cols.orig_hosts[keep],
+        resp_hosts=cols.resp_hosts[keep],
+        session_ids=cols.session_ids[keep],
+    )
 
 
 # ----------------------------------------------------------------------
 # Packet-trace synthesis
 # ----------------------------------------------------------------------
-def _ftpdata_packets(records, rng, horizon, packet_bytes=512.0):
-    """Constant-rate packets across each FTPDATA connection's lifetime."""
+def _ftpdata_packets(cols: ConnectionBatch, rng, horizon, packet_bytes=512.0):
+    """Constant-rate packets across each FTPDATA connection's lifetime.
+
+    Connection ids are the FTPDATA rows' indices in the *full* connection
+    column set (control rows included), matching the record-path ids.
+    """
+    cids = np.flatnonzero(cols.protocols == "FTPDATA")
     times, ids = [], []
-    for cid, r in enumerate(records):
-        if r.protocol != "FTPDATA":
-            continue
-        n_pkts = max(1, int(round((r.bytes_resp + r.bytes_orig) / packet_bytes)))
-        t = r.start_time + (np.arange(n_pkts) + rng.random(n_pkts) * 0.2) * (
-            r.duration / n_pkts
+    for cid, t0, dur, total in zip(
+        cids,
+        cols.start_times[cids].tolist(),
+        cols.durations[cids].tolist(),
+        (cols.bytes_resp[cids] + cols.bytes_orig[cids]).tolist(),
+    ):
+        n_pkts = max(1, int(round(total / packet_bytes)))
+        # Per-row rng.random(n_pkts) keeps the frozen draw order.
+        t = t0 + (np.arange(n_pkts) + rng.random(n_pkts) * 0.2) * (
+            dur / n_pkts
         )
         t = t[t < horizon]
         times.append(t)
@@ -387,8 +465,9 @@ def _ftpdata_packets(records, rng, horizon, packet_bytes=512.0):
     return np.concatenate(times), np.concatenate(ids)
 
 
-def _ftpdata_packets_tcp(records, rng, horizon, bottleneck_rate, buffer_packets,
-                         packet_bytes=512.0, max_connections=300):
+def _ftpdata_packets_tcp(cols: ConnectionBatch, rng, horizon, bottleneck_rate,
+                         buffer_packets, packet_bytes=512.0,
+                         max_connections=300):
     """TCP-shaped FTPDATA packets: run the transfers through a shared
     Reno/drop-tail bottleneck instead of assuming constant rate.
 
@@ -400,20 +479,24 @@ def _ftpdata_packets_tcp(records, rng, horizon, bottleneck_rate, buffer_packets,
     """
     from repro.tcp.network import BottleneckSimulator, TransferSpec
 
-    data = [r for r in records if r.protocol == "FTPDATA"]
-    if not data:
+    idx = np.flatnonzero(cols.protocols == "FTPDATA")
+    if idx.size == 0:
         return np.zeros(0), np.zeros(0, dtype=np.int64)
-    data.sort(key=lambda r: r.total_bytes, reverse=True)
-    data = data[:max_connections]
-    data.sort(key=lambda r: r.start_time)
+    totals = (cols.bytes_orig + cols.bytes_resp)[idx]
+    # Stable sorts reproduce the record path's Timsort tie order exactly.
+    sel = idx[np.argsort(-totals, kind="stable")[:max_connections]]
+    sel = sel[np.argsort(cols.start_times[sel], kind="stable")]
     specs = [
         TransferSpec(
-            start_time=float(r.start_time),
-            n_packets=max(1, int(round(r.total_bytes / packet_bytes))),
+            start_time=t0,
+            n_packets=max(1, int(round(total / packet_bytes))),
             rtt=float(rng.uniform(0.03, 0.25)),
             max_window=32.0,
         )
-        for r in data
+        for t0, total in zip(
+            cols.start_times[sel].tolist(),
+            (cols.bytes_orig[sel] + cols.bytes_resp[sel]).tolist(),
+        )
     ]
     sim = BottleneckSimulator(rate=bottleneck_rate,
                               buffer_packets=buffer_packets)
@@ -472,12 +555,12 @@ def synthesize_packet_trace(
     ftp_model = FtpSessionModel(
         sessions_per_hour=scale * cfg.ftp_sessions_per_hour
     )
-    ftp_records = ftp_model.synthesize(duration, seed=rngs[1])
+    ftp_cols = ftp_model.synthesize_columns(duration, seed=rngs[1])
     if tcp_shaped_ftp:
-        ft, fids = _ftpdata_packets_tcp(ftp_records, rngs[1], duration,
+        ft, fids = _ftpdata_packets_tcp(ftp_cols, rngs[1], duration,
                                         bottleneck_rate, buffer_packets)
     else:
-        ft, fids = _ftpdata_packets(ftp_records, rngs[1], duration)
+        ft, fids = _ftpdata_packets(ftp_cols, rngs[1], duration)
     parts.append((ft, fids, "FTPDATA", True))
 
     # Background TCP (SMTP / NNTP / DNS-like): over-dispersed cluster mix.

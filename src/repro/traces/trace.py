@@ -2,8 +2,22 @@
 
 Wide-area traces are large (the paper's LBL SYN/FIN traces hold hundreds of
 thousands of connections; the packet traces millions of packets), so both
-containers store parallel numpy arrays internally and materialize
+containers store parallel numpy arrays and materialize
 :class:`ConnectionRecord` / :class:`PacketRecord` objects only on demand.
+
+Columns are the primary representation end-to-end: the synthesis models in
+:mod:`repro.core`, the text readers/writers in :mod:`repro.traces.io`, and
+the replay sources all build or consume these arrays directly (see
+:mod:`repro.traces.columns`).  Both constructors accept either a record
+list (sorted with the same stable order as the array path — ties keep
+input order) or ready-made columns via ``from_arrays``; already-sorted
+input skips the sort entirely.
+
+Protocol names are interned per trace as ``int8`` ``protocol_codes``
+indexing a sorted ``protocol_table`` — 1 byte/row instead of an object
+pointer — and ``protocol_mask``/``select`` are integer compares.  The
+``.protocols`` object-dtype column of earlier versions remains available
+as a lazily materialized (and cached) property.
 """
 
 from __future__ import annotations
@@ -13,26 +27,127 @@ from typing import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.selfsim.counts import CountProcess
+import repro.traces.columns as tc
 from repro.traces.records import ConnectionRecord, Direction, PacketRecord
+
+
+def _column(values, n: int, default, dtype) -> np.ndarray:
+    if values is None:
+        return np.full(n, default, dtype=dtype)
+    return np.asarray(values, dtype=dtype)
+
+
+def _intern(n: int, protocols, protocol_codes, protocol_table,
+            default: str) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve the two ways of passing the protocol column to (codes, table)."""
+    if protocol_codes is not None:
+        if protocol_table is None:
+            raise ValueError("protocol_codes requires protocol_table")
+        return (
+            np.asarray(protocol_codes, dtype=tc.PROTOCOL_CODE_DTYPE),
+            np.asarray(protocol_table, dtype=object),
+        )
+    if protocols is None:
+        protocols = np.full(n, default, dtype=object)
+    return tc.encode_protocols(protocols)
 
 
 class ConnectionTrace:
     """A SYN/FIN-style trace: one row per TCP connection."""
 
     def __init__(self, name: str, records: Iterable[ConnectionRecord]):
-        recs = sorted(records, key=lambda r: r.start_time)
-        self.name = name
-        self.start_times = np.array([r.start_time for r in recs], dtype=float)
-        self.durations = np.array([r.duration for r in recs], dtype=float)
-        self.protocols = np.array([r.protocol for r in recs], dtype=object)
-        self.bytes_orig = np.array([r.bytes_orig for r in recs], dtype=np.int64)
-        self.bytes_resp = np.array([r.bytes_resp for r in recs], dtype=np.int64)
-        self.orig_hosts = np.array([r.orig_host for r in recs], dtype=np.int64)
-        self.resp_hosts = np.array([r.resp_host for r in recs], dtype=np.int64)
-        self.session_ids = np.array(
-            [-1 if r.session_id is None else r.session_id for r in recs],
-            dtype=np.int64,
+        cols = tc.connection_records_to_columns(records)
+        self._init_columns(
+            name,
+            start_times=cols.start_times,
+            durations=cols.durations,
+            protocols=cols.protocols,
+            bytes_orig=cols.bytes_orig,
+            bytes_resp=cols.bytes_resp,
+            orig_hosts=cols.orig_hosts,
+            resp_hosts=cols.resp_hosts,
+            session_ids=cols.session_ids,
         )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        *,
+        start_times,
+        durations=None,
+        protocols=None,
+        protocol_codes=None,
+        protocol_table=None,
+        bytes_orig=None,
+        bytes_resp=None,
+        orig_hosts=None,
+        resp_hosts=None,
+        session_ids=None,
+    ) -> "ConnectionTrace":
+        """Build a trace directly from column arrays (no record objects).
+
+        The protocol column is either ``protocols`` (names, interned here)
+        or pre-interned ``protocol_codes`` + sorted ``protocol_table``.
+        Missing columns default to zeros (``session_ids`` to -1 = none).
+        Rows are stable-sorted by ``start_times``; sorted input is stored
+        as-is.
+        """
+        out = cls.__new__(cls)
+        out._init_columns(
+            name,
+            start_times=start_times,
+            durations=durations,
+            protocols=protocols,
+            protocol_codes=protocol_codes,
+            protocol_table=protocol_table,
+            bytes_orig=bytes_orig,
+            bytes_resp=bytes_resp,
+            orig_hosts=orig_hosts,
+            resp_hosts=resp_hosts,
+            session_ids=session_ids,
+        )
+        return out
+
+    def _init_columns(
+        self,
+        name: str,
+        *,
+        start_times,
+        durations=None,
+        protocols=None,
+        protocol_codes=None,
+        protocol_table=None,
+        bytes_orig=None,
+        bytes_resp=None,
+        orig_hosts=None,
+        resp_hosts=None,
+        session_ids=None,
+    ) -> None:
+        self.name = name
+        t = np.asarray(start_times, dtype=float)
+        n = t.size
+        codes, table = _intern(n, protocols, protocol_codes, protocol_table,
+                               "OTHER")
+        cols = (
+            _column(durations, n, 0.0, float),
+            codes,
+            _column(bytes_orig, n, 0, np.int64),
+            _column(bytes_resp, n, 0, np.int64),
+            _column(orig_hosts, n, 0, np.int64),
+            _column(resp_hosts, n, 0, np.int64),
+            _column(session_ids, n, -1, np.int64),
+        )
+        order = tc.stable_time_order(t)
+        if order is not None:
+            t = t[order]
+            cols = tuple(c[order] for c in cols)
+        self.start_times = t
+        (self.durations, self.protocol_codes, self.bytes_orig,
+         self.bytes_resp, self.orig_hosts, self.resp_hosts,
+         self.session_ids) = cols
+        self.protocol_table = table
+        self._protocols_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -47,7 +162,7 @@ class ConnectionTrace:
         return ConnectionRecord(
             start_time=float(self.start_times[i]),
             duration=float(self.durations[i]),
-            protocol=str(self.protocols[i]),
+            protocol=str(self.protocol_table[self.protocol_codes[i]]),
             bytes_orig=int(self.bytes_orig[i]),
             bytes_resp=int(self.bytes_resp[i]),
             orig_host=int(self.orig_hosts[i]),
@@ -57,16 +172,30 @@ class ConnectionTrace:
 
     # ------------------------------------------------------------------
     @property
+    def protocols(self) -> np.ndarray:
+        """Object-dtype protocol names, materialized from the interned
+        codes on first access and cached (the record-view column)."""
+        if self._protocols_cache is None:
+            self._protocols_cache = tc.decode_protocols(
+                self.protocol_codes, self.protocol_table
+            )
+        return self._protocols_cache
+
+    @property
     def duration(self) -> float:
         """Span from trace start (time 0) to the last connection start."""
         return float(self.start_times[-1]) if len(self) else 0.0
 
     @property
     def protocol_names(self) -> list[str]:
-        return sorted(set(self.protocols.tolist()))
+        present = np.unique(self.protocol_codes)
+        return [str(p) for p in self.protocol_table[present]]
 
     def protocol_mask(self, protocol: str) -> np.ndarray:
-        return self.protocols == protocol.upper()
+        code = tc.protocol_code(self.protocol_table, protocol.upper())
+        if code < 0:
+            return np.zeros(len(self), dtype=bool)
+        return self.protocol_codes == code
 
     def arrival_times(self, protocol: str | None = None) -> np.ndarray:
         """Connection start times, optionally for one protocol."""
@@ -87,9 +216,12 @@ class ConnectionTrace:
         """A new trace holding the rows selected by a boolean mask."""
         out = ConnectionTrace.__new__(ConnectionTrace)
         out.name = name or self.name
-        for attr in ("start_times", "durations", "protocols", "bytes_orig",
-                     "bytes_resp", "orig_hosts", "resp_hosts", "session_ids"):
+        for attr in ("start_times", "durations", "protocol_codes",
+                     "bytes_orig", "bytes_resp", "orig_hosts", "resp_hosts",
+                     "session_ids"):
             setattr(out, attr, getattr(self, attr)[mask])
+        out.protocol_table = self.protocol_table
+        out._protocols_cache = None
         return out
 
     def sessions(self, protocol: str) -> dict[int, np.ndarray]:
@@ -119,40 +251,86 @@ class PacketTrace:
 
     def __init__(self, name: str, packets: Iterable[PacketRecord] | None = None,
                  **arrays):
-        self.name = name
         if packets is not None:
-            pkts = sorted(packets, key=lambda p: p.timestamp)
-            self.timestamps = np.array([p.timestamp for p in pkts], dtype=float)
-            self.protocols = np.array([p.protocol for p in pkts], dtype=object)
-            self.connection_ids = np.array(
-                [p.connection_id for p in pkts], dtype=np.int64
+            cols = tc.packet_records_to_columns(packets)
+            arrays = dict(
+                timestamps=cols.timestamps,
+                protocols=cols.protocols,
+                connection_ids=cols.connection_ids,
+                directions=cols.directions,
+                sizes=cols.sizes,
+                user_data=cols.user_data,
             )
-            self.directions = np.array(
-                [int(p.direction) for p in pkts], dtype=np.int8
-            )
-            self.sizes = np.array([p.size for p in pkts], dtype=np.int64)
-            self.user_data = np.array([p.user_data for p in pkts], dtype=bool)
-        else:
-            self.timestamps = np.asarray(arrays["timestamps"], dtype=float)
-            n = self.timestamps.size
-            order = np.argsort(self.timestamps, kind="stable")
-            self.timestamps = self.timestamps[order]
-            self.protocols = np.asarray(
-                arrays.get("protocols", np.full(n, "OTHER", dtype=object)),
-                dtype=object,
-            )[order]
-            self.connection_ids = np.asarray(
-                arrays.get("connection_ids", np.zeros(n)), dtype=np.int64
-            )[order]
-            self.directions = np.asarray(
-                arrays.get("directions", np.zeros(n)), dtype=np.int8
-            )[order]
-            self.sizes = np.asarray(
-                arrays.get("sizes", np.ones(n)), dtype=np.int64
-            )[order]
-            self.user_data = np.asarray(
-                arrays.get("user_data", np.ones(n, dtype=bool)), dtype=bool
-            )[order]
+        self._init_columns(name, **arrays)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        *,
+        timestamps,
+        protocols=None,
+        protocol_codes=None,
+        protocol_table=None,
+        connection_ids=None,
+        directions=None,
+        sizes=None,
+        user_data=None,
+    ) -> "PacketTrace":
+        """Build a trace directly from column arrays (no record objects).
+
+        Same contract as :meth:`ConnectionTrace.from_arrays`; packet-column
+        defaults are protocol ``OTHER``, connection 0, direction
+        ``ORIGINATOR``, size 1, ``user_data`` True.
+        """
+        out = cls.__new__(cls)
+        out._init_columns(
+            name,
+            timestamps=timestamps,
+            protocols=protocols,
+            protocol_codes=protocol_codes,
+            protocol_table=protocol_table,
+            connection_ids=connection_ids,
+            directions=directions,
+            sizes=sizes,
+            user_data=user_data,
+        )
+        return out
+
+    def _init_columns(
+        self,
+        name: str,
+        *,
+        timestamps,
+        protocols=None,
+        protocol_codes=None,
+        protocol_table=None,
+        connection_ids=None,
+        directions=None,
+        sizes=None,
+        user_data=None,
+    ) -> None:
+        self.name = name
+        t = np.asarray(timestamps, dtype=float)
+        n = t.size
+        codes, table = _intern(n, protocols, protocol_codes, protocol_table,
+                               "OTHER")
+        cols = (
+            codes,
+            _column(connection_ids, n, 0, np.int64),
+            _column(directions, n, 0, np.int8),
+            _column(sizes, n, 1, np.int64),
+            _column(user_data, n, True, bool),
+        )
+        order = tc.stable_time_order(t)
+        if order is not None:
+            t = t[order]
+            cols = tuple(c[order] for c in cols)
+        self.timestamps = t
+        (self.protocol_codes, self.connection_ids, self.directions,
+         self.sizes, self.user_data) = cols
+        self.protocol_table = table
+        self._protocols_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -161,7 +339,7 @@ class PacketTrace:
     def record(self, i: int) -> PacketRecord:
         return PacketRecord(
             timestamp=float(self.timestamps[i]),
-            protocol=str(self.protocols[i]),
+            protocol=str(self.protocol_table[self.protocol_codes[i]]),
             connection_id=int(self.connection_ids[i]),
             direction=Direction(int(self.directions[i])),
             size=int(self.sizes[i]),
@@ -169,8 +347,24 @@ class PacketTrace:
         )
 
     @property
+    def protocols(self) -> np.ndarray:
+        """Object-dtype protocol names, materialized from the interned
+        codes on first access and cached (the record-view column)."""
+        if self._protocols_cache is None:
+            self._protocols_cache = tc.decode_protocols(
+                self.protocol_codes, self.protocol_table
+            )
+        return self._protocols_cache
+
+    @property
     def duration(self) -> float:
         return float(self.timestamps[-1]) if len(self) else 0.0
+
+    def protocol_mask(self, protocol: str) -> np.ndarray:
+        code = tc.protocol_code(self.protocol_table, protocol.upper())
+        if code < 0:
+            return np.zeros(len(self), dtype=bool)
+        return self.protocol_codes == code
 
     def select(
         self,
@@ -181,7 +375,7 @@ class PacketTrace:
         """Boolean mask for the requested packet subset."""
         mask = np.ones(len(self), dtype=bool)
         if protocol is not None:
-            mask &= self.protocols == protocol.upper()
+            mask &= self.protocol_mask(protocol)
         if direction is not None:
             mask &= self.directions == int(direction)
         if user_data_only:

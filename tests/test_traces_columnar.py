@@ -1,0 +1,355 @@
+"""Columnar data-plane tests: tie order, sorted fast path, interning,
+bit-for-bit write/read identity, and columnar-vs-record synthesis."""
+
+import gzip
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ftp import FTP_PROTOCOL_TABLE, FtpSessionModel
+from repro.core.fulltel import FullTelModel
+from repro.stream.reader import iter_trace_batches
+from repro.traces import (
+    ConnectionRecord,
+    ConnectionTrace,
+    Direction,
+    PacketRecord,
+    PacketTrace,
+    read_connection_trace,
+    read_packet_trace,
+    write_connection_trace,
+    write_packet_trace,
+)
+from repro.traces.columns import (
+    MAX_PROTOCOLS,
+    PROTOCOL_CODE_DTYPE,
+    concat_packet_batches,
+    decode_protocols,
+    encode_protocols,
+    protocol_code,
+    stable_time_order,
+)
+
+PROTOS = ["TELNET", "FTP", "FTPDATA", "SMTP", "NNTP", "OTHER"]
+
+
+def _conn_trace_equal(a, b):
+    return (np.array_equal(a.start_times, b.start_times)
+            and np.array_equal(a.durations, b.durations)
+            and np.array_equal(a.protocols, b.protocols)
+            and np.array_equal(a.bytes_orig, b.bytes_orig)
+            and np.array_equal(a.bytes_resp, b.bytes_resp)
+            and np.array_equal(a.orig_hosts, b.orig_hosts)
+            and np.array_equal(a.resp_hosts, b.resp_hosts)
+            and np.array_equal(a.session_ids, b.session_ids))
+
+
+def _pkt_trace_equal(a, b):
+    return (np.array_equal(a.timestamps, b.timestamps)
+            and np.array_equal(a.protocols, b.protocols)
+            and np.array_equal(a.connection_ids, b.connection_ids)
+            and np.array_equal(a.directions, b.directions)
+            and np.array_equal(a.sizes, b.sizes)
+            and np.array_equal(a.user_data, b.user_data))
+
+
+class TestTieOrder:
+    """Record-list and from_arrays construction must order duplicate
+    timestamps identically (both sort stably on the time column)."""
+
+    def test_connection_ties_keep_input_order(self):
+        # Three ties at t=1.0 interleaved with ties at t=0.5; the payload
+        # (bytes_orig) tags each record's input position.
+        times = [1.0, 0.5, 1.0, 0.5, 1.0]
+        recs = [
+            ConnectionRecord(t, 1.0, "FTP", i, 0, 0, 0, None)
+            for i, t in enumerate(times)
+        ]
+        via_records = ConnectionTrace("x", recs)
+        via_arrays = ConnectionTrace.from_arrays(
+            "x",
+            start_times=np.array(times),
+            durations=np.ones(5),
+            protocols=np.array(["FTP"] * 5, dtype=object),
+            bytes_orig=np.arange(5),
+        )
+        assert _conn_trace_equal(via_records, via_arrays)
+        assert via_records.bytes_orig.tolist() == [1, 3, 0, 2, 4]
+
+    def test_packet_ties_keep_input_order(self):
+        times = [2.0, 2.0, 1.0, 2.0, 1.0]
+        pkts = [
+            PacketRecord(t, "TELNET", i, Direction.ORIGINATOR, 1, True)
+            for i, t in enumerate(times)
+        ]
+        via_records = PacketTrace("x", pkts)
+        via_arrays = PacketTrace.from_arrays(
+            "x",
+            timestamps=np.array(times),
+            protocols=np.array(["TELNET"] * 5, dtype=object),
+            connection_ids=np.arange(5),
+        )
+        assert _pkt_trace_equal(via_records, via_arrays)
+        assert via_records.connection_ids.tolist() == [2, 4, 0, 1, 3]
+
+    @given(st.lists(st.sampled_from([0.0, 1.0, 2.0]), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_tie_order_property(self, times):
+        """Heavily tied random time columns: both paths agree exactly."""
+        recs = [
+            ConnectionRecord(t, 1.0, "FTP", i, 0, 0, 0, None)
+            for i, t in enumerate(times)
+        ]
+        via_records = ConnectionTrace("x", recs)
+        via_arrays = ConnectionTrace.from_arrays(
+            "x",
+            start_times=np.array(times),
+            durations=np.ones(len(times)),
+            protocols=np.array(["FTP"] * len(times), dtype=object),
+            bytes_orig=np.arange(len(times)),
+        )
+        assert _conn_trace_equal(via_records, via_arrays)
+
+
+class TestSortedFastPath:
+    def test_sorted_returns_none(self):
+        assert stable_time_order(np.array([0.0, 1.0, 1.0, 2.0])) is None
+        assert stable_time_order(np.zeros(0)) is None
+        assert stable_time_order(np.array([5.0])) is None
+
+    def test_unsorted_returns_stable_permutation(self):
+        t = np.array([1.0, 0.0, 1.0, 0.0])
+        order = stable_time_order(t)
+        assert order is not None
+        assert order.tolist() == [1, 3, 0, 2]
+
+    def test_sorted_input_is_not_copied(self):
+        """Already-sorted float64 input skips the argsort gather: the trace
+        stores the caller's array itself."""
+        ts = np.arange(100, dtype=float)
+        trace = PacketTrace.from_arrays("x", timestamps=ts)
+        assert trace.timestamps is ts
+
+    def test_unsorted_input_gets_sorted(self):
+        trace = PacketTrace.from_arrays(
+            "x", timestamps=np.array([3.0, 1.0, 2.0]),
+            sizes=np.array([30, 10, 20]),
+        )
+        assert trace.timestamps.tolist() == [1.0, 2.0, 3.0]
+        assert trace.sizes.tolist() == [10, 20, 30]
+
+
+class TestInterning:
+    def test_codes_and_table(self):
+        codes, table = encode_protocols(
+            np.array(["SMTP", "FTP", "SMTP"], dtype=object)
+        )
+        assert codes.dtype == PROTOCOL_CODE_DTYPE
+        assert table.tolist() == ["FTP", "SMTP"]  # sorted unique
+        assert codes.tolist() == [1, 0, 1]
+        assert decode_protocols(codes, table).tolist() == ["SMTP", "FTP", "SMTP"]
+
+    def test_code_lookup(self):
+        _, table = encode_protocols(np.array(["FTP", "SMTP"], dtype=object))
+        assert protocol_code(table, "SMTP") == 1
+        assert protocol_code(table, "NOPE") == -1
+
+    def test_too_many_protocols_raises(self):
+        names = np.array([f"P{i:03d}" for i in range(MAX_PROTOCOLS + 1)],
+                         dtype=object)
+        with pytest.raises(ValueError, match="int8"):
+            encode_protocols(names)
+
+    def test_mask_matches_string_compare(self):
+        rng = np.random.default_rng(0)
+        protos = np.array(PROTOS, dtype=object)[rng.integers(0, 6, 1000)]
+        trace = ConnectionTrace.from_arrays(
+            "x", start_times=np.arange(1000.0), protocols=protos
+        )
+        for name in PROTOS:
+            assert np.array_equal(trace.protocol_mask(name),
+                                  trace.protocols == name)
+        assert not trace.protocol_mask("ABSENT").any()
+
+    def test_code_column_is_8x_smaller(self):
+        trace = ConnectionTrace.from_arrays(
+            "x", start_times=np.arange(1000.0),
+            protocols=np.array(["TELNET"] * 1000, dtype=object),
+        )
+        object_column_bytes = 1000 * np.dtype(object).itemsize
+        assert trace.protocol_codes.nbytes * 8 <= object_column_bytes
+
+    def test_subset_shares_table(self):
+        trace = ConnectionTrace.from_arrays(
+            "x", start_times=np.arange(10.0),
+            protocols=np.array(PROTOS[:5] * 2, dtype=object),
+        )
+        sub = trace.subset(trace.start_times < 5.0, "sub")
+        assert sub.protocol_table is trace.protocol_table
+        assert np.array_equal(sub.protocols, trace.protocols[:5])
+
+
+def _pkt_strategy():
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=2e9, allow_nan=False,
+                      allow_infinity=False),
+            st.sampled_from(PROTOS),
+            st.integers(min_value=-1, max_value=10**9),
+            st.booleans(),
+            st.integers(min_value=0, max_value=10**6),
+            st.booleans(),
+        ),
+        max_size=30,
+    )
+
+
+def _conn_strategy():
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=2e9, allow_nan=False,
+                      allow_infinity=False),
+            st.floats(min_value=0, max_value=1e6, allow_nan=False,
+                      allow_infinity=False),
+            st.sampled_from(PROTOS),
+            st.integers(min_value=0, max_value=10**12),
+            st.one_of(st.none(), st.integers(min_value=0, max_value=10**6)),
+        ),
+        max_size=30,
+    )
+
+
+class TestWriteReadIdentity:
+    """write ∘ read is the identity, bit for bit, including ``.gz``."""
+
+    @given(rows=_pkt_strategy(), gz=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_packet_identity(self, rows, gz):
+        pkts = [
+            PacketRecord(t, proto, cid,
+                         Direction.RESPONDER if d else Direction.ORIGINATOR,
+                         size, ud)
+            for t, proto, cid, d, size, ud in rows
+        ]
+        ext = "txt.gz" if gz else "txt"
+        with tempfile.TemporaryDirectory() as tmp:
+            first = f"{tmp}/a.{ext}"
+            second = f"{tmp}/b.{ext}"
+            write_packet_trace(PacketTrace("x", pkts), first)
+            back = read_packet_trace(first)
+            write_packet_trace(back, second)
+            raw = (gzip.decompress if gz else bytes)
+            assert (raw(open(first, "rb").read())
+                    == raw(open(second, "rb").read()))
+        again = [back.record(i) for i in range(len(back))]
+        assert sorted(pkts, key=lambda p: p.timestamp) == again
+
+    @given(rows=_conn_strategy(), gz=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_connection_identity(self, rows, gz):
+        recs = [
+            ConnectionRecord(t, d, proto, b, 2 * b, 1, 2, sid)
+            for t, d, proto, b, sid in rows
+        ]
+        ext = "txt.gz" if gz else "txt"
+        with tempfile.TemporaryDirectory() as tmp:
+            first = f"{tmp}/a.{ext}"
+            second = f"{tmp}/b.{ext}"
+            write_connection_trace(ConnectionTrace("x", recs), first)
+            back = read_connection_trace(first)
+            write_connection_trace(back, second)
+            raw = (gzip.decompress if gz else bytes)
+            assert (raw(open(first, "rb").read())
+                    == raw(open(second, "rb").read()))
+        again = [back.record(i) for i in range(len(back))]
+        assert sorted(recs, key=lambda r: r.start_time) == again
+
+    def test_session_id_none_roundtrips(self, tmp_path):
+        recs = [ConnectionRecord(0.0, 1.0, "FTP", 1, 2, 3, 4, None)]
+        path = tmp_path / "c.txt"
+        write_connection_trace(ConnectionTrace("x", recs), path)
+        assert read_connection_trace(path).record(0).session_id is None
+
+
+class TestReadMatchesStreamReader:
+    def _synth(self, n=5000, seed=3):
+        rng = np.random.default_rng(seed)
+        return PacketTrace.from_arrays(
+            "synth",
+            timestamps=np.cumsum(rng.exponential(0.01, n)),
+            protocols=np.array(PROTOS, dtype=object)[rng.integers(0, 6, n)],
+            connection_ids=rng.integers(0, 500, n),
+            directions=rng.integers(0, 2, n).astype(np.int8),
+            sizes=rng.integers(1, 1460, n),
+            user_data=rng.random(n) < 0.5,
+        )
+
+    @pytest.mark.parametrize("ext", ["txt", "txt.gz"])
+    def test_whole_file_read_equals_batched_stream(self, tmp_path, ext):
+        path = tmp_path / f"p.{ext}"
+        write_packet_trace(self._synth(), path)
+        trace = read_packet_trace(path)
+        batch = concat_packet_batches(list(iter_trace_batches(path, "packet")))
+        assert np.array_equal(trace.timestamps, batch.timestamps)
+        assert np.array_equal(trace.protocols, batch.protocols)
+        assert np.array_equal(trace.connection_ids, batch.connection_ids)
+        assert np.array_equal(trace.directions, batch.directions)
+        assert np.array_equal(trace.sizes, batch.sizes)
+        assert np.array_equal(trace.user_data, batch.user_data)
+
+    def test_long_protocol_token_falls_back(self, tmp_path):
+        """Names past the fast path's fixed field width still read exactly
+        (via the width-agnostic batched path)."""
+        long_name = "X" * 80
+        path = tmp_path / "p.txt"
+        path.write_text(
+            "#repro-packets v1\n"
+            f"0.5 {long_name} 1 0 99 1\n"
+            "1.5 TELNET 2 1 10 0\n"
+        )
+        trace = read_packet_trace(path)
+        assert trace.protocols.tolist() == [long_name, "TELNET"]
+        assert trace.sizes.tolist() == [99, 10]
+
+
+class TestColumnarSynthesisEquivalence:
+    """The columnar source paths reproduce the frozen record paths bit for
+    bit on the same RNG streams."""
+
+    def test_ftp_columns_match_record_loop(self):
+        model = FtpSessionModel(sessions_per_hour=120.0)
+        records = model.synthesize(3600.0, seed=11, batch=False)
+        via_records = ConnectionTrace("ftp", records)
+        cols = model.synthesize_columns(3600.0, seed=11)
+        via_columns = ConnectionTrace.from_arrays(
+            "ftp",
+            start_times=cols.start_times,
+            durations=cols.durations,
+            protocols=cols.protocols,
+            bytes_orig=cols.bytes_orig,
+            bytes_resp=cols.bytes_resp,
+            orig_hosts=cols.orig_hosts,
+            resp_hosts=cols.resp_hosts,
+            session_ids=cols.session_ids,
+        )
+        assert len(via_records) > 0
+        assert _conn_trace_equal(via_records, via_columns)
+
+    def test_ftp_synthesize_trace_matches_record_loop(self):
+        model = FtpSessionModel(sessions_per_hour=120.0)
+        direct = model.synthesize_trace(3600.0, seed=7, name="ftp")
+        via_records = ConnectionTrace(
+            "ftp", model.synthesize(3600.0, seed=7, batch=False)
+        )
+        assert _conn_trace_equal(direct, via_records)
+        assert np.array_equal(direct.protocol_table, FTP_PROTOCOL_TABLE)
+
+    def test_fulltel_batch_matches_record_loop(self):
+        model = FullTelModel(connections_per_hour=300.0)
+        batched = model.synthesize(1800.0, seed=5, batch=True)
+        looped = model.synthesize(1800.0, seed=5, batch=False)
+        assert len(batched) > 0
+        assert _pkt_trace_equal(batched, looped)
