@@ -16,6 +16,10 @@ Usage::
     python -m repro stream scan big.txt.gz --jobs 4 --bin-width 0.01
     python -m repro stream scan day1.txt day2.txt.gz   # merged in order
 
+    # flow-level network simulation (repro.flowsim):
+    python -m repro flowsim run --topology line --nodes 10
+    python -m repro flowsim run --workload both --json --out bench/
+
     # live traffic replay & load generation (repro.replay):
     python -m repro replay loopback --packets 100000 --validate
     python -m repro replay loopback --trace big.txt --speed 60 --flows 4
@@ -162,6 +166,58 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--scale", type=_positive_float, default=None,
                        help="traffic intensity multiplier (default: "
                             "auto-calibrated to hit --packets)")
+
+    flowsim = sub.add_parser(
+        "flowsim", help="flow-level network simulation"
+    )
+    flowsim_sub = flowsim.add_subparsers(dest="flowsim_command", required=True)
+    frun = flowsim_sub.add_parser(
+        "run",
+        help="route a synthesized workload over a topology and report "
+             "per-link Hurst estimates",
+        parents=[common],
+    )
+    frun.add_argument("--topology", choices=["line", "star", "dumbbell"],
+                      default="line", help="topology family (default line)")
+    frun.add_argument("--nodes", type=_positive_int, default=10, metavar="N",
+                      help="principal node count (default 10)")
+    frun.add_argument("--duration", type=_positive_float, default=3600.0,
+                      metavar="SECONDS",
+                      help="workload span in seconds (default 3600)")
+    frun.add_argument("--sessions-per-hour", type=_positive_float,
+                      default=4000.0, metavar="RATE",
+                      help="ftp session arrival rate (default 4000)")
+    frun.add_argument("--workload", choices=["ftp", "exponential", "both"],
+                      default="ftp",
+                      help="heavy-tailed ftp, its exponential control, or "
+                           "both back to back (default ftp)")
+    frun.add_argument("--model", choices=["msmo97", "csa00"],
+                      default="msmo97",
+                      help="TCP closure model for responsive flows "
+                           "(default msmo97)")
+    frun.add_argument("--discipline", choices=["fair", "fifo"],
+                      default="fair",
+                      help="link sharing discipline (default fair)")
+    frun.add_argument("--utilization", type=_positive_float, default=0.4,
+                      metavar="RHO",
+                      help="per-link target utilization for capacity "
+                           "calibration (default 0.4)")
+    frun.add_argument("--bin-width", type=_positive_float, default=1.0,
+                      metavar="SECONDS",
+                      help="byte-process bin width for the Hurst battery "
+                           "(default 1.0)")
+    frun.add_argument("--horizon", type=_positive_float, default=None,
+                      metavar="SECONDS",
+                      help="stop the simulation clock early (default: run "
+                           "every flow to completion)")
+    frun.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    frun.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                      help="worker processes for workload synthesis "
+                           "(default 1; outputs independent of N)")
+    frun.add_argument("--json", action="store_true", dest="as_json",
+                      help="print BENCH-shaped run metrics as JSON")
+    frun.add_argument("--out", default=None, metavar="DIR",
+                      help="write BENCH_flowsim_run.json into DIR")
 
     replay = sub.add_parser(
         "replay", help="live traffic replay & load generation"
@@ -367,6 +423,49 @@ def _write_bench_json(payload: dict, out_dir: str, name: str) -> str:
     return path
 
 
+def _flowsim_command(args) -> int:
+    import time
+
+    from repro.flowsim.scenario import FlowScenario
+
+    workloads = (
+        ["ftp", "exponential"] if args.workload == "both"
+        else [args.workload]
+    )
+    payload: dict = {"scenarios": {}}
+    renders = []
+    for workload in workloads:
+        scenario = FlowScenario(
+            topology=args.topology,
+            n_nodes=args.nodes,
+            duration=args.duration,
+            sessions_per_hour=args.sessions_per_hour,
+            workload=workload,
+            model=args.model,
+            discipline=args.discipline,
+            utilization=args.utilization,
+            bin_width=args.bin_width,
+        )
+        t0 = time.perf_counter()
+        out = scenario.run(seed=args.seed, jobs=args.jobs,
+                           horizon=args.horizon)
+        elapsed = time.perf_counter() - t0
+        summary = out.summary()
+        summary["wall_time_s"] = elapsed
+        summary["flows_per_second"] = out.result.n_flows / elapsed
+        payload["scenarios"][workload] = summary
+        renders.append(out.render()
+                       + f"\n  [{elapsed:.2f}s wall, "
+                         f"{summary['flows_per_second']:,.0f} flows/s]")
+    if args.out:
+        _write_bench_json(payload, args.out, "BENCH_flowsim_run.json")
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print("\n\n".join(renders))
+    return 0
+
+
 def _build_replay_source(args):
     """``--trace PATH`` (streamed from disk) or ``--packets N --model M``."""
     from repro.replay import model_help, synthesize_packets
@@ -545,6 +644,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.command == "stream":
         return _stream_command(args)
+    if args.command == "flowsim":
+        return _flowsim_command(args)
     if args.command == "replay":
         return _replay_command(args)
     if args.command == "list":

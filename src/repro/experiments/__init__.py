@@ -22,6 +22,7 @@ from repro.experiments.implications import (
     udp_competition,
 )
 from repro.experiments.fig02 import fig02
+from repro.experiments.flowsim_exp import flowsim
 from repro.experiments.sessions import weathermap, x11_sessions
 from repro.experiments.telnet_scales import telnet_scales
 from repro.experiments.fig03 import fig03
@@ -61,6 +62,7 @@ REGISTRY = {
     "appendix_d": appendix_d,
     "appendix_e": appendix_e,
     "delay": delay_experiment,
+    "flowsim": flowsim,
     "mgk": mgk_comparison,
     "priority": priority_starvation,
     "tcp_dynamics": tcp_dynamics,

@@ -1,0 +1,44 @@
+"""Flow-level network simulation (fluid flows over a routed topology).
+
+Where :mod:`repro.tcp` simulates every packet through one bottleneck,
+:mod:`repro.flowsim` simulates every *flow* through a whole topology:
+flows open from the columnar sources, claim bandwidth along their static
+shortest path, and close via closed-form TCP models — so 10^5+ sessions
+cross a multi-hop network in seconds, and every link exports its count
+process straight into the self-similarity battery.
+"""
+
+from repro.flowsim.scenario import FlowScenario, run_scenario
+from repro.flowsim.simulator import (
+    FlowSimResult,
+    FlowSimulator,
+    FlowTable,
+    LinkStats,
+)
+from repro.flowsim.tcpmodels import MODELS, Csa00, Msmo97, UdpCbr, resolve_model
+from repro.flowsim.topology import (
+    Link,
+    Topology,
+    dumbbell_topology,
+    line_topology,
+    star_topology,
+)
+
+__all__ = [
+    "Csa00",
+    "FlowScenario",
+    "FlowSimResult",
+    "FlowSimulator",
+    "FlowTable",
+    "Link",
+    "LinkStats",
+    "MODELS",
+    "Msmo97",
+    "Topology",
+    "UdpCbr",
+    "dumbbell_topology",
+    "line_topology",
+    "resolve_model",
+    "run_scenario",
+    "star_topology",
+]

@@ -1,0 +1,580 @@
+"""Discrete-event flow-level network simulation.
+
+The unit of simulation is a *flow* (one ftp/telnet transfer), not a
+packet.  A flow opens at its arrival time, is routed over the static
+shortest path, claims bandwidth on every link of its route, and closes at
+the time its closure model predicts — so a run's cost is O(flows), and
+10^5+ sessions cross a multi-hop topology in seconds.
+
+Two service disciplines:
+
+* ``"fair"`` (default) — fluid fair sharing: at admission a responsive
+  flow's rate is ``min(model rate, min over path links of
+  capacity / (active + 1))``, held for the flow's lifetime (the same
+  admission-time discipline as the `fs` simulator: departures do not
+  trigger re-sharing, the closed-form TCP model closes the flow).
+  Unresponsive (UDP) flows keep their model rate regardless of shares.
+* ``"fifo"`` — store-and-forward whole-flow service: each link serves one
+  flow at a time in arrival order, so a single-link topology reduces
+  *exactly* to Lindley's recursion (``queueing.fifo_queue``) with service
+  times ``size / capacity`` — the degenerate-topology equivalence the
+  tests pin.
+
+The event core is a heapq with deterministic tie-breaking (time, then
+event kind — closes free bandwidth before same-instant opens claim it —
+then FIFO insertion order), the same discipline as
+:mod:`repro.tcp.network`.  Every link exports its transmission record as
+arrays (:class:`LinkStats`): exact byte-count processes for the
+variance-time / R-S / Hurst battery, and per-flow completion events for
+the :mod:`repro.stream.sketches` accumulators.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.flowsim.tcpmodels import resolve_model
+from repro.flowsim.topology import Link, Topology
+from repro.selfsim.counts import CountProcess
+from repro.utils.binning import bin_edges
+from repro.utils.validation import require_positive
+
+
+# ----------------------------------------------------------------------
+# Flow input
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlowTable:
+    """Columnar flow workload: parallel arrays, one row per flow.
+
+    Built zero-copy from the columnar sources: ``start_times`` and
+    ``sizes`` may be views of a :class:`ConnectionBatch`'s columns.
+    ``model_ids`` indexes into ``models`` (per-flow closure selection).
+    """
+
+    start_times: np.ndarray  # seconds
+    sizes: np.ndarray  # bytes
+    src: np.ndarray  # node ids
+    dst: np.ndarray  # node ids
+    models: tuple = ("msmo97",)
+    model_ids: np.ndarray | None = None  # per-flow index into models
+
+    def __post_init__(self):
+        n = len(self.start_times)
+        for name in ("sizes", "src", "dst"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} must have length {n}")
+        if self.model_ids is not None and len(self.model_ids) != n:
+            raise ValueError(f"model_ids must have length {n}")
+        object.__setattr__(
+            self, "models", tuple(resolve_model(m) for m in self.models)
+        )
+
+    def __len__(self) -> int:
+        return len(self.start_times)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(cls, start_times, sizes, src, dst,
+                    model="msmo97") -> "FlowTable":
+        """One-model flow table from plain arrays."""
+        return cls(
+            start_times=np.asarray(start_times, dtype=float),
+            sizes=np.asarray(sizes, dtype=float),
+            src=np.asarray(src, dtype=np.int64),
+            dst=np.asarray(dst, dtype=np.int64),
+            models=(model,),
+        )
+
+    @classmethod
+    def from_connections(
+        cls,
+        connections,
+        topology: Topology,
+        protocols: tuple[str, ...] = ("FTPDATA",),
+        model="msmo97",
+    ) -> "FlowTable":
+        """Flows from a columnar connection container, zero-copy.
+
+        ``connections`` is a :class:`~repro.traces.columns.ConnectionBatch`
+        or :class:`~repro.traces.trace.ConnectionTrace`: rows matching
+        ``protocols`` become flows whose bytes are ``bytes_orig +
+        bytes_resp``.  Hosts map onto topology nodes by modulo; a
+        same-node pair shifts its destination to the next node, so every
+        flow traverses at least one link.
+        """
+        names = np.asarray(connections.protocols, dtype=object)
+        mask = np.isin(names, np.asarray(protocols, dtype=object))
+        n_nodes = topology.n_nodes
+        src = np.asarray(connections.orig_hosts)[mask] % n_nodes
+        dst = np.asarray(connections.resp_hosts)[mask] % n_nodes
+        dst = np.where(dst == src, (dst + 1) % n_nodes, dst)
+        sizes = (np.asarray(connections.bytes_orig)[mask]
+                 + np.asarray(connections.bytes_resp)[mask]).astype(float)
+        return cls(
+            start_times=np.asarray(connections.start_times)[mask],
+            sizes=np.maximum(sizes, 1.0),
+            src=src.astype(np.int64),
+            dst=dst.astype(np.int64),
+            models=(model,),
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-link export
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinkStats:
+    """One link's transmission record, exported as arrays.
+
+    ``transfer_starts/ends/rates`` describe the fluid occupation windows:
+    flow ``flow_indices[k]`` transmitted through this link at
+    ``transfer_rates[k]`` bytes/s over ``[transfer_starts[k],
+    transfer_ends[k]]`` (propagation-shifted by its upstream hops).  In
+    FIFO discipline the windows are the store-and-forward service slots
+    and ``departure_times`` additionally holds the discrete whole-flow
+    departure instants.
+    """
+
+    link: Link
+    flow_indices: np.ndarray
+    transfer_starts: np.ndarray
+    transfer_ends: np.ndarray
+    transfer_rates: np.ndarray
+    departure_times: np.ndarray | None = None  # fifo discipline only
+
+    @property
+    def n_flows(self) -> int:
+        return int(self.flow_indices.size)
+
+    def bytes_transferred(self, until: float | None = None) -> float:
+        """Exact bytes through the link (optionally clipped at ``until``)."""
+        if until is None:
+            dt = self.transfer_ends - self.transfer_starts
+        else:
+            dt = np.clip(until, self.transfer_starts, self.transfer_ends) \
+                - self.transfer_starts
+        return float((self.transfer_rates * dt).sum())
+
+    # ------------------------------------------------------------------
+    def byte_process(
+        self,
+        bin_width: float,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> CountProcess:
+        """The link's output byte-count process, integrated exactly.
+
+        The aggregate transmission rate is a step function (flows start
+        and stop); its integral — cumulative bytes — is piecewise linear,
+        so evaluating it at the bin edges (one ``np.interp``) gives every
+        bin's byte count with no per-packet events at all.  The result
+        feeds straight into the variance-time / R-S / Hurst battery via
+        :class:`~repro.selfsim.counts.CountProcess`.
+        """
+        require_positive(bin_width, "bin_width")
+        if end is None:
+            end = float(self.transfer_ends.max()) if self.n_flows else start
+        edges = bin_edges(start, end, bin_width)
+        if self.n_flows == 0:
+            return CountProcess(np.zeros(max(len(edges) - 1, 0)), bin_width)
+        times = np.concatenate([self.transfer_starts, self.transfer_ends])
+        deltas = np.concatenate([self.transfer_rates, -self.transfer_rates])
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        rate_after = np.cumsum(deltas[order])
+        rate_before = np.concatenate([[0.0], rate_after[:-1]])
+        cum_bytes = np.concatenate(
+            [[0.0], np.cumsum(rate_before[1:] * np.diff(times))]
+        )
+        at_edges = np.interp(edges, times, cum_bytes,
+                             left=0.0, right=float(cum_bytes[-1]))
+        return CountProcess(np.diff(at_edges), bin_width)
+
+    def packet_process(
+        self,
+        bin_width: float,
+        mss: float = 1460.0,
+        start: float = 0.0,
+        end: float | None = None,
+    ) -> CountProcess:
+        """The byte process expressed in MSS-sized packets per bin."""
+        proc = self.byte_process(bin_width, start=start, end=end)
+        return CountProcess(proc.counts / mss, bin_width)
+
+    def departure_process(self, bin_width: float,
+                          end: float | None = None) -> CountProcess:
+        """Discrete flow-departure counts (FIFO discipline only)."""
+        if self.departure_times is None:
+            raise ValueError(
+                "departure_process requires the fifo discipline; "
+                "use byte_process for fluid fair-share runs"
+            )
+        return CountProcess.from_times(
+            self.departure_times, bin_width, start=0.0, end=end
+        )
+
+    # ------------------------------------------------------------------
+    def completion_ladder(self, bin_width: float, end: float | None = None):
+        """Byte-weighted flow-completion events in a mergeable
+        :class:`~repro.stream.sketches.CountLadder` (weighted mode): the
+        stream-side accumulator for always-on per-link estimation."""
+        from repro.stream.sketches import CountLadder
+
+        ladder = CountLadder(bin_width, start=0.0, end=end, weighted=True)
+        if self.n_flows:
+            bytes_per_flow = self.transfer_rates * (
+                self.transfer_ends - self.transfer_starts
+            )
+            ladder.update(self.transfer_ends, bytes_per_flow)
+        return ladder
+
+    def size_topk(self, k: int = 64):
+        """Largest per-flow byte totals through this link, as a mergeable
+        :class:`~repro.stream.sketches.TopK` tail sketch."""
+        from repro.stream.sketches import TopK
+
+        sketch = TopK(k)
+        if self.n_flows:
+            sketch.update(self.transfer_rates
+                          * (self.transfer_ends - self.transfer_starts))
+        return sketch
+
+
+# ----------------------------------------------------------------------
+# Simulation result
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlowSimResult:
+    """Everything observable from one run, columnar."""
+
+    topology: Topology
+    flows: FlowTable  # in simulation (start-time-sorted) order
+    order: np.ndarray  # original row -> simulated row permutation
+    rates: np.ndarray  # effective transfer rate per flow (bytes/s)
+    fair_shares: np.ndarray  # admission-time fair share per flow
+    close_times: np.ndarray  # last byte arrives at the destination (nan: open)
+    waits: np.ndarray  # store-and-forward queueing wait (fifo; zeros in fair)
+    completed: np.ndarray  # closed before the horizon
+    path_ids: np.ndarray
+    paths: tuple[tuple[int, ...], ...]
+    rtts: np.ndarray
+    losses: np.ndarray
+    links: list[LinkStats] = field(default_factory=list)
+    horizon: float | None = None
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    @property
+    def n_completed(self) -> int:
+        return int(self.completed.sum())
+
+    @property
+    def durations(self) -> np.ndarray:
+        """Flow completion times minus arrival times (nan while open)."""
+        return self.close_times - self.flows.start_times
+
+    def bytes_offered(self) -> float:
+        return float(np.asarray(self.flows.sizes, dtype=float).sum())
+
+    def link(self, index: int) -> LinkStats:
+        return self.links[index]
+
+
+# ----------------------------------------------------------------------
+# Simulator
+# ----------------------------------------------------------------------
+class FlowSimulator:
+    """Flow-level simulator over a :class:`Topology`.
+
+    Parameters
+    ----------
+    topology:
+        The routed network.  Routes, RTTs, and end-to-end loss are
+        computed once per distinct (src, dst) pair.
+    discipline:
+        ``"fair"`` (fluid fair share, default) or ``"fifo"``
+        (store-and-forward whole-flow service).
+    """
+
+    def __init__(self, topology: Topology, discipline: str = "fair"):
+        if discipline not in ("fair", "fifo"):
+            raise ValueError(f"unknown discipline {discipline!r}")
+        self.topology = topology
+        self.discipline = discipline
+
+    # ------------------------------------------------------------------
+    def run(self, flows: FlowTable,
+            horizon: float | None = None) -> FlowSimResult:
+        """Simulate every flow (or stop the clock at ``horizon``).
+
+        Flows are processed in start-time order (stable sort).  With a
+        horizon, events past it never execute: still-open flows report
+        ``nan`` close times and ``completed=False``, and the per-link
+        exports clip exactly at the horizon when asked to.
+        """
+        if len(flows) == 0:
+            raise ValueError("no flows to simulate")
+        order = np.argsort(np.asarray(flows.start_times, dtype=float),
+                           kind="stable")
+        table = FlowTable(
+            start_times=np.asarray(flows.start_times, dtype=float)[order],
+            sizes=np.asarray(flows.sizes, dtype=float)[order],
+            src=np.asarray(flows.src, dtype=np.int64)[order],
+            dst=np.asarray(flows.dst, dtype=np.int64)[order],
+            models=flows.models,
+            model_ids=(None if flows.model_ids is None
+                       else np.asarray(flows.model_ids)[order]),
+        )
+        path_ids, paths, rtts, losses = self._route(table)
+        model_rates, latencies, responsive = self._close_flows(
+            table, rtts, losses
+        )
+        if self.discipline == "fair":
+            return self._run_fair(table, order, path_ids, paths, rtts,
+                                  losses, model_rates, latencies,
+                                  responsive, horizon)
+        return self._run_fifo(table, order, path_ids, paths, rtts, losses,
+                              horizon)
+
+    # ------------------------------------------------------------------
+    def _route(self, table: FlowTable):
+        """Vectorized routing: one path lookup per distinct (src, dst)."""
+        n = self.topology.n_nodes
+        pair_codes = table.src * n + table.dst
+        unique_codes, path_ids = np.unique(pair_codes, return_inverse=True)
+        paths = tuple(
+            self.topology.path(int(code // n), int(code % n))
+            for code in unique_codes
+        )
+        pair_rtt = np.array([self.topology.path_rtt(p) for p in paths])
+        pair_loss = np.array([self.topology.path_loss(p) for p in paths])
+        return path_ids, paths, pair_rtt[path_ids], pair_loss[path_ids]
+
+    def _close_flows(self, table: FlowTable, rtts, losses):
+        """Vectorized closure-model evaluation, grouped by model."""
+        n = len(table)
+        ids = (np.zeros(n, dtype=np.int64) if table.model_ids is None
+               else np.asarray(table.model_ids, dtype=np.int64))
+        if ids.size and (ids.min() < 0 or ids.max() >= len(table.models)):
+            raise ValueError("model_ids index outside the models tuple")
+        rates = np.empty(n)
+        latencies = np.empty(n)
+        responsive = np.empty(n, dtype=bool)
+        for mid, model in enumerate(table.models):
+            sel = ids == mid
+            if not np.any(sel):
+                continue
+            r, lat = model(table.sizes[sel], rtts[sel], losses[sel])
+            rates[sel] = r
+            latencies[sel] = np.broadcast_to(lat, r.shape)
+            responsive[sel] = getattr(model, "responsive", True)
+        return rates, latencies, responsive
+
+    # ------------------------------------------------------------------
+    def _run_fair(self, table, order, path_ids, paths, rtts, losses,
+                  model_rates, latencies, responsive, horizon):
+        n = len(table)
+        links = self.topology.links
+        caps = [link.capacity for link in links]
+        active = [0] * len(links)
+        path_links = [tuple(p) for p in paths]
+
+        starts = table.start_times
+        sizes = table.sizes
+        eff_rate = np.full(n, np.nan)
+        fair_share = np.full(n, np.nan)
+        t_data = np.full(n, np.nan)  # transmission begins (post-latency)
+        close_tx = np.full(n, np.nan)  # last byte leaves the source
+        completed = np.zeros(n, dtype=bool)
+        opened = np.zeros(n, dtype=bool)
+
+        path_delay = [sum(links[li].delay for li in p) for p in path_links]
+        closes: list[tuple[float, int]] = []  # (sender close time, flow)
+        i = 0
+        while i < n or closes:
+            if closes and (i >= n or closes[0][0] <= starts[i]):
+                t, j = heapq.heappop(closes)
+                if horizon is not None and t > horizon:
+                    break
+                for li in path_links[path_ids[j]]:
+                    active[li] -= 1
+                completed[j] = True
+                continue
+            t = starts[i]
+            if horizon is not None and t > horizon:
+                break
+            p = path_links[path_ids[i]]
+            share = min(caps[li] / (active[li] + 1) for li in p)
+            rate = min(model_rates[i], share) if responsive[i] \
+                else model_rates[i]
+            for li in p:
+                active[li] += 1
+            fair_share[i] = share
+            eff_rate[i] = rate
+            t_data[i] = t + latencies[i]
+            close_tx[i] = t_data[i] + sizes[i] / rate
+            opened[i] = True
+            heapq.heappush(closes, (close_tx[i], i))
+            i += 1
+
+        close_times = close_tx + np.array(
+            [path_delay[pid] for pid in path_ids]
+        )
+        close_times[~completed] = np.nan
+        link_stats = self._fair_link_stats(
+            table, path_ids, path_links, opened, t_data, close_tx, eff_rate
+        )
+        return FlowSimResult(
+            topology=self.topology,
+            flows=table,
+            order=order,
+            rates=eff_rate,
+            fair_shares=fair_share,
+            close_times=close_times,
+            waits=np.zeros(n),
+            completed=completed,
+            path_ids=path_ids,
+            paths=tuple(path_links),
+            rtts=rtts,
+            losses=losses,
+            links=link_stats,
+            horizon=horizon,
+        )
+
+    def _fair_link_stats(self, table, path_ids, path_links, opened,
+                         t_data, close_tx, eff_rate):
+        """Scatter the per-flow transfer windows onto links, vectorized
+        per distinct path (windows shift by cumulative upstream delay)."""
+        links = self.topology.links
+        per_link: list[list[np.ndarray]] = [[] for _ in links]
+        per_link_idx: list[list[np.ndarray]] = [[] for _ in links]
+        per_link_off: list[list[float]] = [[] for _ in links]
+        flow_idx = np.arange(len(table))
+        for pid, path in enumerate(path_links):
+            sel = (path_ids == pid) & opened
+            if not np.any(sel):
+                continue
+            rows = flow_idx[sel]
+            offset = 0.0
+            for li in path:
+                per_link[li].append(rows)
+                per_link_off[li].append(offset)
+                offset += links[li].delay
+        stats = []
+        for li, link in enumerate(links):
+            if per_link[li]:
+                rows = np.concatenate(per_link[li])
+                offs = np.concatenate([
+                    np.full(r.size, off)
+                    for r, off in zip(per_link[li], per_link_off[li])
+                ])
+                sort = np.argsort(t_data[rows] + offs, kind="stable")
+                rows, offs = rows[sort], offs[sort]
+                stats.append(LinkStats(
+                    link=link,
+                    flow_indices=rows,
+                    transfer_starts=t_data[rows] + offs,
+                    transfer_ends=close_tx[rows] + offs,
+                    transfer_rates=eff_rate[rows],
+                ))
+            else:
+                empty = np.zeros(0)
+                stats.append(LinkStats(
+                    link=link,
+                    flow_indices=np.zeros(0, dtype=np.int64),
+                    transfer_starts=empty,
+                    transfer_ends=empty,
+                    transfer_rates=empty,
+                ))
+        return stats
+
+    # ------------------------------------------------------------------
+    def _run_fifo(self, table, order, path_ids, paths, rtts, losses,
+                  horizon):
+        n = len(table)
+        links = self.topology.links
+        path_links = [tuple(p) for p in paths]
+        busy_until = [0.0] * len(links)
+        starts = table.start_times
+        sizes = table.sizes
+
+        waits = np.zeros(n)
+        close_times = np.full(n, np.nan)
+        completed = np.zeros(n, dtype=bool)
+        lk_idx: list[list[int]] = [[] for _ in links]
+        lk_begin: list[list[float]] = [[] for _ in links]
+        lk_depart: list[list[float]] = [[] for _ in links]
+
+        # (time, seq, flow, hop): seq preserves FIFO order among ties.
+        hops: list[tuple[float, int, int, int]] = []
+        seq = 0
+        i = 0
+
+        def service(j: int, hop: int, arrive: float) -> None:
+            nonlocal seq
+            li = path_links[path_ids[j]][hop]
+            begin = max(arrive, busy_until[li])
+            depart = begin + sizes[j] / links[li].capacity
+            busy_until[li] = depart
+            waits[j] += begin - arrive
+            lk_idx[li].append(j)
+            lk_begin[li].append(begin)
+            lk_depart[li].append(depart)
+            path = path_links[path_ids[j]]
+            arrive_next = depart + links[li].delay
+            if hop + 1 < len(path):
+                heapq.heappush(hops, (arrive_next, seq, j, hop + 1))
+                seq += 1
+            else:
+                close_times[j] = arrive_next
+                completed[j] = True
+
+        while i < n or hops:
+            if hops and (i >= n or hops[0][0] <= starts[i]):
+                t, _, j, hop = heapq.heappop(hops)
+                if horizon is not None and t > horizon:
+                    break
+                service(j, hop, t)
+                continue
+            t = starts[i]
+            if horizon is not None and t > horizon:
+                break
+            service(i, 0, t)
+            i += 1
+
+        stats = []
+        for li, link in enumerate(links):
+            idx = np.asarray(lk_idx[li], dtype=np.int64)
+            begin = np.asarray(lk_begin[li])
+            depart = np.asarray(lk_depart[li])
+            stats.append(LinkStats(
+                link=link,
+                flow_indices=idx,
+                transfer_starts=begin,
+                transfer_ends=depart,
+                transfer_rates=np.full(idx.size, link.capacity),
+                departure_times=depart,
+            ))
+        return FlowSimResult(
+            topology=self.topology,
+            flows=table,
+            order=order,
+            rates=np.where(np.isnan(close_times), np.nan,
+                           sizes / np.maximum(close_times - starts, 1e-12)),
+            fair_shares=np.full(n, np.nan),
+            close_times=close_times,
+            waits=waits,
+            completed=completed,
+            path_ids=path_ids,
+            paths=tuple(path_links),
+            rtts=rtts,
+            losses=losses,
+            links=stats,
+            horizon=horizon,
+        )

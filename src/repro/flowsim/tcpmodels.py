@@ -1,0 +1,208 @@
+"""Closed-form TCP throughput/latency models that close flows analytically.
+
+Flow-level simulation replaces per-packet dynamics with a *closure model*:
+given a flow's size, round-trip time, and end-to-end loss probability, the
+model predicts the steady-state transfer rate and the fixed latency
+overhead (handshake, slow-start ramp).  Millions of ftp/telnet transfers
+then traverse a multi-hop network in seconds instead of packet-level
+hours, while the heavy-tailed size distribution — the paper's actual
+driver of long-range dependence — still shapes every link's output.
+
+Three models, selectable per flow:
+
+* :class:`Msmo97` — the Mathis/Semke/Mahdavi/Ott "sqrt-loss" law:
+  ``rate = (MSS / RTT) * sqrt(3 / (2p))``, receiver-window capped.
+* :class:`Csa00` — Cardwell, Savage & Anderson (INFOCOM 2000), the
+  short-flow refinement of PFTK98: expected handshake, initial slow-start
+  ramp, slow-start loss cost, and congestion-avoidance tail, so small
+  transfers (most of them, under heavy-tailed sizes) are not charged the
+  steady-state rate they never reach.
+* :class:`UdpCbr` — an unresponsive constant-bit-rate source for
+  cross-traffic: it neither backs off on loss nor shares down to a link
+  fair share (Section VII-C-2's "the UDP traffic will continue
+  unimpeded").
+
+All models are vectorized over numpy arrays and deterministic (the csa00
+initial window is pinned rather than drawn), so a simulation is exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+#: Numerical guards: the closed forms divide by ``p`` and ``1 - 2p``;
+#: clamping keeps the p -> 0 limit (window-limited rate) and avoids the
+#: p >= 1/2 handshake singularity without changing any realistic regime.
+_P_FLOOR = 1e-8
+_P_CEIL = 0.45
+
+
+def _clamped(loss) -> np.ndarray:
+    p = np.asarray(loss, dtype=float)
+    if np.any(p < 0.0) or np.any(p >= 1.0):
+        raise ValueError("loss probabilities must lie in [0, 1)")
+    return np.clip(p, _P_FLOOR, _P_CEIL)
+
+
+@dataclass(frozen=True)
+class Msmo97:
+    """Mathis et al. (1997) sqrt-loss steady-state throughput.
+
+    ``rate = (mss / rtt) * sqrt(3 / (2 b p))`` bytes/second, capped at the
+    receiver-window rate ``max_window * mss / rtt``; the latency term is
+    the connection handshake (one RTT).  ``b`` is the number of packets
+    acknowledged per ACK (2 under delayed ACKs).
+    """
+
+    mss: float = 1460.0
+    max_window: float = 64.0  # receiver window, packets
+    b: float = 1.0
+    responsive: bool = True
+    name: str = "msmo97"
+
+    def __post_init__(self):
+        require_positive(self.mss, "mss")
+        require_positive(self.max_window, "max_window")
+        require_positive(self.b, "b")
+
+    def __call__(self, sizes, rtt, loss):
+        rtt = np.asarray(rtt, dtype=float)
+        p = _clamped(loss)
+        sqrt_rate = (self.mss / rtt) * np.sqrt(1.5 / (self.b * p))
+        window_rate = self.max_window * self.mss / rtt
+        rates = np.minimum(sqrt_rate, window_rate)
+        return rates, np.broadcast_to(rtt, rates.shape).copy()
+
+
+@dataclass(frozen=True)
+class Csa00:
+    """Cardwell-Savage-Anderson (INFOCOM 2000) short-flow latency model.
+
+    Expected transfer time = handshake + initial slow start + slow-start
+    loss cost + congestion-avoidance remainder + delayed-ACK tail, with
+    the congestion-avoidance rate from PFTK98 (W(p) window law and the
+    ``min(1, 3/w)`` timeout-probability approximation).  The model's
+    effective rate is ``size / expected_data_time``; the handshake is
+    reported as latency.  Deterministic: ``initial_window`` is pinned
+    instead of drawn at random.
+    """
+
+    mss: float = 1460.0
+    rwnd: float = 65535.0  # receiver window, bytes
+    initial_window: float = 2.0  # segments, pinned (csa00 draws 1-3)
+    gamma: float = 1.5  # slow-start growth per RTT under delayed ACKs
+    b: float = 2.0  # packets per ACK
+    syn_timeout: float = 3.0
+    delack: float = 0.1
+    responsive: bool = True
+    name: str = "csa00"
+
+    def __post_init__(self):
+        require_positive(self.mss, "mss")
+        require_positive(self.rwnd, "rwnd")
+        require_positive(self.gamma - 1.0, "gamma - 1")
+
+    def __call__(self, sizes, rtt, loss):
+        sizes = np.asarray(sizes, dtype=float)
+        rtt = np.broadcast_to(np.asarray(rtt, dtype=float), sizes.shape)
+        p = np.broadcast_to(_clamped(loss), sizes.shape)
+        mss, w1, gamma, b = self.mss, self.initial_window, self.gamma, self.b
+        wmax = self.rwnd / mss
+        q = 1.0 - p
+
+        # Expected handshake time (csa00 eq. 4), forward/reverse loss equal.
+        elh = rtt + self.syn_timeout * (2.0 * q / (1.0 - 2.0 * p) - 2.0)
+
+        # Segments, and the expected number sent in initial slow start
+        # (eq. 5), capped at the transfer length.
+        d = np.maximum(np.ceil(sizes / mss), 1.0)
+        edss = np.minimum(np.floor((1.0 - q**d) * q / p + 1.0), d)
+
+        # Window at the end of slow start (eq. 11) and the ramp time
+        # (eq. 15), window-limited when the ramp would exceed rwnd.
+        ewss = edss * (gamma - 1.0) / gamma + w1 / gamma
+        log_g = np.log(gamma)
+        limited = ewss > wmax
+        etss_free = rtt * np.log(edss * (gamma - 1.0) / w1 + 1.0) / log_g
+        etss_lim = rtt * (
+            np.log(np.maximum(wmax / w1, 1.0)) / log_g
+            + 1.0
+            + (edss - (gamma * wmax - w1) / (gamma - 1.0)) / wmax
+        )
+        etss = np.where(limited, etss_lim, etss_free)
+
+        # Cost of a slow-start loss (eqs. 16-20): probability the transfer
+        # sees a loss, times timeout-vs-fast-recovery expected penalty.
+        lss = 1.0 - q**d
+        to = 2.0 * rtt
+        g_p = 1.0 + p + 2.0 * p**2 + 4.0 * p**3 + 8.0 * p**4 \
+            + 16.0 * p**5 + 32.0 * p**6
+        ezto = g_p * to / q
+        q_ss = np.minimum(1.0, 3.0 / np.maximum(ewss, 1.0))
+        etloss = lss * (q_ss * ezto + (1.0 - q_ss) * rtt)
+
+        # Congestion-avoidance remainder at the PFTK98 rate (eqs. 21-24).
+        edca = np.maximum(d - edss, 0.0)
+        wp = (2.0 + b) / (3.0 * b) + np.sqrt(
+            8.0 * q / (3.0 * b * p) + ((2.0 + b) / (3.0 * b)) ** 2
+        )
+        q_wp = np.minimum(1.0, 3.0 / np.maximum(wp, 1.0))
+        q_wm = np.minimum(1.0, 3.0 / np.maximum(wmax, 1.0))
+        r_free = (q / p + wp / 2.0 + q_wp) / (
+            rtt * (b / 2.0 * wp + 1.0) + q_wp * g_p * to / q
+        )
+        r_lim = (q / p + wmax / 2.0 + q_wm) / (
+            rtt * (b / 8.0 * wmax + q / (p * wmax) + 2.0)
+            + q_wm * g_p * to / q
+        )
+        rate_ca = np.where(wp < wmax, r_free, r_lim)  # packets/second
+        etca = edca / rate_ca
+
+        duration = etss + etloss + etca + self.delack
+        rates = sizes / np.maximum(duration, 1e-12)
+        return rates, elh
+
+
+@dataclass(frozen=True)
+class UdpCbr:
+    """Unresponsive constant-bit-rate cross-traffic.
+
+    Sends at ``rate`` bytes/second regardless of loss or link occupancy:
+    the simulator neither caps it to a fair share nor backs it off — it
+    consumes capacity that the responsive flows then share around.
+    """
+
+    rate: float = 1.25e5  # 1 Mbit/s
+    responsive: bool = False
+    name: str = "udp"
+
+    def __post_init__(self):
+        require_positive(self.rate, "rate")
+
+    def __call__(self, sizes, rtt, loss):
+        sizes = np.asarray(sizes, dtype=float)
+        rates = np.full(sizes.shape, self.rate)
+        return rates, np.zeros(sizes.shape)
+
+
+#: Registry of model constructors by name (CLI / scenario selection).
+MODELS = {"msmo97": Msmo97, "csa00": Csa00, "udp": UdpCbr}
+
+
+def resolve_model(spec):
+    """A model instance from a name, a constructor, or an instance."""
+    if isinstance(spec, str):
+        try:
+            return MODELS[spec]()
+        except KeyError:
+            raise KeyError(
+                f"unknown TCP model {spec!r}; known: {sorted(MODELS)}"
+            ) from None
+    if callable(spec):
+        return spec() if isinstance(spec, type) else spec
+    raise TypeError(f"cannot resolve TCP model from {spec!r}")

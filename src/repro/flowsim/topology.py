@@ -1,0 +1,204 @@
+"""Network topologies for the flow-level simulator.
+
+A :class:`Topology` is a set of integer nodes joined by directed
+capacitated :class:`Link` s.  Routing is *static* shortest-path (Dijkstra
+over propagation delay, deterministic tie-breaking: nodes are settled in
+ascending id order among equal distances, and a path is only replaced by a
+strictly shorter one), computed once and cached — the regime the paper's
+wide-area traces lived in, and the discipline that keeps a simulation
+byte-reproducible across runs and worker counts.
+
+Capacities are bytes/second; delays are one-way propagation seconds; the
+per-link ``loss`` is the packet-loss probability the closed-form TCP
+models (:mod:`repro.flowsim.tcpmodels`) see on that hop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed capacitated edge."""
+
+    index: int
+    src: int
+    dst: int
+    capacity: float  # bytes/second
+    delay: float  # one-way propagation, seconds
+    loss: float = 0.0  # packet loss probability on this hop
+
+    def __post_init__(self):
+        require_positive(self.capacity, "capacity")
+        require_nonnegative(self.delay, "delay")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must lie in [0, 1), got {self.loss}")
+
+
+class Topology:
+    """Nodes, links, and cached static shortest-path routes."""
+
+    def __init__(self, n_nodes: int):
+        if n_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self.links: list[Link] = []
+        self._out: list[list[int]] = [[] for _ in range(self.n_nodes)]
+        self._paths: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def add_link(
+        self,
+        src: int,
+        dst: int,
+        capacity: float,
+        delay: float = 0.01,
+        loss: float = 0.0,
+        bidirectional: bool = True,
+    ) -> list[int]:
+        """Add a link (by default one in each direction); returns indices."""
+        if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
+            raise ValueError(f"nodes must lie in [0, {self.n_nodes})")
+        if src == dst:
+            raise ValueError("self-loops are not allowed")
+        indices = []
+        ends = [(src, dst), (dst, src)] if bidirectional else [(src, dst)]
+        for u, v in ends:
+            link = Link(index=len(self.links), src=u, dst=v,
+                        capacity=capacity, delay=delay, loss=loss)
+            self.links.append(link)
+            self._out[u].append(link.index)
+            indices.append(link.index)
+        self._paths.clear()  # routes are stale once the graph changes
+        return indices
+
+    @property
+    def n_links(self) -> int:
+        return len(self.links)
+
+    def set_capacities(self, capacities) -> None:
+        """Replace every link's capacity (e.g. after load calibration)."""
+        caps = np.asarray(capacities, dtype=float)
+        if caps.size != self.n_links:
+            raise ValueError(
+                f"need {self.n_links} capacities, got {caps.size}"
+            )
+        self.links = [
+            Link(index=l.index, src=l.src, dst=l.dst, capacity=float(c),
+                 delay=l.delay, loss=l.loss)
+            for l, c in zip(self.links, caps)
+        ]
+
+    # ------------------------------------------------------------------
+    def path(self, src: int, dst: int) -> tuple[int, ...]:
+        """Link indices of the static shortest-delay route src -> dst."""
+        if src == dst:
+            raise ValueError("src and dst must differ")
+        key = (src, dst)
+        if key not in self._paths:
+            self._route_from(src)
+        path = self._paths.get(key)
+        if path is None:
+            raise ValueError(f"no route from node {src} to node {dst}")
+        return path
+
+    def _route_from(self, src: int) -> None:
+        """Dijkstra from ``src``; ties settle in ascending node id order."""
+        dist = np.full(self.n_nodes, np.inf)
+        dist[src] = 0.0
+        via: list[int | None] = [None] * self.n_nodes  # arriving link index
+        prev = np.full(self.n_nodes, -1, dtype=np.int64)
+        done = np.zeros(self.n_nodes, dtype=bool)
+        heap: list[tuple[float, int]] = [(0.0, src)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if done[u]:
+                continue
+            done[u] = True
+            for li in self._out[u]:
+                link = self.links[li]
+                nd = d + link.delay
+                if nd < dist[link.dst]:  # strict: first-found route wins ties
+                    dist[link.dst] = nd
+                    via[link.dst] = li
+                    prev[link.dst] = u
+                    heapq.heappush(heap, (nd, link.dst))
+        for dst in range(self.n_nodes):
+            if dst == src or via[dst] is None:
+                continue
+            hops = []
+            node = dst
+            while node != src:
+                hops.append(via[node])
+                node = int(prev[node])
+            self._paths[(src, dst)] = tuple(reversed(hops))
+
+    # ------------------------------------------------------------------
+    def path_rtt(self, path: tuple[int, ...], min_rtt: float = 0.001) -> float:
+        """Two-way propagation along a route (floored at ``min_rtt``)."""
+        return max(2.0 * sum(self.links[li].delay for li in path), min_rtt)
+
+    def path_loss(self, path: tuple[int, ...]) -> float:
+        """End-to-end loss probability: 1 - prod(1 - per-hop loss)."""
+        keep = 1.0
+        for li in path:
+            keep *= 1.0 - self.links[li].loss
+        return 1.0 - keep
+
+    def __repr__(self):
+        return f"Topology(n_nodes={self.n_nodes}, n_links={self.n_links})"
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+def line_topology(
+    n_nodes: int,
+    capacity: float = 1.25e6,
+    delay: float = 0.005,
+    loss: float = 0.01,
+) -> Topology:
+    """A chain 0 - 1 - ... - n-1 (the multi-hop "parking lot" backbone)."""
+    topo = Topology(n_nodes)
+    for i in range(n_nodes - 1):
+        topo.add_link(i, i + 1, capacity, delay=delay, loss=loss)
+    return topo
+
+
+def star_topology(
+    n_leaves: int,
+    capacity: float = 1.25e6,
+    delay: float = 0.005,
+    loss: float = 0.01,
+) -> Topology:
+    """Leaves 1..n around a hub node 0 — every route crosses the hub."""
+    topo = Topology(n_leaves + 1)
+    for leaf in range(1, n_leaves + 1):
+        topo.add_link(0, leaf, capacity, delay=delay, loss=loss)
+    return topo
+
+
+def dumbbell_topology(
+    n_left: int,
+    n_right: int,
+    access_capacity: float = 1.25e6,
+    bottleneck_capacity: float = 2.5e6,
+    delay: float = 0.005,
+    loss: float = 0.01,
+) -> Topology:
+    """Left leaves -> router 0 -> router 1 -> right leaves: one shared
+    bottleneck, the Section VII topology generalized to flow level."""
+    topo = Topology(n_left + n_right + 2)
+    topo.add_link(0, 1, bottleneck_capacity, delay=delay, loss=loss)
+    for i in range(n_left):
+        topo.add_link(2 + i, 0, access_capacity, delay=delay, loss=loss)
+    for j in range(n_right):
+        topo.add_link(1, 2 + n_left + j, access_capacity, delay=delay,
+                      loss=loss)
+    return topo

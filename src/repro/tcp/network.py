@@ -63,10 +63,30 @@ class TransferResult:
     cwnd_trace: list[tuple[float, float]] = field(default_factory=list)
 
     @property
+    def packets_delivered(self) -> int:
+        """Packets that departed the bottleneck (retransmissions included).
+
+        For a completed transfer this is >= ``spec.n_packets``; for a
+        horizon-truncated run it counts the partial progress that
+        :attr:`throughput` previously discarded.
+        """
+        return len(self.departure_times)
+
+    @property
     def throughput(self) -> float:
-        """Delivered packets per second over the transfer's lifetime."""
-        if self.completion_time is None or not self.departure_times:
+        """Delivered packets per second.
+
+        Completed transfers use the paper-faithful definition: all
+        ``n_packets`` over start-to-completion.  Horizon-truncated
+        transfers (``completion_time is None``) fall back to delivered
+        packets over the observed span (start to last departure), so
+        partial progress is not reported as 0.0.
+        """
+        if not self.departure_times:
             return 0.0
+        if self.completion_time is None:
+            span = max(self.departure_times) - self.spec.start_time
+            return self.packets_delivered / span if span > 0 else float("inf")
         span = self.completion_time - self.spec.start_time
         return self.spec.n_packets / span if span > 0 else float("inf")
 

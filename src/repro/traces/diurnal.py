@@ -19,6 +19,8 @@ the piecewise-constant rates for :func:`repro.arrivals.piecewise_poisson`.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 _OFFICE_HOURS = np.array(
@@ -66,29 +68,67 @@ _PROFILES: dict[tuple[str, str], np.ndarray] = {
 }
 
 
-def hourly_profile(protocol: str, site: str = "west") -> np.ndarray:
+#: Site labels with defined semantics ("west" = LBL-like, "east" =
+#: Bellcore-like).  Anything else is a typo, not a site.
+KNOWN_SITES = ("west", "east")
+
+
+def hourly_profile(
+    protocol: str, site: str = "west", *, strict: bool = False
+) -> np.ndarray:
     """Unit-mean 24-hour rate multipliers for a protocol at a site.
 
     ``site`` is "west" (LBL-like) or "east" (Bellcore-like); only SMTP
-    differs between the two, per the paper's time-zone observation.
+    differs between the two, per the paper's time-zone observation, so a
+    *known* protocol at "east" silently shares the west profile.
+
+    Unknown inputs are no longer silent: a protocol with no profile (e.g.
+    the typo ``"TELENT"``) returns a flat all-ones profile with a
+    ``UserWarning``, and an unknown site falls back to "west" with a
+    ``UserWarning`` — either would otherwise flatten or skew Fig. 1's
+    inputs without a trace.  ``strict=True`` raises ``KeyError`` instead.
     """
+    if site not in KNOWN_SITES:
+        if strict:
+            raise KeyError(
+                f"unknown site {site!r}; known sites: {KNOWN_SITES}"
+            )
+        warnings.warn(
+            f"unknown site {site!r}: falling back to 'west' "
+            f"(known sites: {KNOWN_SITES})",
+            stacklevel=2,
+        )
+        site = "west"
     key = (protocol.upper(), site)
     profile = _PROFILES.get(key)
     if profile is None:
         profile = _PROFILES.get((protocol.upper(), "west"))
     if profile is None:
+        known = sorted({proto for proto, _ in _PROFILES})
+        if strict:
+            raise KeyError(
+                f"unknown protocol {protocol!r}; known protocols: {known}"
+            )
+        warnings.warn(
+            f"unknown protocol {protocol!r}: returning a flat all-ones "
+            f"profile (known protocols: {known})",
+            stacklevel=2,
+        )
         profile = np.ones(24)
     return profile / profile.mean()
 
 
-def hourly_fractions(protocol: str, site: str = "west") -> np.ndarray:
+def hourly_fractions(
+    protocol: str, site: str = "west", *, strict: bool = False
+) -> np.ndarray:
     """Fraction of a day's connections in each hour — Fig. 1's y-axis."""
-    p = hourly_profile(protocol, site)
+    p = hourly_profile(protocol, site, strict=strict)
     return p / p.sum()
 
 
 def hourly_rates(
-    protocol: str, mean_rate: float, n_hours: int, site: str = "west"
+    protocol: str, mean_rate: float, n_hours: int, site: str = "west",
+    *, strict: bool = False,
 ) -> np.ndarray:
     """Per-hour arrival rates for ``n_hours`` hours at ``mean_rate``
     events/second on average, tiling the diurnal profile across days."""
@@ -96,6 +136,6 @@ def hourly_rates(
         raise ValueError(f"mean_rate must be >= 0, got {mean_rate}")
     if n_hours < 0:
         raise ValueError(f"n_hours must be >= 0, got {n_hours}")
-    profile = hourly_profile(protocol, site)
+    profile = hourly_profile(protocol, site, strict=strict)
     tiled = np.tile(profile, int(np.ceil(n_hours / 24.0)))[:n_hours]
     return mean_rate * tiled

@@ -1,0 +1,412 @@
+"""Flow-level simulator: topology, closure models, conservation, FIFO."""
+
+import numpy as np
+import pytest
+
+from repro.flowsim import (
+    Csa00,
+    FlowScenario,
+    FlowSimulator,
+    FlowTable,
+    Msmo97,
+    Topology,
+    UdpCbr,
+    dumbbell_topology,
+    line_topology,
+    resolve_model,
+    run_scenario,
+    star_topology,
+)
+from repro.queueing import fifo_queue
+
+
+def _table(n, span, topo_nodes, seed=0, sizes=None):
+    rng = np.random.default_rng(seed)
+    starts = np.sort(rng.uniform(0.0, span, n))
+    if sizes is None:
+        sizes = (rng.pareto(1.1, n) + 1.0) * 20_000.0
+    src = rng.integers(0, topo_nodes, n)
+    dst = (src + rng.integers(1, topo_nodes, n)) % topo_nodes
+    return FlowTable.from_arrays(starts, sizes, src, dst)
+
+
+class TestTopology:
+    def test_line_routes_are_concatenated_hops(self):
+        topo = line_topology(5, delay=0.01)
+        path = topo.path(0, 4)
+        assert len(path) == 4
+        assert [topo.links[li].src for li in path] == [0, 1, 2, 3]
+        assert topo.path_rtt(path) == pytest.approx(2 * 4 * 0.01)
+
+    def test_reverse_direction_exists(self):
+        topo = line_topology(3)
+        back = topo.path(2, 0)
+        assert [topo.links[li].dst for li in back] == [1, 0]
+
+    def test_star_routes_cross_hub(self):
+        topo = star_topology(4)
+        path = topo.path(1, 3)
+        assert len(path) == 2
+        assert topo.links[path[0]].dst == 0
+
+    def test_dumbbell_crosses_bottleneck(self):
+        topo = dumbbell_topology(2, 2)
+        path = topo.path(2, 4)  # left leaf -> right leaf
+        mids = {(topo.links[li].src, topo.links[li].dst) for li in path}
+        assert (0, 1) in mids
+
+    def test_no_route_raises(self):
+        topo = Topology(3)
+        topo.add_link(0, 1, 1e6)
+        with pytest.raises(ValueError, match="no route"):
+            topo.path(0, 2)
+
+    def test_path_loss_composes(self):
+        topo = line_topology(3, loss=0.1)
+        assert topo.path_loss(topo.path(0, 2)) == pytest.approx(
+            1 - 0.9 * 0.9
+        )
+
+    def test_routing_is_deterministic_under_ties(self):
+        # Two equal-delay routes 0->3: via 1 and via 2.  The settled
+        # order is ascending node id, so the route through 1 wins.
+        topo = Topology(4)
+        topo.add_link(0, 1, 1e6, delay=0.01)
+        topo.add_link(0, 2, 1e6, delay=0.01)
+        topo.add_link(1, 3, 1e6, delay=0.01)
+        topo.add_link(2, 3, 1e6, delay=0.01)
+        path = topo.path(0, 3)
+        assert topo.links[path[0]].dst == 1
+
+    def test_set_capacities_rebuilds_links(self):
+        topo = line_topology(3)
+        topo.set_capacities(np.arange(1, topo.n_links + 1) * 1e5)
+        assert topo.links[2].capacity == pytest.approx(3e5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Topology(1)
+        topo = Topology(2)
+        with pytest.raises(ValueError):
+            topo.add_link(0, 0, 1e6)
+        with pytest.raises(ValueError):
+            topo.add_link(0, 5, 1e6)
+
+
+class TestTcpModels:
+    def test_msmo97_scales_with_inverse_sqrt_loss(self):
+        m = Msmo97(max_window=1e9)
+        r1, _ = m(np.array([1e6]), 0.1, np.array([0.01]))
+        r2, _ = m(np.array([1e6]), 0.1, np.array([0.04]))
+        assert r1[0] == pytest.approx(2 * r2[0])
+
+    def test_msmo97_window_cap_binds_at_low_loss(self):
+        m = Msmo97(max_window=64.0)
+        rates, lat = m(np.array([1e6]), 0.1, np.array([0.0]))
+        assert rates[0] == pytest.approx(64.0 * 1460.0 / 0.1)
+        assert lat[0] == pytest.approx(0.1)
+
+    def test_csa00_short_flows_slower_than_steady_state(self):
+        # A 2-segment flow cannot reach the msmo97 steady-state rate.
+        c, m = Csa00(), Msmo97()
+        small, _ = c(np.array([2 * 1460.0]), 0.1, np.array([0.02]))
+        steady, _ = m(np.array([2 * 1460.0]), 0.1, np.array([0.02]))
+        assert small[0] < steady[0]
+
+    def test_csa00_rate_increases_with_size(self):
+        c = Csa00()
+        sizes = np.array([1460.0, 1460.0 * 32, 1460.0 * 1024])
+        rates, _ = c(sizes, 0.1, np.full(3, 0.02))
+        assert np.all(np.diff(rates) > 0)
+
+    def test_csa00_latency_grows_with_loss(self):
+        c = Csa00()
+        _, lat_lo = c(np.array([1e5]), 0.1, np.array([0.001]))
+        _, lat_hi = c(np.array([1e5]), 0.1, np.array([0.2]))
+        assert lat_hi[0] > lat_lo[0]
+
+    def test_udp_ignores_loss(self):
+        u = UdpCbr(rate=5e4)
+        rates, lat = u(np.array([1e6, 1e3]), 0.1, np.array([0.0, 0.5]))
+        assert np.all(rates == 5e4)
+        assert np.all(lat == 0.0)
+        assert not u.responsive
+
+    def test_resolve_model(self):
+        assert isinstance(resolve_model("csa00"), Csa00)
+        assert isinstance(resolve_model(Msmo97), Msmo97)
+        inst = UdpCbr(rate=1.0)
+        assert resolve_model(inst) is inst
+        with pytest.raises(KeyError):
+            resolve_model("nope")
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            Msmo97()(np.array([1e3]), 0.1, np.array([1.0]))
+
+
+class TestFlowTable:
+    def test_from_connections_filters_protocols(self):
+        from repro.core.ftp import FtpSessionModel
+
+        topo = line_topology(4)
+        batch = FtpSessionModel(sessions_per_hour=300.0).synthesize_columns(
+            1800.0, seed=5
+        )
+        flows = FlowTable.from_connections(batch, topo)
+        n_data = int(np.sum(np.asarray(batch.protocols) == "FTPDATA"))
+        assert len(flows) == n_data
+        assert np.all(flows.src != flows.dst)
+        assert np.all(flows.sizes >= 1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FlowTable(
+                start_times=np.zeros(3),
+                sizes=np.ones(2),
+                src=np.zeros(3, dtype=int),
+                dst=np.ones(3, dtype=int),
+            )
+
+
+class TestConservation:
+    """Bytes in == bytes out, per link, exactly."""
+
+    def test_bytes_conserved_on_every_link_fair(self):
+        topo = line_topology(4, loss=0.01)
+        flows = _table(5000, 600.0, 4, seed=1)
+        res = FlowSimulator(topo, "fair").run(flows)
+        assert res.n_completed == len(flows)
+        # each link carries exactly the bytes of the flows routed over it
+        for li, stats in enumerate(res.links):
+            expected = float(res.flows.sizes[stats.flow_indices].sum())
+            assert stats.bytes_transferred() == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_bytes_conserved_on_every_link_fifo(self):
+        topo = line_topology(4, loss=0.01)
+        flows = _table(2000, 600.0, 4, seed=2)
+        res = FlowSimulator(topo, "fifo").run(flows)
+        for stats in res.links:
+            expected = float(res.flows.sizes[stats.flow_indices].sum())
+            assert stats.bytes_transferred() == pytest.approx(
+                expected, rel=1e-9
+            )
+
+    def test_flow_count_conserved_along_paths(self):
+        topo = line_topology(5)
+        flows = _table(3000, 300.0, 5, seed=3)
+        res = FlowSimulator(topo, "fair").run(flows)
+        # every flow appears on every link of its path, nowhere else
+        per_link = np.zeros(topo.n_links, dtype=int)
+        for pid, path in enumerate(res.paths):
+            n_on_path = int(np.sum(res.path_ids == pid))
+            for li in path:
+                per_link[li] += n_on_path
+        assert [s.n_flows for s in res.links] == per_link.tolist()
+
+    def test_byte_process_integrates_to_link_bytes(self):
+        topo = line_topology(3)
+        flows = _table(1000, 200.0, 3, seed=4)
+        res = FlowSimulator(topo, "fair").run(flows)
+        stats = res.links[0]
+        end = float(stats.transfer_ends.max()) + 1.0
+        proc = stats.byte_process(0.5, start=0.0, end=end)
+        assert proc.total == pytest.approx(
+            stats.bytes_transferred(), rel=1e-9
+        )
+
+    def test_horizon_clips_byte_process_exactly(self):
+        topo = line_topology(3)
+        flows = _table(1000, 200.0, 3, seed=5)
+        res = FlowSimulator(topo, "fair").run(flows, horizon=100.0)
+        stats = res.links[0]
+        proc = stats.byte_process(1.0, start=0.0, end=100.0)
+        assert proc.total == pytest.approx(
+            stats.bytes_transferred(until=100.0), rel=1e-9
+        )
+        assert not res.completed.all()
+        assert np.isnan(res.close_times[~res.completed]).all()
+
+
+class TestFifoDegenerate:
+    """A single-link FIFO topology IS Lindley's recursion."""
+
+    def test_single_link_matches_fifo_queue(self):
+        rng = np.random.default_rng(11)
+        n = 4000
+        capacity = 1e6
+        starts = np.sort(rng.uniform(0.0, 60.0, n))
+        sizes = rng.exponential(30_000.0, n)
+        topo = Topology(2)
+        topo.add_link(0, 1, capacity, delay=0.0, bidirectional=False)
+        flows = FlowTable.from_arrays(
+            starts, sizes, np.zeros(n, int), np.ones(n, int)
+        )
+        res = FlowSimulator(topo, "fifo").run(flows)
+        ref = fifo_queue(starts, sizes / capacity)
+        assert np.allclose(res.waits, ref.waiting_times)
+        assert np.allclose(
+            res.close_times, starts + ref.sojourn_times
+        )
+        # departure process: counts of whole-flow service completions
+        proc = res.links[0].departure_process(
+            1.0, end=float(res.close_times.max()) + 1.0
+        )
+        assert proc.total == n
+
+    def test_fifo_departures_ordered_per_link(self):
+        topo = line_topology(3)
+        flows = _table(500, 50.0, 3, seed=6)
+        res = FlowSimulator(topo, "fifo").run(flows)
+        for stats in res.links:
+            if stats.n_flows > 1:
+                assert np.all(np.diff(stats.departure_times) >= 0)
+
+    def test_departure_process_requires_fifo(self):
+        topo = line_topology(3)
+        flows = _table(100, 10.0, 3, seed=7)
+        res = FlowSimulator(topo, "fair").run(flows)
+        with pytest.raises(ValueError, match="fifo"):
+            res.links[0].departure_process(1.0)
+
+
+class TestFairDiscipline:
+    def test_lone_flow_gets_model_rate(self):
+        topo = line_topology(3, capacity=1e9, loss=0.02)
+        flows = FlowTable.from_arrays(
+            np.array([0.0]), np.array([1e6]), np.array([0]), np.array([2])
+        )
+        res = FlowSimulator(topo, "fair").run(flows)
+        model = Msmo97()
+        expected, _ = model(
+            np.array([1e6]), np.array([res.rtts[0]]),
+            np.array([res.losses[0]])
+        )
+        assert res.rates[0] == pytest.approx(expected[0])
+
+    def test_simultaneous_flows_share_capacity(self):
+        # Two flows opening together on a tight link: the second sees
+        # the first as active and gets at most capacity / 2.
+        topo = Topology(2)
+        topo.add_link(0, 1, 1e4, delay=0.0, loss=0.0, bidirectional=False)
+        flows = FlowTable.from_arrays(
+            np.array([0.0, 0.0]), np.array([1e6, 1e6]),
+            np.array([0, 0]), np.array([1, 1]),
+        )
+        res = FlowSimulator(topo, "fair").run(flows)
+        assert res.fair_shares[0] == pytest.approx(1e4)
+        assert res.fair_shares[1] == pytest.approx(5e3)
+
+    def test_close_frees_capacity_before_same_instant_open(self):
+        topo = Topology(2)
+        topo.add_link(0, 1, 1e4, delay=0.0, loss=0.0, bidirectional=False)
+        # flow 0 closes exactly at t=1.0 (rate 1e4, 1e4 bytes, zero
+        # latency via udp model); flow 1 opens at t=1.0 and must see an
+        # empty link.
+        flows = FlowTable(
+            start_times=np.array([0.0, 1.0]),
+            sizes=np.array([1e4, 1e4]),
+            src=np.array([0, 0]),
+            dst=np.array([1, 1]),
+            models=(UdpCbr(rate=1e4), Msmo97()),
+            model_ids=np.array([0, 1]),
+        )
+        res = FlowSimulator(topo, "fair").run(flows)
+        assert res.fair_shares[1] == pytest.approx(1e4)
+
+    def test_unresponsive_flows_keep_model_rate(self):
+        topo = Topology(2)
+        topo.add_link(0, 1, 1e4, delay=0.0, bidirectional=False)
+        flows = FlowTable(
+            start_times=np.array([0.0, 0.1]),
+            sizes=np.array([1e5, 1e5]),
+            src=np.array([0, 0]),
+            dst=np.array([1, 1]),
+            models=(UdpCbr(rate=8e3),),
+            model_ids=np.array([0, 0]),
+        )
+        res = FlowSimulator(topo, "fair").run(flows)
+        assert np.allclose(res.rates, 8e3)  # not shared down
+
+    def test_deterministic_across_runs(self):
+        topo = line_topology(4, loss=0.01)
+        flows = _table(2000, 120.0, 4, seed=8)
+        a = FlowSimulator(topo, "fair").run(flows)
+        b = FlowSimulator(topo, "fair").run(flows)
+        assert np.array_equal(a.close_times, b.close_times)
+        assert np.array_equal(a.rates, b.rates)
+
+    def test_unknown_discipline_rejected(self):
+        with pytest.raises(ValueError, match="discipline"):
+            FlowSimulator(line_topology(3), "weighted")
+
+    def test_empty_flow_table_rejected(self):
+        topo = line_topology(3)
+        empty = FlowTable.from_arrays(
+            np.zeros(0), np.zeros(0), np.zeros(0, int), np.zeros(0, int)
+        )
+        with pytest.raises(ValueError, match="no flows"):
+            FlowSimulator(topo).run(empty)
+
+
+class TestSketchExports:
+    def test_completion_ladder_totals_link_bytes(self):
+        topo = line_topology(3)
+        flows = _table(500, 60.0, 3, seed=9)
+        res = FlowSimulator(topo, "fair").run(flows)
+        stats = res.links[0]
+        ladder = stats.completion_ladder(
+            1.0, end=float(stats.transfer_ends.max()) + 1.0
+        )
+        assert ladder.finalize().sum() == pytest.approx(
+            stats.bytes_transferred(), rel=1e-9
+        )
+
+    def test_size_topk_matches_largest_flows(self):
+        topo = line_topology(3)
+        flows = _table(500, 60.0, 3, seed=10)
+        res = FlowSimulator(topo, "fair").run(flows)
+        stats = res.links[0]
+        top = stats.size_topk(5).values
+        sizes = res.flows.sizes[stats.flow_indices]
+        assert np.allclose(np.sort(top), np.sort(sizes)[-5:])
+
+
+class TestScenario:
+    def test_heavy_tail_elevates_hurst_control_does_not(self):
+        ftp = FlowScenario(
+            topology="line", n_nodes=6, duration=1800.0,
+            sessions_per_hour=1500.0, workload="ftp",
+        ).run(seed=11)
+        ctl = FlowScenario(
+            topology="line", n_nodes=6, duration=1800.0,
+            sessions_per_hour=1500.0, workload="exponential",
+        ).run(seed=11)
+        assert ftp.link_hurst and ctl.link_hurst
+        assert min(ftp.link_hurst.values()) > 0.6
+        assert ftp.mean_hurst > 0.7
+        assert abs(ctl.mean_hurst - 0.5) < 0.12
+        assert ftp.mean_hurst > ctl.mean_hurst + 0.15
+
+    def test_run_scenario_overrides_and_render(self):
+        out = run_scenario(
+            topology="star", n_nodes=5, duration=600.0,
+            sessions_per_hour=400.0,
+        )
+        text = out.render()
+        assert "star" in text and "flows" in text
+        summary = out.summary()
+        assert summary["n_flows"] == out.result.n_flows
+
+    def test_unknown_workload_and_topology_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            FlowScenario(workload="cbr")
+        with pytest.raises(KeyError, match="unknown topology"):
+            FlowScenario(topology="torus").run(seed=0)
+
+    def test_experiment_entry_point(self):
+        from repro.experiments import REGISTRY
+
+        assert "flowsim" in REGISTRY

@@ -72,6 +72,23 @@ class TestConcentrationCurve:
         c = concentration_curve(sizes)
         assert c.share_at(0.1) == pytest.approx(top_fraction_share(sizes, 0.1), abs=0.01)
 
+    def test_matches_top_fraction_share_below_one_item(self):
+        """Regression: for fraction < 1/n the curve used to interpolate
+        from the (0, 0) anchor — reporting ~10x less than the ceil
+        convention of ``top_fraction_share`` at the paper's 0.5% tail."""
+        sizes = np.concatenate([[1e6], np.ones(149)])  # n = 150 < 1/0.005
+        c = concentration_curve(sizes)
+        exact = top_fraction_share(sizes, 0.005)
+        assert c.share_at(0.005) == pytest.approx(exact)
+        assert c.share_at(0.005) > 0.99  # the giant item's full share
+
+    @given(st.floats(min_value=1e-4, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_share_at_always_matches_top_fraction_share(self, f):
+        sizes = Pareto(1.0, 1.2).sample(173, seed=6)
+        c = concentration_curve(sizes)
+        assert c.share_at(f) == pytest.approx(top_fraction_share(sizes, f))
+
 
 class TestExponentialTopShare:
     def test_paper_anchor(self):

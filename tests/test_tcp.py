@@ -159,6 +159,38 @@ class TestBottleneckSimulator:
         assert res.departure_times.max() <= 10.0
         assert res.transfers[0].completion_time is None
 
+    def test_truncated_run_reports_partial_progress(self):
+        """Regression: a horizon-truncated transfer used to report
+        throughput 0.0 despite delivering packets for the whole window."""
+        sim = BottleneckSimulator(rate=100.0, buffer_packets=16)
+        res = sim.run([TransferSpec(0.0, 10**6, rtt=0.1)], horizon=10.0)
+        t = res.transfers[0]
+        assert t.completion_time is None
+        assert t.packets_delivered > 0
+        assert t.packets_delivered == len(t.departure_times)
+        span = max(t.departure_times) - t.spec.start_time
+        assert t.throughput == pytest.approx(t.packets_delivered / span)
+        # delivered over the observed span tracks the bottleneck rate
+        assert t.throughput == pytest.approx(100.0, rel=0.25)
+
+    def test_completed_run_throughput_unchanged(self):
+        """The paper-faithful definition still applies to completed
+        transfers: all n_packets over start-to-completion."""
+        sim = BottleneckSimulator(rate=300.0, buffer_packets=10)
+        res = sim.run([TransferSpec(0.0, 500, rtt=0.1, max_window=48)])
+        t = res.transfers[0]
+        assert t.completion_time is not None
+        assert t.packets_delivered >= 500  # retransmissions included
+        span = t.completion_time - t.spec.start_time
+        assert t.throughput == pytest.approx(500 / span)
+
+    def test_zero_deliveries_zero_throughput(self):
+        sim = BottleneckSimulator(rate=100.0, buffer_packets=16)
+        res = sim.run([TransferSpec(5.0, 100, rtt=0.1)], horizon=1.0)
+        t = res.transfers[0]
+        assert t.packets_delivered == 0
+        assert t.throughput == 0.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             BottleneckSimulator(rate=0.0)

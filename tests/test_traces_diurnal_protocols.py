@@ -69,12 +69,41 @@ class TestDiurnalProfiles:
         west, east = hourly_profile("SMTP", "west"), hourly_profile("SMTP", "east")
         assert int(np.argmax(west)) < int(np.argmax(east))
 
-    def test_unknown_protocol_flat(self):
-        assert np.allclose(hourly_profile("OTHER"), 1.0)
+    def test_unknown_protocol_flat_with_warning(self):
+        with pytest.warns(UserWarning, match="unknown protocol 'OTHER'"):
+            assert np.allclose(hourly_profile("OTHER"), 1.0)
 
     def test_east_falls_back_to_west(self):
+        # known protocol at a known site: silent by design (only SMTP
+        # differs between coasts)
         assert np.allclose(hourly_profile("TELNET", "east"),
                            hourly_profile("TELNET", "west"))
+
+    def test_protocol_typo_warns_and_strict_raises(self):
+        """Regression: the typo 'TELENT' used to silently flatten the
+        diurnal cycle out of every downstream synthesis."""
+        with pytest.warns(UserWarning, match="TELENT"):
+            flat = hourly_profile("TELENT")
+        assert np.allclose(flat, 1.0)
+        with pytest.raises(KeyError, match="TELENT"):
+            hourly_profile("TELENT", strict=True)
+
+    def test_site_typo_warns_and_strict_raises(self):
+        with pytest.warns(UserWarning, match="unknown site 'wset'"):
+            p = hourly_profile("SMTP", "wset")
+        assert np.allclose(p, hourly_profile("SMTP", "west"))
+        with pytest.raises(KeyError, match="wset"):
+            hourly_profile("SMTP", "wset", strict=True)
+
+    def test_known_inputs_never_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            hourly_profile("TELNET")
+            hourly_profile("SMTP", "east")
+            hourly_fractions("FTP", strict=True)
+            hourly_rates("NNTP", 1.0, 24, strict=True)
 
 
 class TestHourlyRates:
