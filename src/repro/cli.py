@@ -20,6 +20,10 @@ Usage::
     python -m repro flowsim run --topology line --nodes 10
     python -m repro flowsim run --workload both --json --out bench/
 
+    # always-on online estimation (repro.monitor):
+    python -m repro monitor run --source pareto --window 60
+    python -m repro monitor run --source hurst-step --duration 600 --json
+
     # live traffic replay & load generation (repro.replay):
     python -m repro replay loopback --packets 100000 --validate
     python -m repro replay loopback --trace big.txt --speed 60 --flows 4
@@ -218,6 +222,52 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print BENCH-shaped run metrics as JSON")
     frun.add_argument("--out", default=None, metavar="DIR",
                       help="write BENCH_flowsim_run.json into DIR")
+
+    monitor = sub.add_parser(
+        "monitor", help="always-on online estimation service"
+    )
+    monitor_sub = monitor.add_subparsers(dest="monitor_command",
+                                         required=True)
+    mrun = monitor_sub.add_parser(
+        "run",
+        help="stream a synthetic scenario or a trace file through the "
+             "sliding-window Hurst/tail/change-point monitor",
+        parents=[common],
+    )
+    mrun.add_argument(
+        "--source", default="pareto", metavar="NAME|PATH",
+        help="scenario (poisson, pareto, hurst-step, markov-onoff, "
+             "diurnal-ramp) or a v1/gz trace file path (default pareto)")
+    mrun.add_argument("--window", type=_positive_float, default=60.0,
+                      metavar="SECONDS",
+                      help="sliding-window span (default 60)")
+    mrun.add_argument("--bin-width", type=_positive_float, default=0.05,
+                      metavar="SECONDS",
+                      help="count-ladder bin width (default 0.05)")
+    mrun.add_argument("--snapshot-every", type=_positive_float, default=2.0,
+                      metavar="SECONDS",
+                      help="stream seconds between snapshots (default 2)")
+    mrun.add_argument("--rate-tick", type=_positive_float, default=0.5,
+                      metavar="SECONDS",
+                      help="rate-series sample spacing for the "
+                           "change-point detectors (default 0.5)")
+    mrun.add_argument("--duration", type=_positive_float, default=400.0,
+                      metavar="SECONDS",
+                      help="synthetic scenario span (default 400; ignored "
+                           "for trace files)")
+    mrun.add_argument("--rate", type=_positive_float, default=50.0,
+                      metavar="EVENTS_PER_S",
+                      help="synthetic scenario mean rate (default 50)")
+    mrun.add_argument("--batch-seconds", type=_positive_float, default=1.0,
+                      metavar="SECONDS",
+                      help="scenario feed granularity, one observe() per "
+                           "batch (default 1)")
+    mrun.add_argument("--seed", type=int, default=0,
+                      help="scenario RNG seed")
+    mrun.add_argument("--json", action="store_true", dest="as_json",
+                      help="print BENCH-shaped monitor metrics as JSON")
+    mrun.add_argument("--out", default=None, metavar="DIR",
+                      help="write BENCH_monitor.json into DIR")
 
     replay = sub.add_parser(
         "replay", help="live traffic replay & load generation"
@@ -466,6 +516,65 @@ def _flowsim_command(args) -> int:
     return 0
 
 
+#: Named synthetic scenarios for ``repro monitor run --source``.
+MONITOR_SCENARIOS = ("poisson", "pareto", "hurst-step", "markov-onoff",
+                     "diurnal-ramp")
+
+
+def _monitor_command(args) -> int:
+    from repro.monitor import (
+        MonitorConfig,
+        MonitorService,
+        diurnal_ramp_stream,
+        hurst_step_stream,
+        iter_batches,
+        markov_onoff_stream,
+        pareto_stream,
+        poisson_stream,
+    )
+
+    config = MonitorConfig(
+        window=args.window,
+        bin_width=args.bin_width,
+        snapshot_every=args.snapshot_every,
+        rate_tick=args.rate_tick,
+    )
+    service = MonitorService(config)
+    source = args.source
+    if source in MONITOR_SCENARIOS:
+        duration, rate, seed = args.duration, args.rate, args.seed
+        times = {
+            "poisson": lambda: poisson_stream(duration, rate, seed=seed),
+            "pareto": lambda: pareto_stream(duration, rate, seed=seed),
+            "hurst-step": lambda: hurst_step_stream(
+                duration, rate, duration / 2.0, seed=seed),
+            "markov-onoff": lambda: markov_onoff_stream(
+                duration, rate * 4.0, seed=seed),
+            "diurnal-ramp": lambda: diurnal_ramp_stream(
+                duration, rate, seed=seed),
+        }[source]()
+        for batch in iter_batches(times, args.batch_seconds):
+            service.observe(batch)
+        report = service.finalize()
+    else:
+        import os
+
+        if not os.path.exists(source):
+            raise SystemExit(
+                f"--source must be one of {', '.join(MONITOR_SCENARIOS)} "
+                f"or an existing trace file, got {source!r}")
+        report = service.run_file(source)
+    payload = {"source": source, **report.bench_payload(),
+               "config": config.payload()}
+    if args.out:
+        _write_bench_json(payload, args.out, "BENCH_monitor.json")
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    return 0
+
+
 def _build_replay_source(args):
     """``--trace PATH`` (streamed from disk) or ``--packets N --model M``."""
     from repro.replay import model_help, synthesize_packets
@@ -646,6 +755,8 @@ def main(argv: list[str] | None = None) -> int:
         return _stream_command(args)
     if args.command == "flowsim":
         return _flowsim_command(args)
+    if args.command == "monitor":
+        return _monitor_command(args)
     if args.command == "replay":
         return _replay_command(args)
     if args.command == "list":

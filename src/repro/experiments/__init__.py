@@ -23,6 +23,7 @@ from repro.experiments.implications import (
 )
 from repro.experiments.fig02 import fig02
 from repro.experiments.flowsim_exp import flowsim
+from repro.experiments.monitor_exp import monitor
 from repro.experiments.sessions import weathermap, x11_sessions
 from repro.experiments.telnet_scales import telnet_scales
 from repro.experiments.fig03 import fig03
@@ -64,6 +65,7 @@ REGISTRY = {
     "delay": delay_experiment,
     "flowsim": flowsim,
     "mgk": mgk_comparison,
+    "monitor": monitor,
     "priority": priority_starvation,
     "tcp_dynamics": tcp_dynamics,
     "telnet_scales": telnet_scales,

@@ -1,0 +1,343 @@
+"""Incremental estimators fed from the windowed sketches.
+
+Each estimator wraps one windowed sketch and turns its current state
+into the paper's batch statistic over *the live window only*:
+
+* :class:`OnlineHurst` — variance-time Hurst
+  (:mod:`repro.selfsim.variance_time`) on the sliding ladder's count
+  process, bit-identical to the batch curve computed from the same
+  window of raw times.
+* :class:`OnlineTail` — Pareto β via the decayed TopK's weighted
+  ``tail_fit``, degrading to the largest feasible tail fraction when the
+  reservoir cannot cover the requested one.
+* :class:`OnlinePoissonCheck` — Anderson–Darling exponentiality of the
+  most recent inter-arrival gaps (the paper's session-arrival test).
+
+Plus the Clegg discrimination step: :func:`detrended_hurst` removes
+block means before re-estimating H, so a mean *drift* that fakes LRD
+collapses toward 0.5 while genuine self-similarity survives — the gap
+between raw and detrended H, together with the rate-alarm count, drives
+the monitor's ``nonstationary`` verdict.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.selfsim.counts import CountProcess
+from repro.selfsim.variance_time import variance_time_curve
+from repro.stats.anderson_darling import (
+    AndersonDarlingResult,
+    anderson_darling_exponential,
+)
+
+from .windows import DecayedTopK, SlidingCountLadder
+
+__all__ = [
+    "DriftReport",
+    "HurstEstimate",
+    "OnlineHurst",
+    "OnlinePoissonCheck",
+    "OnlineTail",
+    "TailEstimate",
+    "detrended_hurst",
+]
+
+
+# ----------------------------------------------------------------------
+# Hurst
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HurstEstimate:
+    """Variance-time H over the ladder's current window."""
+
+    hurst: float
+    slope: float
+    n_bins: int
+    window_start: float
+    window_end: float
+    min_level: int
+
+    def payload(self) -> dict:
+        return {
+            "hurst": self.hurst,
+            "slope": self.slope,
+            "n_bins": self.n_bins,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "min_level": self.min_level,
+        }
+
+
+class OnlineHurst:
+    """Variance-time Hurst over a :class:`SlidingCountLadder`'s window.
+
+    ``min_bins`` must give the curve enough aggregation levels for the
+    fit: with the repo's ``default_levels`` convention, ``min_level=10``
+    needs at least ``50 * min_level`` bins, so the default window of 512
+    bins clears it with margin.  Returns ``None`` until then.
+    """
+
+    def __init__(self, ladder: SlidingCountLadder, *, min_level: int = 10,
+                 min_bins: int | None = None, min_events: int = 256):
+        self.ladder = ladder
+        self.min_level = int(min_level)
+        self.min_bins = (50 * self.min_level if min_bins is None
+                         else int(min_bins))
+        self.min_events = int(min_events)
+
+    def estimate(self) -> HurstEstimate | None:
+        counts = self.ladder.window_counts()
+        if counts.size < self.min_bins or counts.sum() < self.min_events:
+            return None
+        process = CountProcess(counts, self.ladder.bin_width)
+        try:
+            curve = variance_time_curve(process)
+            if not np.all(curve.variances > 0):
+                return None  # a level collapsed; the slope would be -inf
+            slope = curve.slope(min_level=self.min_level)
+        except ValueError:
+            return None
+        if not np.isfinite(slope):
+            return None
+        hurst = 1.0 + slope / 2.0
+        lo, hi = self.ladder.window_bounds()
+        return HurstEstimate(
+            hurst=float(hurst),
+            slope=float(slope),
+            n_bins=int(counts.size),
+            window_start=lo,
+            window_end=hi,
+            min_level=self.min_level,
+        )
+
+
+# ----------------------------------------------------------------------
+# Pareto tail
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TailEstimate:
+    """Decay-weighted Pareto tail fit, possibly at a degraded fraction."""
+
+    location: float
+    shape: float
+    k: int
+    fraction: float            # fraction actually used
+    requested_fraction: float  # fraction the monitor asked for
+    degraded: bool             # True when reservoir forced a smaller one
+
+    def payload(self) -> dict:
+        return {
+            "location": self.location,
+            "shape": self.shape,
+            "k": self.k,
+            "fraction": self.fraction,
+            "requested_fraction": self.requested_fraction,
+            "degraded": self.degraded,
+        }
+
+
+class OnlineTail:
+    """Pareto β from a :class:`DecayedTopK`, degrading gracefully.
+
+    When the reservoir cannot cover ``tail_fraction`` of the effective
+    sample count, the estimate silently falls back to a slightly
+    smaller-than-feasible fraction and flags ``degraded=True`` — the
+    monitor keeps reporting a tail rather than erroring out mid-stream.
+    """
+
+    def __init__(self, topk: DecayedTopK, *, tail_fraction: float = 0.05,
+                 min_samples: int = 100):
+        if not 0.0 < tail_fraction < 1.0:
+            raise ValueError(
+                f"tail_fraction must be in (0, 1), got {tail_fraction}"
+            )
+        self.topk = topk
+        self.tail_fraction = float(tail_fraction)
+        self.min_samples = int(min_samples)
+
+    def estimate(self) -> TailEstimate | None:
+        if self.topk.n_seen < self.min_samples:
+            return None
+        fraction = self.tail_fraction
+        degraded = False
+        feasible = self.topk.max_tail_fraction()
+        if feasible <= 0:
+            return None
+        if fraction > feasible:
+            # Back off just below feasible so the +1 threshold item fits.
+            fraction = feasible * 0.999
+            degraded = True
+        try:
+            location, shape, k = self.topk.tail_fit(fraction)
+        except ValueError:
+            return None
+        return TailEstimate(
+            location=float(location),
+            shape=float(shape),
+            k=int(k),
+            fraction=fraction,
+            requested_fraction=self.tail_fraction,
+            degraded=degraded,
+        )
+
+
+# ----------------------------------------------------------------------
+# Poisson check
+# ----------------------------------------------------------------------
+class OnlinePoissonCheck:
+    """Anderson–Darling exponentiality over recent inter-arrival gaps.
+
+    Keeps the last ``max_samples`` arrival times (dropping any older
+    than ``window`` behind the newest) and tests their gaps with the
+    Case-3 A² statistic.  O(max_samples) memory regardless of stream
+    length.
+    """
+
+    def __init__(self, *, window: float = 300.0, max_samples: int = 2048,
+                 min_samples: int = 30, significance: float = 0.05):
+        if min_samples < 3:
+            raise ValueError(f"min_samples must be >= 3, got {min_samples}")
+        self.window = float(window)
+        self.min_samples = int(min_samples)
+        self.significance = float(significance)
+        self._times: deque[float] = deque(maxlen=int(max_samples))
+
+    def update(self, times) -> None:
+        arr = np.asarray(times, dtype=float)
+        if arr.size == 0:
+            return
+        self._times.extend(arr.tolist())
+        newest = self._times[-1]
+        while self._times and newest - self._times[0] > self.window:
+            self._times.popleft()
+
+    def check(self) -> AndersonDarlingResult | None:
+        if len(self._times) < self.min_samples + 1:
+            return None
+        gaps = np.diff(np.asarray(self._times, dtype=float))
+        gaps = gaps[gaps > 0]
+        if gaps.size < self.min_samples:
+            return None
+        return anderson_darling_exponential(
+            gaps, significance=self.significance
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return 8 * (self._times.maxlen or len(self._times))
+
+
+# ----------------------------------------------------------------------
+# LRD-vs-drift discrimination
+# ----------------------------------------------------------------------
+def detrended_hurst(process: CountProcess, *, n_blocks: int = 8,
+                    min_level: int = 10) -> float | None:
+    """Variance-time H after removing block-local means.
+
+    Splits the count series into ``n_blocks`` equal blocks and replaces
+    each block's mean with the grand mean before re-estimating H.  A
+    nonstationary mean (diurnal ramp, load step) inflates the *raw*
+    variance-time slope at large aggregation levels — the Clegg et al.
+    failure mode — but contributes nothing once block means are gone,
+    so ``H_raw - H_detrended`` is large under drift and near zero for
+    genuine long-range dependence.
+    """
+    counts = np.asarray(process.counts, dtype=float)
+    if counts.size < max(2 * n_blocks, 100):
+        return None
+    block = counts.size // n_blocks
+    trimmed = counts[: block * n_blocks]
+    blocks = trimmed.reshape(n_blocks, block)
+    detrended = blocks - blocks.mean(axis=1, keepdims=True) + trimmed.mean()
+    flat = CountProcess(detrended.ravel(), process.bin_width)
+    try:
+        curve = variance_time_curve(flat, normalized=False)
+        if not np.all(curve.variances > 0):
+            return None
+        hurst = curve.hurst(min_level=min_level)
+    except ValueError:
+        return None
+    if not np.isfinite(hurst):
+        return None
+    return float(hurst)
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Is the window's apparent LRD explained by mean drift?"""
+
+    raw_hurst: float
+    detrended_hurst: float | None
+    hurst_gap: float           # raw - detrended (0 when undetermined)
+    rate_alarms_in_window: int
+    drifting: bool
+    reason: str
+    idle_excess: float = 0.0   # empty-tick fraction beyond Poisson's
+
+    def payload(self) -> dict:
+        return {
+            "raw_hurst": self.raw_hurst,
+            "detrended_hurst": self.detrended_hurst,
+            "hurst_gap": self.hurst_gap,
+            "rate_alarms_in_window": self.rate_alarms_in_window,
+            "idle_excess": self.idle_excess,
+            "drifting": self.drifting,
+            "reason": self.reason,
+        }
+
+
+def assess_drift(
+    process: CountProcess,
+    raw_hurst: float,
+    rate_alarms_in_window: int,
+    *,
+    n_blocks: int = 8,
+    min_level: int = 10,
+    hurst_gap: float = 0.15,
+    hurst_high: float = 0.65,
+    alarm_limit: int = 2,
+    idle_excess: float = 0.0,
+    idle_limit: float = 0.35,
+) -> DriftReport:
+    """Classify the window: genuine LRD vs drift faking it.
+
+    Three independent symptoms flag drift: (a) detrending block means
+    collapses an elevated H by more than ``hurst_gap``; (b) the rate
+    change-point detectors fired ``alarm_limit`` or more times inside
+    the window (a stationary LRD stream is bursty but does not keep
+    shifting its reference mean); (c) the window's empty-tick fraction
+    exceeds the Poisson expectation at its mean rate by ``idle_limit``
+    or more — the signature of ON/OFF rate modulation, which fakes LRD
+    at coarse scales yet leaves whole ticks silent far more often than
+    a stationary heavy-tailed renewal ever does.
+    """
+    h_det = detrended_hurst(process, n_blocks=n_blocks, min_level=min_level)
+    gap = 0.0 if h_det is None else raw_hurst - h_det
+    gap_says_drift = (h_det is not None and gap > hurst_gap
+                      and raw_hurst > hurst_high)
+    alarms_say_drift = rate_alarms_in_window >= alarm_limit
+    idle_says_drift = idle_excess >= idle_limit
+    reasons = []
+    if gap_says_drift:
+        reasons.append(f"detrending drops H from {raw_hurst:.2f} to "
+                       f"{h_det:.2f}")
+    if alarms_say_drift:
+        reasons.append(f"{rate_alarms_in_window} rate alarms in window")
+    if idle_says_drift:
+        reasons.append(f"idle-tick excess {idle_excess:.2f} implies "
+                       "on/off modulation")
+    reason = ("; ".join(reasons) if reasons
+              else "window consistent with a stationary process")
+    return DriftReport(
+        raw_hurst=float(raw_hurst),
+        detrended_hurst=h_det,
+        hurst_gap=float(gap),
+        rate_alarms_in_window=int(rate_alarms_in_window),
+        drifting=bool(gap_says_drift or alarms_say_drift or idle_says_drift),
+        reason=reason,
+        idle_excess=float(idle_excess),
+    )

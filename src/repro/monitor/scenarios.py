@@ -1,0 +1,180 @@
+"""Synthetic stress streams for the monitor (the Clegg scenarios).
+
+Clegg et al. ("Criticisms of modelling packet traffic using LRD",
+PAPERS.md) list the ways a finite trace can *look* long-range dependent
+without being so: nonstationary mean drift, and Markov-modulated (hence
+short-range-dependent) on/off sources whose burst structure mimics
+self-similarity at the measured scales.  A production monitor must tell
+these apart from the real thing, so the test battery here provides one
+stream per failure mode plus the genuine article:
+
+* :func:`poisson_stream` — the H≈0.5 null.
+* :func:`pareto_stream` — Pareto-renewal interarrivals with β≈1.3:
+  pseudo-self-similar counts with H ≈ (3-β)/2 ≈ 0.85 (Appendix C).
+* :func:`hurst_step_stream` — Poisson then Pareto-renewal at the same
+  mean rate: a pure dependence-structure step the alarm layer must
+  catch *without* a rate change to lean on.
+* :func:`markov_onoff_stream` — exponential ON/OFF sojourns with
+  Poisson arrivals during ON: strictly SRD, but bursty enough to fake
+  an elevated variance-time slope (expected verdict: nonstationary,
+  never self-similar).
+* :func:`diurnal_ramp_stream` — the `traces.diurnal` TELNET profile
+  compressed into a short run: a deterministic load ramp that inflates
+  the raw variance-time slope (expected verdict: nonstationary).
+
+Every stream is a sorted ``float64`` array of arrival times; feed it to
+the service through :func:`iter_batches` to emulate a live collector.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.arrivals.poisson import homogeneous_poisson, piecewise_poisson
+from repro.distributions.pareto import Pareto
+from repro.traces.diurnal import hourly_rates
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "diurnal_ramp_stream",
+    "hurst_step_stream",
+    "iter_batches",
+    "markov_onoff_stream",
+    "pareto_stream",
+    "poisson_stream",
+]
+
+
+def poisson_stream(duration: float, rate: float,
+                   seed: SeedLike = None) -> np.ndarray:
+    """Homogeneous Poisson arrivals on [0, duration): the H≈0.5 null."""
+    return homogeneous_poisson(rate, duration, seed=seed)
+
+
+def pareto_stream(duration: float, rate: float, shape: float = 1.3,
+                  seed: SeedLike = None, t0: float = 0.0) -> np.ndarray:
+    """Pareto-renewal arrivals at mean rate ``rate`` on [t0, t0+duration).
+
+    Interarrivals are i.i.d. Pareto(location, ``shape``) with the
+    location chosen so the mean gap is ``1/rate`` (mean = location *
+    β/(β-1), so β must exceed 1).  With β ≈ 1.3 the count process is
+    pseudo-self-similar with H ≈ (3-β)/2 ≈ 0.85.
+    """
+    require_positive(duration, "duration")
+    require_positive(rate, "rate")
+    if shape <= 1.0:
+        raise ValueError(
+            f"shape must be > 1 for a finite mean rate, got {shape}"
+        )
+    rng = as_rng(seed)
+    location = (1.0 / rate) * (shape - 1.0) / shape
+    dist = Pareto(location, shape)
+    horizon = t0 + duration
+    times = []
+    t = t0
+    block = max(int(rate * duration * 1.25) + 16, 1024)
+    while t < horizon:
+        gaps = dist.sample(block, seed=rng)
+        cum = t + np.cumsum(gaps)
+        t = float(cum[-1])
+        times.append(cum)
+    out = np.concatenate(times)
+    return out[out < horizon]
+
+
+def hurst_step_stream(duration: float, rate: float, t_step: float,
+                      shape: float = 1.3,
+                      seed: SeedLike = None) -> np.ndarray:
+    """Poisson until ``t_step``, Pareto-renewal after, same mean rate.
+
+    The mean rate never changes — only the dependence structure steps
+    from H≈0.5 to H≈(3-shape)/2 — so this isolates the Hurst-series
+    change-point detector from the rate detectors.
+    """
+    require_positive(duration, "duration")
+    if not 0.0 < t_step < duration:
+        raise ValueError(
+            f"t_step must be inside (0, {duration}), got {t_step}"
+        )
+    rng = as_rng(seed)
+    head = homogeneous_poisson(rate, t_step, seed=rng)
+    tail = pareto_stream(duration - t_step, rate, shape, seed=rng, t0=t_step)
+    return np.concatenate([head, tail])
+
+
+def markov_onoff_stream(duration: float, rate_on: float,
+                        mean_on: float = 5.0, mean_off: float = 15.0,
+                        seed: SeedLike = None) -> np.ndarray:
+    """Markov-modulated Poisson process: the SRD source that fakes LRD.
+
+    A two-state Markov chain with exponential sojourns (``mean_on`` /
+    ``mean_off`` seconds) emits Poisson arrivals at ``rate_on`` while ON
+    and nothing while OFF.  Autocorrelations decay exponentially — the
+    process is short-range dependent by construction — yet over windows
+    comparable to the sojourn times the on/off bursts inflate the
+    variance-time slope exactly like the Clegg et al. counterexample.
+    """
+    require_positive(duration, "duration")
+    require_positive(rate_on, "rate_on")
+    require_positive(mean_on, "mean_on")
+    require_positive(mean_off, "mean_off")
+    rng = as_rng(seed)
+    pieces = []
+    t = 0.0
+    on = True  # start ON so short streams are never empty
+    while t < duration:
+        sojourn = float(rng.exponential(mean_on if on else mean_off))
+        end = min(t + sojourn, duration)
+        if on and end > t:
+            burst = homogeneous_poisson(rate_on, end - t, seed=rng)
+            pieces.append(t + burst)
+        t = end
+        on = not on
+    if not pieces:
+        return np.zeros(0, dtype=float)
+    return np.concatenate(pieces)
+
+
+def diurnal_ramp_stream(duration: float, mean_rate: float,
+                        protocol: str = "telnet", site: str = "west",
+                        n_hours: int = 12, start_hour: int = 4,
+                        seed: SeedLike = None) -> np.ndarray:
+    """A diurnal load ramp compressed into ``duration`` seconds.
+
+    Takes ``n_hours`` of the `traces.diurnal` hourly profile starting at
+    ``start_hour`` (the TELNET office-hours ramp climbs ~9x between
+    hours 5 and 10) and plays each "hour" in ``duration / n_hours``
+    seconds of stream time — a deterministic mean trend, the classic
+    nonstationarity that fakes LRD in a variance-time plot.
+    """
+    require_positive(duration, "duration")
+    require_positive(mean_rate, "mean_rate")
+    if n_hours < 2:
+        raise ValueError(f"n_hours must be >= 2, got {n_hours}")
+    rates = hourly_rates(protocol, mean_rate, start_hour + n_hours,
+                         site)[start_hour:]
+    return piecewise_poisson(rates, interval=duration / n_hours, seed=seed)
+
+
+def iter_batches(times: np.ndarray,
+                 batch_seconds: float = 1.0) -> Iterator[np.ndarray]:
+    """Slice a sorted arrival array into consecutive time batches.
+
+    Emulates a live collector delivering everything that arrived in each
+    ``batch_seconds`` tick (empty ticks are skipped, as a real collector
+    would deliver nothing).
+    """
+    require_positive(batch_seconds, "batch_seconds")
+    arr = np.asarray(times, dtype=float)
+    if arr.size == 0:
+        return
+    edges = np.arange(arr[0], arr[-1] + batch_seconds, batch_seconds)
+    idx = np.searchsorted(arr, edges)
+    for lo, hi in zip(idx[:-1], idx[1:]):
+        if hi > lo:
+            yield arr[lo:hi]
+    if idx[-1] < arr.size:
+        yield arr[idx[-1]:]

@@ -102,6 +102,7 @@ class CollectorReport:
     queue_high_water: int
     capture_path: str | None
     flows: dict[int, FlowStats] = field(default_factory=dict)
+    observer_errors: int = 0
 
     @property
     def n_packets(self) -> int:
@@ -126,6 +127,7 @@ class CollectorReport:
             "n_packets": self.n_packets,
             "trace_bytes": self.trace_bytes,
             "dropped_records": self.dropped_records,
+            "observer_errors": self.observer_errors,
             "flows": [
                 self.flows[f].payload() for f in sorted(self.flows)
             ],
@@ -141,17 +143,22 @@ class Collector:
         capture_path: str | os.PathLike | None = None,
         policy: str = "block",
         queue_depth: int = 256,
+        observer=None,
     ):
         if policy not in ("block", "drop"):
             raise ValueError(f"policy must be 'block' or 'drop', got {policy!r}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if observer is not None and not callable(observer):
+            raise TypeError("observer must be callable")
         self.capture_path = (
             None if capture_path is None else os.fspath(capture_path)
         )
         self.policy = policy
         self.queue_depth = queue_depth
         self.queue_high_water = 0
+        self.observer = observer
+        self.observer_errors = 0
         self.flows: dict[int, FlowStats] = {}
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
         self._server: asyncio.AbstractServer | None = None
@@ -223,6 +230,19 @@ class Collector:
         await self._writer_task
         return self.report()
 
+    def set_observer(self, observer) -> None:
+        """Install (or clear) the opt-in per-batch observer callback.
+
+        The callable receives each decoded
+        :class:`~repro.traces.columns.PacketBatch` on the writer task,
+        in arrival order, after accounting and before persistence.  It
+        is best-effort: exceptions are counted in ``observer_errors``
+        and never stall the ingest/drain path.
+        """
+        if observer is not None and not callable(observer):
+            raise TypeError("observer must be callable")
+        self.observer = observer
+
     def report(self) -> CollectorReport:
         return CollectorReport(
             transport=self._transport_kind,
@@ -231,6 +251,7 @@ class Collector:
             queue_high_water=self.queue_high_water,
             capture_path=self.capture_path,
             flows=self.flows,
+            observer_errors=self.observer_errors,
         )
 
     # -- ingest --------------------------------------------------------
@@ -336,6 +357,14 @@ class Collector:
                 stats = self._flow(flow_id)
                 stats.n_packets += len(batch)
                 stats.trace_bytes += int(batch.sizes.sum())
+                if self.observer is not None:
+                    # The observer is a best-effort tap (live monitors,
+                    # metrics): it must never stall or kill the drain
+                    # path, so failures are counted and swallowed.
+                    try:
+                        self.observer(batch)
+                    except Exception:
+                        self.observer_errors += 1
                 if fh is not None:
                     fh.write(format_packet_columns(
                         batch.timestamps, batch.protocols,

@@ -117,6 +117,20 @@ class Log2Histogram:
     The paper characterizes size distributions on log2 axes (log2-normal
     packet sizes, Section V); this is the streaming raw material for those
     plots.  Merging adds the integer bucket counts — exact.
+
+    Bucket convention (pinned, inherited by the windowed variants):
+
+    * values ``<= 0`` (zero and negative) never enter a log bucket; they
+      accumulate in the separate :attr:`zeros` counter;
+    * sub-unity positives (``0 < v < 1``, exponent < 0) clamp into
+      bucket 0 together with ``1 <= v < 2`` — the histogram's domain is
+      sizes in whole units (bytes, packets), so fractions below one unit
+      are not resolved;
+    * values at or above ``2 ** max_exponent`` clamp into the last
+      bucket.
+
+    So bucket 0 counts ``0 < v < 2``, bucket ``i`` (0 < i < last) counts
+    ``2**i <= v < 2**(i+1)``, and the last bucket is open-ended.
     """
 
     __slots__ = ("counts", "zeros")
@@ -133,6 +147,9 @@ class Log2Histogram:
         self.zeros += int(arr.size - positive.size)
         if positive.size:
             exps = np.floor(np.log2(positive)).astype(np.int64)
+            # Clamp both ends per the bucket convention above: negative
+            # exponents (sub-unity values) land in bucket 0, oversized
+            # values in the open-ended last bucket.
             exps = np.clip(exps, 0, self.counts.size - 1)
             self.counts += np.bincount(exps, minlength=self.counts.size)
 
@@ -207,6 +224,19 @@ class TopK:
             )
         return self.values[self.values.size - k:].copy()
 
+    def max_tail_fraction(self) -> float:
+        """The largest ``tail_fraction`` :meth:`tail_fit` can serve.
+
+        The fit for fraction ``f`` needs ``k = floor(n_seen * f)`` tail
+        values *plus one* as the threshold, all resident in the
+        reservoir, so the feasible ceiling is ``(stored - 1) / n_seen``.
+        Streaming callers use this to degrade the requested fraction
+        instead of guessing after a failure.
+        """
+        if self.n_seen == 0 or self.values.size < 2:
+            return 0.0
+        return (self.values.size - 1) / self.n_seen
+
     def hill(self, k: int) -> float:
         """Hill estimate of the Pareto tail index from the k largest values.
 
@@ -218,7 +248,9 @@ class TopK:
         if k + 1 > self.values.size:
             raise ValueError(
                 f"reservoir capacity {self.capacity} too small for k={k}; "
-                "need the (k+1)-th largest value as the tail threshold"
+                "need the (k+1)-th largest value as the tail threshold; "
+                f"largest feasible tail fraction is "
+                f"{self.max_tail_fraction():.6g}"
             )
         threshold = self.values[self.values.size - k - 1]
         if threshold <= 0:
@@ -235,7 +267,10 @@ class TopK:
         Mirrors :func:`repro.distributions.pareto.tail_fit` exactly — same
         ``k = max(2, floor(n * fraction))`` and the same order statistics —
         so the streamed β estimate equals the batch one bit-for-bit.
-        Raises when the reservoir is too small for the requested fraction.
+        Raises when the reservoir is too small for the requested fraction;
+        the error names the largest feasible fraction
+        (:meth:`max_tail_fraction`) so callers can degrade instead of
+        guessing.
         """
         n = self.n_seen
         k = max(2, int(np.floor(n * tail_fraction)))
@@ -244,12 +279,6 @@ class TopK:
         shape = self.hill(k)
         location = float(self.values[self.values.size - k - 1])
         return location, shape, k
-
-    def max_tail_fraction(self) -> float:
-        """Largest tail fraction this reservoir can fit exactly."""
-        if self.n_seen == 0:
-            return 0.0
-        return (self.values.size - 1) / self.n_seen
 
     @property
     def nbytes(self) -> int:

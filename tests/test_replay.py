@@ -318,6 +318,64 @@ class TestLoopback:
         with pytest.raises(ValueError, match="queue_depth"):
             Collector(queue_depth=0)
 
+    def _wire_batch(self, n=64, seed=3):
+        rng = np.random.default_rng(seed)
+        return PacketBatch(
+            timestamps=np.sort(rng.uniform(0, 100.0, n)),
+            protocols=np.array(["TELNET"] * n, dtype=object),
+            connection_ids=rng.integers(0, 10, n),
+            directions=rng.integers(0, 2, n).astype(np.int8),
+            sizes=rng.integers(1, 1500, n),
+            user_data=np.zeros(n, dtype=bool),
+        )
+
+    def _drain(self, collector, blocks):
+        """Run the write loop over pre-enqueued blocks to completion."""
+        async def drive():
+            collector._loop = asyncio.get_running_loop()
+            for block in blocks:
+                await collector._enqueue(0, block, 0.0)
+            collector._queue.put_nowait(None)
+            await collector._write_loop()
+            return collector.report()
+
+        return asyncio.run(drive())
+
+    def test_observer_receives_each_batch(self):
+        batch = self._wire_batch()
+        seen = []
+        collector = Collector(observer=seen.append)
+        report = self._drain(collector, [encode_batch(batch)] * 3)
+        assert len(seen) == 3
+        assert np.array_equal(seen[0].timestamps, batch.timestamps)
+        assert report.observer_errors == 0
+        assert report.n_packets == 3 * len(batch)
+
+    def test_observer_errors_never_stall_the_drain(self):
+        # A broken observer must not lose packets or kill the write loop;
+        # its failures are counted and swallowed.
+        def broken(batch):
+            raise RuntimeError("observer exploded")
+
+        batch = self._wire_batch()
+        collector = Collector(observer=broken)
+        report = self._drain(collector, [encode_batch(batch)] * 4)
+        assert report.observer_errors == 4
+        assert report.n_packets == 4 * len(batch)
+        assert report.dropped_records == 0
+        assert report.payload()["observer_errors"] == 4
+
+    def test_set_observer_validates_and_clears(self):
+        collector = Collector()
+        with pytest.raises(TypeError, match="callable"):
+            collector.set_observer("not-callable")
+        with pytest.raises(TypeError, match="callable"):
+            Collector(observer=42)
+        collector.set_observer(lambda batch: None)
+        assert collector.observer is not None
+        collector.set_observer(None)
+        assert collector.observer is None
+
 
 # ----------------------------------------------------------------------
 # Closed-loop validation

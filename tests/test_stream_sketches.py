@@ -96,6 +96,27 @@ class TestLog2Histogram:
         assert np.array_equal(whole.counts, merged.counts)
         assert whole.zeros == merged.zeros
 
+    def test_zero_and_negative_go_to_zeros_counter(self):
+        # Pinned convention: non-positive values never enter a log bucket.
+        h = Log2Histogram()
+        h.update([0.0, -1.0, -1e9, 2.0])
+        assert h.zeros == 3
+        assert dict(h.nonzero_buckets()) == {1: 1}
+        assert h.n == 4
+
+    def test_sub_unity_positives_clamp_into_bucket_zero(self):
+        # Pinned convention: 0 < v < 1 shares bucket 0 with 1 <= v < 2;
+        # the histogram does not resolve below one unit.
+        h = Log2Histogram()
+        h.update([0.01, 0.5, 0.999, 1.0, 1.999])
+        assert h.zeros == 0
+        assert dict(h.nonzero_buckets()) == {0: 5}
+
+    def test_oversized_values_clamp_into_last_bucket(self):
+        h = Log2Histogram(max_exponent=4)
+        h.update([2.0 ** 4, 2.0 ** 9, 1e30])
+        assert dict(h.nonzero_buckets()) == {3: 3}
+
 
 # ----------------------------------------------------------------------
 # TopK tail reservoir
@@ -151,6 +172,20 @@ class TestTopK:
         assert t.max_tail_fraction() == pytest.approx(9 / 100)
         # ... but the largest exactly-coverable fraction works.
         t.tail_fit(t.max_tail_fraction())
+
+    def test_infeasible_fraction_error_names_feasible_one(self):
+        # Streaming callers degrade on this message instead of guessing.
+        t = TopK(10)
+        t.update(np.arange(1.0, 101.0))
+        with pytest.raises(ValueError,
+                           match="largest feasible tail fraction is 0.09"):
+            t.tail_fit(0.5)
+
+    def test_max_tail_fraction_degenerate_reservoirs(self):
+        assert TopK(10).max_tail_fraction() == 0.0
+        t = TopK(10)
+        t.update([3.0])
+        assert t.max_tail_fraction() == 0.0  # one value: no threshold
 
 
 # ----------------------------------------------------------------------
