@@ -23,6 +23,12 @@ from repro.utils.validation import require_positive
 PERIOD_BLOCK = 16
 
 
+def _require_bin_count(n_bins) -> int:
+    if not isinstance(n_bins, (int, np.integer)) or n_bins < 0:
+        raise ValueError(f"n_bins must be an integer >= 0, got {n_bins!r}")
+    return int(n_bins)
+
+
 @dataclass(frozen=True)
 class OnOffSource:
     """A single fluid ON/OFF source.
@@ -98,14 +104,25 @@ class OnOffSource:
     def counts(
         self, n_bins: int, bin_width: float, seed: SeedLike = None
     ) -> np.ndarray:
-        """Fluid count process: work emitted per bin (rate x ON overlap)."""
+        """Fluid count process: work emitted per bin (rate x ON overlap).
+
+        Bin placement follows the :mod:`repro.utils.binning` convention:
+        bin ``i`` covers ``[i * bin_width, (i + 1) * bin_width)`` with the
+        final bin closed on the right (an interval boundary landing exactly
+        on an edge belongs to the bin on its right).  Both the first- and
+        last-bin indices are clamped to ``n_bins - 1``: an interval start
+        strictly inside the horizon can still round up to ``n_bins`` under
+        float division when ``start / bin_width`` lands within an ulp of the
+        top edge.
+        """
+        _require_bin_count(n_bins)
         require_positive(bin_width, "bin_width")
         duration = n_bins * bin_width
         if duration == 0:
             return np.zeros(0)
         work = np.zeros(n_bins, dtype=float)
         for start, end in self.intervals(duration, seed=seed):
-            first = int(start / bin_width)
+            first = min(int(start / bin_width), n_bins - 1)
             last = min(int(end / bin_width), n_bins - 1)
             if first == last:
                 work[first] += end - start
@@ -129,9 +146,15 @@ def multiplex_onoff(
     time scale grow) to fractional Gaussian noise with
     H = (3 - min(on_shape, off_shape)) / 2 — the [28] result the paper
     invokes in Section VII-B.
+
+    This is the simple per-source loop; at scale (10^4+ sources) use the
+    batched, bit-identical :func:`repro.kernels.superpose.superpose_onoff`,
+    which consumes the same spawned RNG streams and supports process
+    fan-out without pickling count arrays.
     """
     if n_sources < 1:
         raise ValueError(f"n_sources must be >= 1, got {n_sources}")
+    _require_bin_count(n_bins)
     src = source or OnOffSource.pareto()
     total = np.zeros(n_bins, dtype=float)
     for rng in spawn_rngs(seed, n_sources):

@@ -24,6 +24,10 @@ Usage::
     python -m repro monitor run --source pareto --window 60
     python -m repro monitor run --source hurst-step --duration 600 --json
 
+    # batched superposition phase diagram (repro.kernels.superpose):
+    python -m repro superpose run --replications 192 --json
+    python -m repro superpose run --battery-sources 100000 --out bench/
+
     # live traffic replay & load generation (repro.replay):
     python -m repro replay loopback --packets 100000 --validate
     python -m repro replay loopback --trace big.txt --speed 60 --flows 4
@@ -268,6 +272,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print BENCH-shaped monitor metrics as JSON")
     mrun.add_argument("--out", default=None, metavar="DIR",
                       help="write BENCH_monitor.json into DIR")
+
+    superpose = sub.add_parser(
+        "superpose", help="batched ON/OFF superposition phase diagram"
+    )
+    superpose_sub = superpose.add_subparsers(dest="superpose_command",
+                                             required=True)
+    srun = superpose_sub.add_parser(
+        "run",
+        help="sweep the Gaussian-vs-stable phase diagram over source "
+             "count x connection-growth cells and run the Hurst battery",
+        parents=[common],
+    )
+    srun.add_argument("--replications", type=_positive_int, default=192,
+                      metavar="N",
+                      help="independent aggregates per cell (default 192)")
+    srun.add_argument("--shape", type=_positive_float, default=1.2,
+                      metavar="BETA",
+                      help="Pareto shape of the ON/OFF period laws "
+                           "(default 1.2)")
+    srun.add_argument("--battery-sources", type=_positive_int,
+                      default=50_000, metavar="N",
+                      help="sources in the Hurst-battery aggregate "
+                           "(default 50000)")
+    srun.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                      help="worker processes for the shared-memory fan-out "
+                           "(default 1; outputs independent of N)")
+    srun.add_argument("--chunk", type=_positive_int, default=8192,
+                      metavar="N",
+                      help="sources per batched chunk (default 8192)")
+    srun.add_argument("--seed", type=int, default=0, help="RNG seed")
+    srun.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the phase-diagram summary as JSON")
+    srun.add_argument("--out", default=None, metavar="DIR",
+                      help="write BENCH_superpose_run.json into DIR")
 
     replay = sub.add_parser(
         "replay", help="live traffic replay & load generation"
@@ -575,6 +613,33 @@ def _monitor_command(args) -> int:
     return 0
 
 
+def _superpose_command(args) -> int:
+    import time
+
+    from repro.experiments.superpose_exp import superpose
+
+    t0 = time.perf_counter()
+    result = superpose(
+        seed=args.seed,
+        replications=args.replications,
+        pareto_shape=args.shape,
+        battery_sources=args.battery_sources,
+        jobs=args.jobs,
+        chunk=args.chunk,
+    )
+    elapsed = time.perf_counter() - t0
+    payload = result.payload()
+    payload["wall_time_s"] = round(elapsed, 3)
+    if args.out:
+        _write_bench_json(payload, args.out, "BENCH_superpose_run.json")
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.render())
+        print(f"  [{elapsed:.1f}s wall]")
+    return 0
+
+
 def _build_replay_source(args):
     """``--trace PATH`` (streamed from disk) or ``--packets N --model M``."""
     from repro.replay import model_help, synthesize_packets
@@ -757,6 +822,8 @@ def main(argv: list[str] | None = None) -> int:
         return _flowsim_command(args)
     if args.command == "monitor":
         return _monitor_command(args)
+    if args.command == "superpose":
+        return _superpose_command(args)
     if args.command == "replay":
         return _replay_command(args)
     if args.command == "list":

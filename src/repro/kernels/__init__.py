@@ -17,7 +17,13 @@ Contents:
   reduce along axis 1 of a contiguous 2-D view, which numpy evaluates with
   the same pairwise summation / sort network as the per-segment 1-D call —
   so results match a per-segment Python loop bit for bit;
-* :func:`segment_starts`, :func:`block_view` — index plumbing for the above.
+* :func:`segment_starts`, :func:`block_view` — index plumbing for the above;
+* :func:`superpose_onoff`, :func:`superpose_onoff_groups`,
+  :func:`superpose_renewal` — batched superposition of 10^5+ heavy-tailed
+  ON/OFF / Pareto-renewal sources with shared-memory process fan-out
+  (:mod:`repro.kernels.superpose`), bit-identical to the frozen per-source
+  loops on the same spawned RNG streams; the grouped entry reduces one
+  sweep into many independent replication aggregates.
 """
 
 from repro.kernels.lindley import lindley_waits
@@ -28,12 +34,24 @@ from repro.kernels.segments import (
     grouped_sum,
     segment_starts,
 )
+from repro.kernels.superpose import (
+    DEFAULT_CHUNK,
+    DEFAULT_GAP_BLOCK,
+    superpose_onoff,
+    superpose_onoff_groups,
+    superpose_renewal,
+)
 
 __all__ = [
+    "DEFAULT_CHUNK",
+    "DEFAULT_GAP_BLOCK",
     "block_view",
     "grouped_cumsum",
     "grouped_sort",
     "grouped_sum",
     "lindley_waits",
     "segment_starts",
+    "superpose_onoff",
+    "superpose_onoff_groups",
+    "superpose_renewal",
 ]

@@ -33,7 +33,7 @@ from repro.traces.io import (
 )
 from repro.traces.records import ConnectionRecord, Direction, PacketRecord
 from repro.traces.trace import ConnectionTrace, PacketTrace
-from repro.utils.rng import as_rng
+from repro.utils.rng import as_rng, spawn_rngs
 
 
 # ----------------------------------------------------------------------
@@ -289,6 +289,57 @@ def onoff_intervals_loop(source, duration, seed=None, start_on=None):
         t += length
         on = not on
     return out
+
+
+def multiplex_onoff_loop(n_sources, n_bins, bin_width, source, seed=None):
+    """Pre-superpose-kernel aggregation: one ``source.counts`` call per
+    spawned child stream, accumulated left to right.
+
+    Frozen as of the superpose PR, i.e. *with* the first-bin clamp
+    (``min(int(start / bin_width), n_bins - 1)``) that guards against a
+    float quotient rounding up to ``n_bins`` for a start just inside the
+    horizon — the batched kernel freezes the fixed convention.
+    """
+    total = np.zeros(n_bins, dtype=float)
+    for rng in spawn_rngs(seed, n_sources):
+        duration = n_bins * bin_width
+        work = np.zeros(n_bins, dtype=float)
+        for start, end in source.intervals(duration, seed=rng):
+            first = min(int(start / bin_width), n_bins - 1)
+            last = min(int(end / bin_width), n_bins - 1)
+            if first == last:
+                work[first] += end - start
+                continue
+            work[first] += (first + 1) * bin_width - start
+            work[first + 1:last] += bin_width
+            work[last] += end - last * bin_width
+        total += work * source.rate
+    return total
+
+
+def superpose_renewal_loop(n_sources, n_bins, bin_width, gap_dist, seed=None,
+                           gap_block=256):
+    """Per-source Pareto-renewal superposition: the
+    ``arrivals.pareto_renewal`` streaming protocol (blocked gap draws, one
+    cumsum per block, bincount of in-window arrivals) applied source by
+    source.  Counts are integers, so the sum is exact and order-free; only
+    the per-stream draw protocol (``gap_block`` gaps per round) must match
+    the batched kernel's.
+    """
+    horizon = n_bins * bin_width
+    counts = np.zeros(n_bins, dtype=np.int64)
+    for rng in spawn_rngs(seed, n_sources):
+        t = 0.0
+        while t < horizon:
+            gaps = gap_dist.sample(gap_block, seed=rng)
+            cum = t + np.cumsum(gaps)
+            t = float(cum[-1])
+            in_window = cum[cum < horizon]
+            if in_window.size:
+                idx = (in_window / bin_width).astype(np.int64)
+                np.minimum(idx, n_bins - 1, out=idx)
+                counts += np.bincount(idx, minlength=n_bins)
+    return counts
 
 
 # ----------------------------------------------------------------------

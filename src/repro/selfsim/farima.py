@@ -19,6 +19,7 @@ Closed forms implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy import optimize, special
@@ -61,25 +62,50 @@ def farima_spectral_density(freqs, d: float, sigma2: float = 1.0) -> np.ndarray:
     return sigma2 / (2.0 * np.pi) * np.abs(2.0 * np.sin(lam / 2.0)) ** (-2.0 * d)
 
 
-def _circulant_embedding_sample(gamma: np.ndarray, n: int, rng) -> np.ndarray:
-    """Exact Gaussian sample from an autocovariance sequence gamma(0..n)."""
+def _embedding_eig(gamma: np.ndarray) -> np.ndarray:
+    """Eigenvalues of the 2n-circulant embedding of gamma(0..n)."""
     row = np.concatenate([gamma, gamma[-2:0:-1]])
     eig = np.fft.fft(row).real
-    eig = np.where(eig < 0, 0.0, eig)
-    m = row.size
+    return np.where(eig < 0, 0.0, eig)
+
+
+def _sample_from_eig(eig: np.ndarray, n: int, rng) -> np.ndarray:
+    """Exact Gaussian sample given the embedding eigenvalues."""
+    m = eig.size
     z = rng.normal(size=m) + 1j * rng.normal(size=m)
     x = np.fft.fft(np.sqrt(eig / (2.0 * m)) * z)
     return x.real[:n] * np.sqrt(2.0)
 
 
+def _circulant_embedding_sample(gamma: np.ndarray, n: int, rng) -> np.ndarray:
+    """Exact Gaussian sample from an autocovariance sequence gamma(0..n)."""
+    return _sample_from_eig(_embedding_eig(gamma), n, rng)
+
+
+@lru_cache(maxsize=32)
+def _farima_embedding_eig(n: int, d: float, sigma2: float) -> np.ndarray:
+    """Memoized embedding eigenvalues keyed on ``(n, d, sigma2)``.
+
+    Deterministic in its key, so caching reuses the exact float sequence
+    the inline computation produced; the array is read-only and shared.
+    """
+    eig = _embedding_eig(farima_autocovariance(d, n, sigma2=sigma2))
+    eig.setflags(write=False)
+    return eig
+
+
 def farima_sample(
     n: int, d: float, sigma2: float = 1.0, seed: SeedLike = None
 ) -> np.ndarray:
-    """Exact FARIMA(0, d, 0) sample via circulant embedding."""
+    """Exact FARIMA(0, d, 0) sample via circulant embedding.
+
+    The embedding eigenvalue vector is cached across calls keyed on
+    ``(n, d, sigma2)``."""
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
-    gamma = farima_autocovariance(d, n, sigma2=sigma2)
-    return _circulant_embedding_sample(gamma, n, as_rng(seed))
+    require_in_range(d, "d", _D_LO, _D_HI)
+    eig = _farima_embedding_eig(int(n), float(d), float(sigma2))
+    return _sample_from_eig(eig, n, as_rng(seed))
 
 
 def hurst_from_d(d: float) -> float:

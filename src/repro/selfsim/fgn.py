@@ -14,6 +14,8 @@ test.  This module provides:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.utils.rng import SeedLike, as_rng
@@ -70,6 +72,25 @@ def fgn_spectral_density(freqs, hurst: float, sigma2: float = 1.0) -> np.ndarray
     return c * np.abs(2.0 * np.sin(lam / 2.0)) ** 2 * total
 
 
+@lru_cache(maxsize=32)
+def _fgn_embedding_eig(n: int, hurst: float, sigma2: float) -> np.ndarray:
+    """Eigenvalues of the 2n-circulant embedding of the fGn covariance.
+
+    The eigenvector is a deterministic function of ``(n, hurst, sigma2)``
+    and its FFT dominates :func:`fgn_sample`'s non-RNG cost, so it is
+    memoized (the returned array is marked read-only — callers share it).
+    Caching changes nothing numerically: the cached value is the same
+    float sequence the inline computation produced.
+    """
+    gamma = fgn_autocovariance(hurst, n, sigma2=sigma2)
+    # First row of the 2n-circulant: gamma_0 .. gamma_n, gamma_{n-1} .. gamma_1
+    row = np.concatenate([gamma, gamma[-2:0:-1]])
+    eig = np.fft.fft(row).real
+    eig = np.where(eig < 0, 0.0, eig)  # clip fp noise; theory says >= 0
+    eig.setflags(write=False)
+    return eig
+
+
 def fgn_sample(
     n: int, hurst: float, sigma2: float = 1.0, seed: SeedLike = None
 ) -> np.ndarray:
@@ -77,18 +98,16 @@ def fgn_sample(
 
     The circulant embedding of the covariance is diagonalized by FFT; for
     fGn its eigenvalues are provably nonnegative, so the method is exact
-    (no approximation error beyond floating point).
+    (no approximation error beyond floating point).  The eigenvalue vector
+    is cached across calls keyed on ``(n, hurst, sigma2)``.
     """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
     require_in_range(hurst, "hurst", 0.0, 1.0, inclusive=False)
+    require_positive(sigma2, "sigma2")
     rng = as_rng(seed)
-    gamma = fgn_autocovariance(hurst, n, sigma2=sigma2)
-    # First row of the 2n-circulant: gamma_0 .. gamma_n, gamma_{n-1} .. gamma_1
-    row = np.concatenate([gamma, gamma[-2:0:-1]])
-    eig = np.fft.fft(row).real
-    eig = np.where(eig < 0, 0.0, eig)  # clip fp noise; theory says >= 0
-    m = row.size
+    eig = _fgn_embedding_eig(int(n), float(hurst), float(sigma2))
+    m = eig.size
     z = rng.normal(size=m) + 1j * rng.normal(size=m)
     x = np.fft.fft(np.sqrt(eig / (2.0 * m)) * z)
     return x.real[:n] * np.sqrt(2.0)

@@ -3,8 +3,10 @@ plus the tail diagnostics of Sections IV and VI."""
 
 from repro.stats.anderson_darling import (
     CRITICAL_VALUES,
+    NORMAL_CRITICAL_VALUES,
     AndersonDarlingResult,
     anderson_darling_exponential,
+    anderson_darling_normal,
     anderson_darling_statistic,
 )
 from repro.stats.descriptive import ArrivalSummary, summarize_arrivals
@@ -62,7 +64,9 @@ __all__ = [
     "PoissonTestResult",
     "SignBiasVerdict",
     "acf",
+    "NORMAL_CRITICAL_VALUES",
     "anderson_darling_exponential",
+    "anderson_darling_normal",
     "anderson_darling_statistic",
     "autocorrelation",
     "best_fit",

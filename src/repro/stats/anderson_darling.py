@@ -14,6 +14,11 @@ the data):
   so the statistic is modified to A^2 * (1 + 0.6 / n);
 * critical values come from the Case-3 table, not the all-parameters-known
   table.
+
+:func:`anderson_darling_normal` is the normal-law sibling (Case 4: mean and
+variance both estimated, modification A^2 (1 + 0.75/n + 2.25/n^2)), used by
+the superposition phase diagram to score how Gaussian the aggregate
+marginal looks in the slow- vs fast-connection-growth regimes.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import special
 
 #: Case-3 (exponential, mean estimated) critical values for the modified
 #: statistic A^2 (1 + 0.6/n), from D'Agostino & Stephens (1986), Table 4.14.
@@ -31,6 +37,17 @@ CRITICAL_VALUES: dict[float, float] = {
     0.05: 1.341,
     0.025: 1.606,
     0.01: 1.957,
+}
+
+#: Case-4 (normal, mean and variance estimated) critical values for the
+#: modified statistic A^2 (1 + 0.75/n + 2.25/n^2), from D'Agostino &
+#: Stephens (1986), Table 4.7.
+NORMAL_CRITICAL_VALUES: dict[float, float] = {
+    0.15: 0.576,
+    0.10: 0.656,
+    0.05: 0.787,
+    0.025: 0.918,
+    0.01: 1.092,
 }
 
 
@@ -97,4 +114,51 @@ def anderson_darling_exponential(
         n=x.size,
         significance=significance,
         critical_value=CRITICAL_VALUES[significance],
+    )
+
+
+def _a2_from_probabilities(z: np.ndarray) -> float:
+    """Raw A^2 from sorted fitted-CDF values ``z`` (clipped to (0, 1))."""
+    n = z.size
+    eps = np.finfo(float).tiny
+    z = np.clip(z, eps, 1.0 - 1e-15)
+    i = np.arange(1, n + 1)
+    s = np.sum((2 * i - 1) * (np.log(z) + np.log1p(-z[::-1])))
+    return float(-n - s / n)
+
+
+def anderson_darling_normal(
+    samples: np.ndarray, significance: float = 0.05
+) -> AndersonDarlingResult:
+    """Case-4 A^2 test for normality (mean and variance both estimated).
+
+    The statistic is modified to A^2 (1 + 0.75/n + 2.25/n^2) and compared
+    against the Case-4 table (:data:`NORMAL_CRITICAL_VALUES`).  Used as the
+    marginal-Gaussianity score in the superposition phase diagram: a small
+    statistic means the aggregate marginal is consistent with the Gaussian
+    (slow-connection-growth) limit, a large one flags the heavy-tailed
+    (fast-growth, stable-like) regime.
+    """
+    if significance not in NORMAL_CRITICAL_VALUES:
+        raise ValueError(
+            f"significance must be one of {sorted(NORMAL_CRITICAL_VALUES)},"
+            f" got {significance}"
+        )
+    x = np.sort(np.asarray(samples, dtype=float))
+    n = x.size
+    if n < 8:
+        raise ValueError(f"need at least 8 samples, got {n}")
+    if not np.all(np.isfinite(x)):
+        raise ValueError("samples must be finite")
+    s = float(np.std(x, ddof=1))
+    if s <= 0:
+        raise ValueError("samples must not be constant")
+    z = special.ndtr((x - float(np.mean(x))) / s)
+    a2 = _a2_from_probabilities(z)
+    modified = a2 * (1.0 + 0.75 / n + 2.25 / n**2)
+    return AndersonDarlingResult(
+        statistic=modified,
+        n=n,
+        significance=significance,
+        critical_value=NORMAL_CRITICAL_VALUES[significance],
     )

@@ -1,18 +1,48 @@
-"""The engine's shared process-pool fan-out primitive.
+"""The engine's shared process-pool fan-out primitives.
 
-Kept in a leaf module (stdlib imports only) so that source models —
-``repro.core.telnet``/``fulltel``/``ftp``, ``repro.queueing.delay`` — can
-offer a ``jobs=`` knob without pulling the experiment registry into their
-import closure, which would make every experiment's source digest
-(:func:`repro.engine.cache.source_digest`) sensitive to every file in the
-package and defeat exact cache invalidation.
+Kept in a leaf module (stdlib + numpy imports only) so that source models —
+``repro.core.telnet``/``fulltel``/``ftp``, ``repro.queueing.delay``,
+``repro.kernels.superpose`` — can offer a ``jobs=`` knob without pulling the
+experiment registry into their import closure, which would make every
+experiment's source digest (:func:`repro.engine.cache.source_digest`)
+sensitive to every file in the package and defeat exact cache invalidation.
+
+Two fan-out shapes live here:
+
+* :func:`pool_map` — the original pickle-everything map: each task's return
+  value rides back through the executor.  Fine for small results.
+* :func:`pool_map_shared` — the zero-copy reduction path: the parent
+  allocates one shared ``(n_tasks, *shape)`` array (a memory-mapped ``.npy``
+  scratch file when ``jobs > 1``), every worker writes its slot *in place*
+  and returns only small metadata, so hundred-MB partial aggregates never
+  transit pickle.  The serial path runs the identical per-slot calls on an
+  ordinary in-process array, and because each task owns a disjoint slot the
+  buffer contents are bit-identical for any ``jobs``.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, Sequence
+
+import numpy as np
+
+
+class PoolTaskError(RuntimeError):
+    """A pool task raised; carries the failing task's index in task order.
+
+    Raised by ``pool_map(strict=True)`` and always by
+    :func:`pool_map_shared`, instead of silently returning the exception
+    object as an outcome.
+    """
+
+    def __init__(self, index: int, cause: BaseException):
+        super().__init__(f"pool task {index} failed: {cause!r}")
+        self.index = index
+        self.cause = cause
 
 
 def pool_map(
@@ -21,6 +51,7 @@ def pool_map(
     jobs: int,
     *,
     on_result: Callable[[int, object, float], None] | None = None,
+    strict: bool = False,
 ) -> list[object]:
     """Order-preserving map over a process pool, capturing exceptions.
 
@@ -28,11 +59,13 @@ def pool_map(
     there is at most one task, otherwise on a ``ProcessPoolExecutor`` with
     up to ``jobs`` workers.  Returns one outcome per task *in task order*:
     the function's return value, or the raised exception object (workers
-    never take the whole map down).  ``on_result(index, outcome, wall_s)``
-    fires as each task completes (completion order), where ``wall_s`` is
-    submit-to-completion wall time; both the experiment runner (cache
-    write-back + progress logs) and the stream-scan driver (per-chunk
-    metrics) hook it.
+    never take the whole map down).  With ``strict=True`` a failed task
+    raises :class:`PoolTaskError` carrying the failing task index instead
+    of smuggling the exception object into the outcome list.
+    ``on_result(index, outcome, wall_s)`` fires as each task completes
+    (completion order), where ``wall_s`` is submit-to-completion wall time;
+    both the experiment runner (cache write-back + progress logs) and the
+    stream-scan driver (per-chunk metrics) hook it.
 
     This is the engine's shared fan-out primitive: anything shaped like
     "independent tasks, mergeable results" — experiment batteries, trace
@@ -50,6 +83,8 @@ def pool_map(
             try:
                 outcome = fn(*args)
             except Exception as exc:
+                if strict:
+                    raise PoolTaskError(i, exc) from exc
                 outcome = exc
             outcomes[i] = outcome
             if on_result is not None:
@@ -66,8 +101,99 @@ def pool_map(
             for fut in done:
                 i, t0 = started[fut]
                 exc = fut.exception()
+                if exc is not None and strict:
+                    raise PoolTaskError(i, exc) from exc
                 outcome = exc if exc is not None else fut.result()
                 outcomes[i] = outcome
                 if on_result is not None:
                     on_result(i, outcome, time.perf_counter() - t0)
     return outcomes
+
+
+def _shared_slot_task(path: str, index: int, fn: Callable, args: tuple):
+    """Worker body for :func:`pool_map_shared`: reopen the scratch ``.npy``
+    memory-mapped, hand ``fn`` its slot, return only ``fn``'s metadata."""
+    buf = np.lib.format.open_memmap(path, mode="r+")
+    try:
+        return fn(buf[index], *args)
+    finally:
+        buf.flush()
+        del buf
+
+
+def pool_map_shared(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    jobs: int,
+    *,
+    shape: tuple,
+    dtype=np.float64,
+    on_result: Callable[[int, object, float], None] | None = None,
+    scratch_dir: str | None = None,
+) -> tuple[np.ndarray, list[object]]:
+    """Shared-memory fan-out: workers fill slots of one array in place.
+
+    Runs ``fn(out_slot, *tasks[i])`` for every task, where ``out_slot`` is
+    the zero-initialized ``shape``-shaped ``dtype`` slot ``buffer[i]`` of
+    one ``(n_tasks, *shape)`` reduction buffer.  ``fn`` must write its
+    result into ``out_slot`` and return only small metadata (a dict of
+    counters, say) — the array itself never rides through pickle.  Returns
+    ``(buffer, metas)`` with ``metas`` in task order.
+
+    With ``jobs == 1`` (or at most one task) everything runs inline on an
+    ordinary ``np.zeros`` buffer; with ``jobs > 1`` the buffer is a
+    memory-mapped ``.npy`` scratch file (``numpy.lib.format.open_memmap``)
+    that each worker reopens and writes through, and the parent copies it
+    back to RAM before deleting the file.  Slots are disjoint, so the
+    returned buffer is bit-identical for any ``jobs`` — reduction order is
+    the caller's job and stays deterministic because slot order is task
+    order.  A failing task raises :class:`PoolTaskError` with its index.
+    """
+    tasks = list(tasks)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    shape = tuple(int(s) for s in shape)
+    full_shape = (len(tasks), *shape)
+    metas: list[object] = [None] * len(tasks)
+    if jobs == 1 or len(tasks) <= 1:
+        buffer = np.zeros(full_shape, dtype=dtype)
+        for i, args in enumerate(tasks):
+            t0 = time.perf_counter()
+            try:
+                meta = fn(buffer[i], *args)
+            except Exception as exc:
+                raise PoolTaskError(i, exc) from exc
+            metas[i] = meta
+            if on_result is not None:
+                on_result(i, meta, time.perf_counter() - t0)
+        return buffer, metas
+
+    fd, path = tempfile.mkstemp(suffix=".npy", prefix="repro-pool-",
+                                dir=scratch_dir)
+    os.close(fd)
+    try:
+        # open_memmap(w+) writes zeros lazily through the page cache, so
+        # slots start zero-initialized just like the serial np.zeros path.
+        scratch = np.lib.format.open_memmap(path, mode="w+", dtype=dtype,
+                                            shape=full_shape)
+        scratch.flush()
+        del scratch
+        outcomes = pool_map(
+            _shared_slot_task,
+            [(path, i, fn, args) for i, args in enumerate(tasks)],
+            jobs,
+            on_result=on_result,
+        )
+        for i, outcome in enumerate(outcomes):
+            if isinstance(outcome, BaseException):
+                raise PoolTaskError(i, outcome) from outcome
+            metas[i] = outcome
+        back = np.lib.format.open_memmap(path, mode="r")
+        buffer = np.array(back)
+        del back
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return buffer, metas
