@@ -28,6 +28,11 @@ Usage::
     python -m repro superpose run --replications 192 --json
     python -m repro superpose run --battery-sources 100000 --out bench/
 
+    # in-network conditioning & policing detection (repro.shaping):
+    python -m repro shaping run --json --out bench/
+    python -m repro shaping run --rate-factors 0.5 --burst-seconds 0.25,1
+    python -m repro replay loopback --packets 50000 --police-rate 30000
+
     # live traffic replay & load generation (repro.replay):
     python -m repro replay loopback --packets 100000 --validate
     python -m repro replay loopback --trace big.txt --speed 60 --flows 4
@@ -82,6 +87,20 @@ def _nonnegative_float(text: str) -> float:
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
     return value
+
+
+def _positive_float_list(text: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(x) for x in text.split(",") if x.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}"
+        ) from None
+    if not values or any(v <= 0 for v in values):
+        raise argparse.ArgumentTypeError(
+            f"expected positive comma-separated numbers, got {text!r}"
+        )
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -307,6 +326,46 @@ def build_parser() -> argparse.ArgumentParser:
     srun.add_argument("--out", default=None, metavar="DIR",
                       help="write BENCH_superpose_run.json into DIR")
 
+    shaping = sub.add_parser(
+        "shaping",
+        help="in-network policers/shapers & closed-loop policing detection",
+    )
+    shaping_sub = shaping.add_subparsers(dest="shaping_command",
+                                         required=True)
+    shrun = shaping_sub.add_parser(
+        "run",
+        help="synthesize -> police at a known rate -> detect from the "
+             "trace alone; report rate recovery over a rate x burst grid "
+             "plus the shaping Hurst-impact battery",
+        parents=[common],
+    )
+    shrun.add_argument("--model", default="ftp",
+                       help="synthesis model (default ftp)")
+    shrun.add_argument("--packets", type=_positive_int, default=60_000,
+                       metavar="N",
+                       help="synthesized packets (default 60000)")
+    shrun.add_argument("--source-rate", type=_positive_float, default=240.0,
+                       metavar="X",
+                       help="source intensity (sessions/hour for ftp; "
+                            "default 240 — dense enough to police)")
+    shrun.add_argument("--rate-factors", type=_positive_float_list,
+                       default=(0.3, 0.5, 0.8), metavar="F,F,...",
+                       help="policed rate as fractions of the mean byte "
+                            "rate (default 0.3,0.5,0.8)")
+    shrun.add_argument("--burst-seconds", type=_positive_float_list,
+                       default=(0.25, 1.0, 4.0), metavar="S,S,...",
+                       help="bucket depths in seconds of credit at the "
+                            "policed rate (default 0.25,1.0,4.0)")
+    shrun.add_argument("--shaper-rate-factors", type=_positive_float_list,
+                       default=(1.0, 1.5, 3.0), metavar="F,F,...",
+                       help="lossless shaper rates for the Hurst battery, "
+                            "as mean-rate factors >= 1 (default 1.0,1.5,3.0)")
+    shrun.add_argument("--seed", type=int, default=7, help="RNG seed")
+    shrun.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the closed-loop report as JSON")
+    shrun.add_argument("--out", default=None, metavar="DIR",
+                       help="write BENCH_shaping_run.json into DIR")
+
     replay = sub.add_parser(
         "replay", help="live traffic replay & load generation"
     )
@@ -372,6 +431,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print BENCH-shaped replay metrics as JSON")
     loop.add_argument("--out", default=None, metavar="DIR",
                       help="write BENCH_replay.json into DIR")
+    loop.add_argument("--police-rate", type=_positive_float, default=None,
+                      metavar="BPS",
+                      help="in-path token-bucket policer: byte rate; "
+                           "non-conforming records are dropped before "
+                           "they reach the wire")
+    loop.add_argument("--police-burst", type=_positive_float, default=None,
+                      metavar="BYTES",
+                      help="policer bucket depth in bytes "
+                           "(default: 0.25s of credit at --police-rate)")
+    loop.add_argument("--shape-rate", type=_positive_float, default=None,
+                      metavar="BPS",
+                      help="in-path leaky-bucket shaper: byte rate; "
+                           "record timestamps are re-paced losslessly")
+    loop.add_argument("--shape-burst", type=_positive_float, default=None,
+                      metavar="BYTES",
+                      help="shaper bucket depth in bytes "
+                           "(default: 0.25s of credit at --shape-rate)")
 
     send = replay_sub.add_parser(
         "send", help="replay a source to a remote collector",
@@ -640,6 +716,36 @@ def _superpose_command(args) -> int:
     return 0
 
 
+def _shaping_command(args) -> int:
+    import time
+
+    from repro.shaping import ShapingScenario
+    from repro.shaping.scenario import run_scenario as run_shaping
+
+    scenario = ShapingScenario(
+        model=args.model,
+        n_packets=args.packets,
+        source_rate=args.source_rate,
+        rate_factors=args.rate_factors,
+        burst_seconds=args.burst_seconds,
+        shaper_rate_factors=args.shaper_rate_factors,
+        seed=args.seed,
+    )
+    t0 = time.perf_counter()
+    report = run_shaping(scenario)
+    elapsed = time.perf_counter() - t0
+    payload = report.payload()
+    payload["wall_time_s"] = round(elapsed, 3)
+    if args.out:
+        _write_bench_json(payload, args.out, "BENCH_shaping_run.json")
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        print(f"  [{elapsed:.1f}s wall]")
+    return 0 if report.recovery_ok else 1
+
+
 def _build_replay_source(args):
     """``--trace PATH`` (streamed from disk) or ``--packets N --model M``."""
     from repro.replay import model_help, synthesize_packets
@@ -670,6 +776,22 @@ def _replay_pacing(args):
     )
 
 
+def _loopback_element(args):
+    """Optional in-path conditioning element from the loopback flags."""
+    if args.police_rate is not None and args.shape_rate is not None:
+        raise SystemExit("--police-rate and --shape-rate are mutually "
+                         "exclusive (chain elements via the API)")
+    from repro.shaping import LeakyBucketShaper, TokenBucketPolicer
+
+    if args.police_rate is not None:
+        burst = args.police_burst or 0.25 * args.police_rate
+        return TokenBucketPolicer(args.police_rate, burst)
+    if args.shape_rate is not None:
+        burst = args.shape_burst or 0.25 * args.shape_rate
+        return LeakyBucketShaper(args.shape_rate, burst)
+    return None
+
+
 def _replay_loopback_command(args) -> int:
     import os
     import tempfile
@@ -692,6 +814,7 @@ def _replay_loopback_command(args) -> int:
             policy=args.policy,
             queue_depth=args.queue_depth,
             validate=args.validate,
+            element=_loopback_element(args),
         )
     finally:
         if tmp_dir is not None:
@@ -824,6 +947,8 @@ def main(argv: list[str] | None = None) -> int:
         return _monitor_command(args)
     if args.command == "superpose":
         return _superpose_command(args)
+    if args.command == "shaping":
+        return _shaping_command(args)
     if args.command == "replay":
         return _replay_command(args)
     if args.command == "list":

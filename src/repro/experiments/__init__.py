@@ -25,6 +25,7 @@ from repro.experiments.fig02 import fig02
 from repro.experiments.flowsim_exp import flowsim
 from repro.experiments.monitor_exp import monitor
 from repro.experiments.sessions import weathermap, x11_sessions
+from repro.experiments.shaping_exp import shaping
 from repro.experiments.superpose_exp import superpose
 from repro.experiments.telnet_scales import telnet_scales
 from repro.experiments.fig03 import fig03
@@ -68,6 +69,7 @@ REGISTRY = {
     "mgk": mgk_comparison,
     "monitor": monitor,
     "priority": priority_starvation,
+    "shaping": shaping,
     "superpose": superpose,
     "tcp_dynamics": tcp_dynamics,
     "telnet_scales": telnet_scales,

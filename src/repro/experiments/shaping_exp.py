@@ -1,0 +1,27 @@
+"""Closed-loop policing detection: police at a known rate, recover it blind.
+
+No 1994-era study could ask whether traffic *had been* policed — the
+paper's traces predate widespread traffic conditioning.  This experiment
+closes the loop the modern way: synthesize the paper's ftp workload,
+push it through a token-bucket policer at a known rate, hand only the
+surviving packet trace to :mod:`repro.shaping.detect`, and score how
+well the enforcement rate is recovered across a rate x burst-depth
+grid (an unpoliced control must come back clean).  The companion
+battery measures what lossless shaping does to the Hurst signature:
+fine-scale H is suppressed below the bucket's drain time, the
+coarse-scale LRD slope — the paper's actual finding — is conserved.
+"""
+
+from __future__ import annotations
+
+from repro.utils.rng import SeedLike
+
+
+def shaping(seed: SeedLike = 7) -> "ShapingReport":  # noqa: F821
+    """Run the synthesize -> police -> detect loop plus the Hurst battery."""
+    # Lazy: repro.shaping reaches repro.stream, whose driver imports this
+    # registry back — a module-level import here would close the cycle.
+    from repro.shaping.scenario import ShapingScenario, run_scenario
+
+    scenario = ShapingScenario(seed=7 if seed is None else int(seed))
+    return run_scenario(scenario)

@@ -137,6 +137,15 @@ class LinkStats:
     FIFO discipline the windows are the store-and-forward service slots
     and ``departure_times`` additionally holds the discrete whole-flow
     departure instants.
+
+    When the link carries conditioning specs (``link.policer`` /
+    ``link.shaper``) the *output*-side exports — :meth:`byte_process`,
+    :meth:`bytes_delivered`, :attr:`dropped_bytes` — push the offered
+    fluid curve through those elements: the policer clips bytes (fluid
+    token bucket, :func:`~repro.shaping.elements.fluid_police_curve`)
+    and the shaper re-times them byte-conservingly (min-plus,
+    :func:`~repro.shaping.elements.shaped_curve_eval`).  The raw window
+    arrays and :meth:`bytes_transferred` stay *offered*-side.
     """
 
     link: Link
@@ -151,13 +160,86 @@ class LinkStats:
         return int(self.flow_indices.size)
 
     def bytes_transferred(self, until: float | None = None) -> float:
-        """Exact bytes through the link (optionally clipped at ``until``)."""
+        """Exact *offered* bytes through the link (clipped at ``until``).
+
+        Conditioning elements are not applied here; see
+        :meth:`bytes_delivered` for the post-policer/post-shaper total.
+        """
         if until is None:
             dt = self.transfer_ends - self.transfer_starts
         else:
             dt = np.clip(until, self.transfer_starts, self.transfer_ends) \
                 - self.transfer_starts
         return float((self.transfer_rates * dt).sum())
+
+    # ------------------------------------------------------------------
+    def offered_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cumulative offered-byte curve ``(times, cum_bytes)``.
+
+        The aggregate transmission rate is a step function (flows start
+        and stop); its integral — cumulative bytes — is piecewise
+        linear, so any instant evaluates with one ``np.interp``.
+        """
+        if self.n_flows == 0:
+            return np.zeros(1), np.zeros(1)
+        times = np.concatenate([self.transfer_starts, self.transfer_ends])
+        deltas = np.concatenate([self.transfer_rates, -self.transfer_rates])
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        rate_after = np.cumsum(deltas[order])
+        rate_before = np.concatenate([[0.0], rate_after[:-1]])
+        cum_bytes = np.concatenate(
+            [[0.0], np.cumsum(rate_before[1:] * np.diff(times))]
+        )
+        return times, cum_bytes
+
+    def conditioned_curve(self) -> tuple[np.ndarray, np.ndarray, float]:
+        """Offered curve pushed through this hop's policer, if any:
+        ``(times, cum_bytes, dropped_bytes)``.  The shaper stage is
+        evaluation-time (min-plus), so it lives in the consumers."""
+        # Lazy: repro.shaping's package init reaches repro.stream, whose
+        # driver pulls the experiment registry back into flowsim.
+        from repro.shaping.elements import fluid_police_curve
+
+        times, cum = self.offered_curve()
+        dropped = 0.0
+        if self.link.policer is not None and self.n_flows:
+            rate, depth = self.link.policer
+            times, cum, dropped = fluid_police_curve(times, cum, rate, depth)
+        return times, cum, dropped
+
+    @property
+    def dropped_bytes(self) -> float:
+        """Bytes clipped by this hop's policer (0.0 without one)."""
+        return self.conditioned_curve()[2]
+
+    @property
+    def policer_loss(self) -> float:
+        """This hop's fluid policer byte-drop *fraction* — what the
+        simulator's pre-pass installs as ``Link.policer_loss`` so the
+        closure models see it through ``Topology.path_loss``."""
+        times, cum, dropped = self.conditioned_curve()
+        offered = float(cum[-1]) + dropped
+        return dropped / offered if offered > 0.0 else 0.0
+
+    def bytes_delivered(self, until: float | None = None) -> float:
+        """Bytes past this hop's conditioning elements by ``until``
+        (all of them when ``until`` is None — a shaper only delays, so
+        its backlog drains and the policed total is conserved)."""
+        from repro.shaping.elements import shaped_curve_eval, shaper_drain_end
+
+        times, cum, _ = self.conditioned_curve()
+        total = float(cum[-1])
+        if self.link.shaper is None:
+            if until is None:
+                return total
+            return float(np.interp(until, times, cum,
+                                   left=0.0, right=total))
+        rate, depth = self.link.shaper
+        if until is None:
+            until = shaper_drain_end(times, cum, rate, depth)
+        return float(shaped_curve_eval(times, cum, rate, depth,
+                                       np.asarray([float(until)]))[0])
 
     # ------------------------------------------------------------------
     def byte_process(
@@ -168,30 +250,38 @@ class LinkStats:
     ) -> CountProcess:
         """The link's output byte-count process, integrated exactly.
 
-        The aggregate transmission rate is a step function (flows start
-        and stop); its integral — cumulative bytes — is piecewise linear,
-        so evaluating it at the bin edges (one ``np.interp``) gives every
-        bin's byte count with no per-packet events at all.  The result
-        feeds straight into the variance-time / R-S / Hurst battery via
+        Evaluates the cumulative byte curve at the bin edges — through
+        the link's policer and shaper when it has them (the default
+        ``end`` extends to the shaper's drain point so every conserved
+        byte lands in some bin).  The result feeds straight into the
+        variance-time / R-S / Hurst battery via
         :class:`~repro.selfsim.counts.CountProcess`.
         """
+        from repro.shaping.elements import shaped_curve_eval, shaper_drain_end
+
         require_positive(bin_width, "bin_width")
+        times, cum, _ = self.conditioned_curve()
+        shaper = self.link.shaper if self.n_flows else None
         if end is None:
-            end = float(self.transfer_ends.max()) if self.n_flows else start
+            end = float(times[-1]) if self.n_flows else start
+            if shaper is not None:
+                rate, depth = shaper
+                end = max(end, shaper_drain_end(times, cum, rate, depth))
+                # Whole bins only (bin_edges floors): round the drain
+                # point up so the conserved tail bytes land in a bin.
+                if end > start:
+                    end = start + bin_width * np.ceil(
+                        (end - start) / bin_width - 1e-9
+                    )
         edges = bin_edges(start, end, bin_width)
         if self.n_flows == 0:
             return CountProcess(np.zeros(max(len(edges) - 1, 0)), bin_width)
-        times = np.concatenate([self.transfer_starts, self.transfer_ends])
-        deltas = np.concatenate([self.transfer_rates, -self.transfer_rates])
-        order = np.argsort(times, kind="stable")
-        times = times[order]
-        rate_after = np.cumsum(deltas[order])
-        rate_before = np.concatenate([[0.0], rate_after[:-1]])
-        cum_bytes = np.concatenate(
-            [[0.0], np.cumsum(rate_before[1:] * np.diff(times))]
-        )
-        at_edges = np.interp(edges, times, cum_bytes,
-                             left=0.0, right=float(cum_bytes[-1]))
+        if shaper is not None:
+            rate, depth = shaper
+            at_edges = shaped_curve_eval(times, cum, rate, depth, edges)
+        else:
+            at_edges = np.interp(edges, times, cum,
+                                 left=0.0, right=float(cum[-1]))
         return CountProcess(np.diff(at_edges), bin_width)
 
     def packet_process(
@@ -282,6 +372,13 @@ class FlowSimResult:
     def bytes_offered(self) -> float:
         return float(np.asarray(self.flows.sizes, dtype=float).sum())
 
+    @property
+    def policer_losses(self) -> np.ndarray:
+        """Per-link policer byte-drop fractions installed by the
+        pre-pass (zeros when no link polices)."""
+        return np.array([s.link.policer_loss for s in self.links]) \
+            if self.links else np.zeros(0)
+
     def link(self, index: int) -> LinkStats:
         return self.links[index]
 
@@ -317,6 +414,14 @@ class FlowSimulator:
         horizon, events past it never execute: still-open flows report
         ``nan`` close times and ``completed=False``, and the per-link
         exports clip exactly at the horizon when asked to.
+
+        When any link carries a policer, the run is two-phase: a first
+        pass with zeroed policer losses yields each policed link's
+        offered byte curve, the fluid drop fraction is installed via
+        :meth:`Topology.set_policer_losses`, and the second pass re-runs
+        so ``Topology.path_loss`` feeds the composed loss (ambient +
+        policer, composed *before* the models' ``[1e-8, 0.45]`` clamp)
+        to the closed-form TCP models.
         """
         if len(flows) == 0:
             raise ValueError("no flows to simulate")
@@ -331,6 +436,19 @@ class FlowSimulator:
             model_ids=(None if flows.model_ids is None
                        else np.asarray(flows.model_ids)[order]),
         )
+        if any(link.policer is not None for link in self.topology.links):
+            self.topology.set_policer_losses(
+                np.zeros(self.topology.n_links)
+            )
+            pre = self._simulate(table, order, horizon)
+            self.topology.set_policer_losses(
+                [stats.policer_loss for stats in pre.links]
+            )
+        return self._simulate(table, order, horizon)
+
+    def _simulate(self, table: FlowTable, order: np.ndarray,
+                  horizon: float | None) -> FlowSimResult:
+        """One routing + closure + event pass over a prepared table."""
         path_ids, paths, rtts, losses = self._route(table)
         model_rates, latencies, responsive = self._close_flows(
             table, rtts, losses

@@ -38,6 +38,14 @@ from repro.utils.validation import require_positive
 #: Numerical guards: the closed forms divide by ``p`` and ``1 - 2p``;
 #: clamping keeps the p -> 0 limit (window-limited rate) and avoids the
 #: p >= 1/2 handshake singularity without changing any realistic regime.
+#:
+#: Clamp *order* is a contract: ``Topology.path_loss`` composes every
+#: hop's ambient loss and policer loss on raw probabilities first, and
+#: the clamp is applied exactly once here, to each model's composed
+#: input.  A policer-dominated path (per-hop drops near or past the
+#: ceiling) therefore composes exactly and saturates at ``_P_CEIL``
+#: once, instead of each hop being flattened to the ceiling before
+#: composition.
 _P_FLOOR = 1e-8
 _P_CEIL = 0.45
 

@@ -33,12 +33,33 @@ class Link:
     capacity: float  # bytes/second
     delay: float  # one-way propagation, seconds
     loss: float = 0.0  # packet loss probability on this hop
+    #: Optional in-network conditioning on this hop, as (rate_Bps,
+    #: depth_bytes) token-bucket specs.  A policer drops the bytes its
+    #: bucket cannot cover (the drop fraction feeds ``policer_loss``
+    #: after a fluid pre-pass); a shaper delays them (byte-conserving).
+    policer: tuple[float, float] | None = None
+    shaper: tuple[float, float] | None = None
+    #: Byte drop probability contributed by this hop's policer — filled
+    #: in by the simulator's pre-pass (or set explicitly); composed
+    #: into ``Topology.path_loss`` alongside the ambient ``loss``.
+    policer_loss: float = 0.0
 
     def __post_init__(self):
         require_positive(self.capacity, "capacity")
         require_nonnegative(self.delay, "delay")
         if not 0.0 <= self.loss < 1.0:
             raise ValueError(f"loss must lie in [0, 1), got {self.loss}")
+        for name in ("policer", "shaper"):
+            spec = getattr(self, name)
+            if spec is None:
+                continue
+            rate, depth = spec
+            require_positive(float(rate), f"{name} rate")
+            require_positive(float(depth), f"{name} depth")
+        if not 0.0 <= self.policer_loss < 1.0:
+            raise ValueError(
+                f"policer_loss must lie in [0, 1), got {self.policer_loss}"
+            )
 
 
 class Topology:
@@ -61,6 +82,8 @@ class Topology:
         delay: float = 0.01,
         loss: float = 0.0,
         bidirectional: bool = True,
+        policer: tuple[float, float] | None = None,
+        shaper: tuple[float, float] | None = None,
     ) -> list[int]:
         """Add a link (by default one in each direction); returns indices."""
         if not (0 <= src < self.n_nodes and 0 <= dst < self.n_nodes):
@@ -71,7 +94,8 @@ class Topology:
         ends = [(src, dst), (dst, src)] if bidirectional else [(src, dst)]
         for u, v in ends:
             link = Link(index=len(self.links), src=u, dst=v,
-                        capacity=capacity, delay=delay, loss=loss)
+                        capacity=capacity, delay=delay, loss=loss,
+                        policer=policer, shaper=shaper)
             self.links.append(link)
             self._out[u].append(link.index)
             indices.append(link.index)
@@ -91,8 +115,23 @@ class Topology:
             )
         self.links = [
             Link(index=l.index, src=l.src, dst=l.dst, capacity=float(c),
-                 delay=l.delay, loss=l.loss)
+                 delay=l.delay, loss=l.loss, policer=l.policer,
+                 shaper=l.shaper, policer_loss=l.policer_loss)
             for l, c in zip(self.links, caps)
+        ]
+
+    def set_policer_losses(self, losses) -> None:
+        """Install per-link policer byte-drop probabilities (pre-pass)."""
+        vals = np.asarray(losses, dtype=float)
+        if vals.size != self.n_links:
+            raise ValueError(
+                f"need {self.n_links} policer losses, got {vals.size}"
+            )
+        self.links = [
+            Link(index=l.index, src=l.src, dst=l.dst, capacity=l.capacity,
+                 delay=l.delay, loss=l.loss, policer=l.policer,
+                 shaper=l.shaper, policer_loss=float(p))
+            for l, p in zip(self.links, vals)
         ]
 
     # ------------------------------------------------------------------
@@ -145,10 +184,20 @@ class Topology:
         return max(2.0 * sum(self.links[li].delay for li in path), min_rtt)
 
     def path_loss(self, path: tuple[int, ...]) -> float:
-        """End-to-end loss probability: 1 - prod(1 - per-hop loss)."""
+        """End-to-end loss probability: 1 - prod(1 - per-hop loss).
+
+        Each hop contributes its ambient ``loss`` *and* its
+        ``policer_loss`` as independent drop stages.  The composition
+        happens here, on raw probabilities — the closed-form TCP models
+        clamp their *input* to ``[1e-8, 0.45]`` only afterwards, inside
+        each model's ``__call__`` (see :mod:`repro.flowsim.tcpmodels`),
+        so a policer-dominated path composes exactly and is clamped
+        once, not per hop.
+        """
         keep = 1.0
         for li in path:
-            keep *= 1.0 - self.links[li].loss
+            link = self.links[li]
+            keep *= (1.0 - link.loss) * (1.0 - link.policer_loss)
         return 1.0 - keep
 
     def __repr__(self):

@@ -35,6 +35,9 @@ class QueueResult:
     waiting_times: np.ndarray  # time spent queued before service
     service_times: np.ndarray
     utilization: float  # offered load rho = total service / span
+    #: One ConditioningResult per ``pre=`` element, in application order
+    #: (empty when the queue saw the raw arrivals).
+    conditioning: tuple = ()
 
     @property
     def sojourn_times(self) -> np.ndarray:
@@ -62,6 +65,8 @@ def fifo_queue(
     arrival_times: np.ndarray,
     service_times: np.ndarray | float,
     seed: SeedLike = None,
+    *,
+    pre=None,
 ) -> QueueResult:
     """Simulate a FIFO single-server queue via Lindley's recursion.
 
@@ -72,6 +77,14 @@ def fifo_queue(
     service_times:
         Per-packet service durations; a scalar means deterministic service
         (the natural model for fixed-size packets on a fixed-rate link).
+    pre:
+        Optional in-network conditioning ahead of the queue: one element
+        (or a sequence applied in order) from :mod:`repro.shaping` — a
+        policer drops non-conforming arrivals before they queue, a
+        shaper re-times them.  Per-packet service times are filtered
+        alongside the arrivals they belong to; the applied
+        :class:`~repro.shaping.elements.ConditioningResult` objects are
+        returned on ``QueueResult.conditioning``.
 
     Utilization convention for degenerate spans (explicit and tested):
 
@@ -100,6 +113,26 @@ def fifo_queue(
             )
         if np.any(s < 0):
             raise ValueError("service times must be >= 0")
+    conditioning: tuple = ()
+    if pre is not None:
+        elements = pre if isinstance(pre, (list, tuple)) else (pre,)
+        applied = []
+        for element in elements:
+            res = element.apply(t)
+            applied.append(res)
+            t = res.accepted_times
+            s = s[res.accept]
+            # A shaper may reorder emissions only across equal-time
+            # ties; the queue needs arrival order regardless.
+            order = np.argsort(t, kind="stable")
+            t = t[order]
+            s = s[order]
+            if t.size == 0:
+                raise ValueError(
+                    f"{element!r} dropped every arrival before the queue"
+                )
+        conditioning = tuple(applied)
+        n = t.size
     w = lindley_waits(s, np.diff(t))
     span = float(t[-1] - t[0]) if n > 1 else float(s[0])
     total_service = float(s.sum())
@@ -109,7 +142,8 @@ def fifo_queue(
         utilization = 0.0
     else:
         utilization = float("inf")
-    return QueueResult(waiting_times=w, service_times=s, utilization=utilization)
+    return QueueResult(waiting_times=w, service_times=s,
+                       utilization=utilization, conditioning=conditioning)
 
 
 def mm1_mean_wait(rate: float, service_mean: float) -> float:

@@ -110,8 +110,17 @@ async def loopback(
     queue_depth: int = 256,
     validate: bool = False,
     host: str = "127.0.0.1",
+    element=None,
 ) -> LoopbackResult:
-    """Replay ``source`` to a local collector and return both sides."""
+    """Replay ``source`` to a local collector and return both sides.
+
+    ``element`` optionally puts an in-path conditioning stage from
+    :mod:`repro.shaping` between the source and the sender: a policer
+    drops non-conforming records before they ever hit the wire, a
+    shaper rewrites their timestamps (which paced replay then honors).
+    Bucket state carries across batches, so the conditioned stream is
+    chunking-invariant.
+    """
     collector = Collector(capture_path=capture_path, policy=policy,
                           queue_depth=queue_depth)
     port = await collector.start(host=host, transport=transport)
@@ -120,6 +129,10 @@ async def loopback(
         trace_source(source) if isinstance(source, PacketTrace)
         else file_source(source)
     )
+    if element is not None:
+        from repro.shaping.elements import condition_batches
+
+        batches = condition_batches(batches, element)
     try:
         flow_results = await replay_source(
             batches, host, port,

@@ -28,6 +28,7 @@ import asyncio
 import time
 from dataclasses import dataclass
 
+from repro.shaping.gcra import GcraCore
 from repro.stream.sketches import QuantileSketch, StreamingMoments
 
 
@@ -124,31 +125,29 @@ class TokenBucket:
     so a single ``acquire(n)`` with ``n`` far beyond the depth still waits
     out the full ``n / rate`` budget — batch-granular capping converges to
     the same average rate as per-record capping.
+
+    The TAT arithmetic lives in :class:`repro.shaping.gcra.GcraCore`
+    (deficit admission), shared with the in-network conditioning
+    elements; this class only binds it to a clock and an async sleep.
     """
 
     def __init__(self, rate: float, depth: float = 64.0, *,
                  clock=time.monotonic, sleep=asyncio.sleep):
-        if rate <= 0:
-            raise ValueError(f"rate must be > 0, got {rate}")
-        if depth <= 0:
-            raise ValueError(f"depth must be > 0, got {depth}")
-        self.rate = float(rate)
-        self.depth = float(depth)
+        self._core = GcraCore(rate, depth)
         self._clock = clock
         self._sleep = sleep
-        self._tat: float | None = None  # theoretical arrival time
+
+    @property
+    def rate(self) -> float:
+        return self._core.rate
+
+    @property
+    def depth(self) -> float:
+        return self._core.depth
 
     async def acquire(self, n: float = 1.0) -> None:
         """Admit ``n`` records, sleeping until the average rate allows it."""
-        now = self._clock()
-        if self._tat is None:
-            self._tat = now
-        burst_s = self.depth / self.rate
-        # An idle bucket accrues at most `depth` records of credit: the
-        # theoretical arrival time never lags behind the present, and the
-        # conformance tolerance below is exactly one burst.
-        self._tat = max(self._tat, now) + n / self.rate
-        wait = self._tat - now - burst_s
+        wait = self._core.advance(self._clock(), n)
         if wait > 0:
             await self._sleep(wait)
 

@@ -1,0 +1,71 @@
+"""In-network traffic conditioning and its trace-side inverse.
+
+Three layers, one GCRA:
+
+* :mod:`repro.shaping.gcra` — the pinned synchronous theoretical-
+  arrival-time core shared with the replay pacer's asyncio bucket;
+* :mod:`repro.shaping.elements` — vectorized policer (drop) and shaper
+  (delay) over packet columns, plus fluid-curve forms for flowsim;
+* :mod:`repro.shaping.detect` — blind policing inference from a trace
+  alone, exact under shard merge;
+* :mod:`repro.shaping.scenario` — the synthesize → police → detect
+  closed loop and the shaping Hurst-impact battery.
+
+Scenario symbols are lazy (PEP 562): ``replay.pacing`` imports this
+package's GCRA core, and the scenario module imports ``replay.source``
+— eager loading would close an import cycle.
+"""
+
+from repro.shaping.detect import (
+    DetectorConfig,
+    PolicingDetector,
+    PolicingVerdict,
+    detect_times,
+    detect_trace,
+)
+from repro.shaping.elements import (
+    ConditioningResult,
+    LeakyBucketShaper,
+    TokenBucketPolicer,
+    condition_batches,
+    fluid_police_curve,
+    reference_condition,
+    shaped_curve_eval,
+    shaper_drain_end,
+)
+from repro.shaping.gcra import GcraCore
+
+__all__ = [
+    "ConditioningResult",
+    "DetectorConfig",
+    "GcraCore",
+    "GridCell",
+    "HurstCell",
+    "LeakyBucketShaper",
+    "PolicingDetector",
+    "PolicingVerdict",
+    "ShapingReport",
+    "ShapingScenario",
+    "TokenBucketPolicer",
+    "condition_batches",
+    "detect_times",
+    "detect_trace",
+    "fluid_police_curve",
+    "reference_condition",
+    "run_scenario",
+    "shaped_curve_eval",
+    "shaper_drain_end",
+]
+
+_SCENARIO_SYMBOLS = {
+    "GridCell", "HurstCell", "ShapingReport", "ShapingScenario",
+    "run_scenario",
+}
+
+
+def __getattr__(name: str):
+    if name in _SCENARIO_SYMBOLS:
+        from repro.shaping import scenario
+
+        return getattr(scenario, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,123 @@
+"""The shared synchronous GCRA (virtual-scheduling token bucket) core.
+
+One pinned implementation of the theoretical-arrival-time math drives
+every rate enforcer in the repo:
+
+* the asyncio send-side cap (:class:`repro.replay.pacing.TokenBucket`)
+  delegates its ``acquire`` arithmetic to :meth:`GcraCore.advance` —
+  the extraction is bit-identical (same float operations in the same
+  order as the pre-refactor inline math, pinned by a fake-clock test);
+* the in-network elements (:mod:`repro.shaping.elements`) use
+  :meth:`GcraCore.offer` as the scalar *reference* semantics their
+  vectorized scans must reproduce.
+
+State is a single float: the theoretical arrival time (TAT).  With rate
+``r`` units/second and burst depth ``d`` units (``burst_s = d / r``
+seconds of credit):
+
+* an idle bucket accrues at most one burst of credit — the TAT never
+  lags behind the present (``max(tat, now)``);
+* admitting ``n`` units advances the TAT by ``n / r``;
+* the conformance tolerance is exactly one burst: an arrival is
+  conforming while ``tat - now <= burst_s``.
+
+Two admission styles share that state:
+
+* **deficit** (:meth:`advance`): admit unconditionally, report how long
+  the caller must wait for the average rate to catch up.  A single
+  oversized batch is admitted instantly and waited off afterwards — the
+  replay sender's batch-granular capping.
+* **conforming** (:meth:`offer`): consume only if the arrival's delay
+  to conformance is within ``max_wait`` — ``max_wait=0`` is a policer
+  (drop non-conforming), ``max_wait=inf`` a lossless shaper (delay
+  non-conforming), and anything between a bounded-queue shaper.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["GcraCore"]
+
+
+class GcraCore:
+    """Synchronous theoretical-arrival-time GCRA state machine.
+
+    Unit-agnostic: ``rate`` is units/second and ``depth`` is units,
+    where a unit is whatever the caller admits (records for the replay
+    cap, bytes for the in-network elements).
+    """
+
+    __slots__ = ("rate", "depth", "tat")
+
+    def __init__(self, rate: float, depth: float):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if depth <= 0:
+            raise ValueError(f"depth must be > 0, got {depth}")
+        self.rate = float(rate)
+        self.depth = float(depth)
+        self.tat: float | None = None  # theoretical arrival time
+
+    @property
+    def burst_s(self) -> float:
+        """One burst of credit, in seconds (``depth / rate``)."""
+        return self.depth / self.rate
+
+    def reset(self) -> None:
+        self.tat = None
+
+    # ------------------------------------------------------------------
+    def advance(self, now: float, n: float = 1.0) -> float:
+        """Deficit admission: admit ``n`` units at ``now`` unconditionally
+        and return the (>= 0) wait until the average rate allows them.
+
+        Exactly the pre-extraction ``TokenBucket.acquire`` arithmetic —
+        same operations, same order — so the asyncio bucket's sleep
+        sequence is bit-identical across the refactor.
+        """
+        if self.tat is None:
+            self.tat = now
+        burst_s = self.depth / self.rate
+        # An idle bucket accrues at most `depth` units of credit: the
+        # theoretical arrival time never lags behind the present, and the
+        # conformance tolerance below is exactly one burst.
+        self.tat = max(self.tat, now) + n / self.rate
+        wait = self.tat - now - burst_s
+        return wait if wait > 0 else 0.0
+
+    def offer(
+        self, now: float, n: float = 1.0, max_wait: float = 0.0
+    ) -> tuple[bool, float]:
+        """Conforming admission: ``(accepted, delay)`` for ``n`` units.
+
+        ``delay`` is the time from ``now`` until the arrival conforms
+        (0 for a conforming arrival).  The units are consumed — the TAT
+        advances — only when ``delay <= max_wait``; a rejected arrival
+        leaves the bucket untouched, the defining property of a policer.
+
+        * ``max_wait=0``    — GCRA policer (drop + leave state alone);
+        * ``max_wait=inf``  — lossless leaky-bucket shaper (emit at
+          ``now + delay``);
+        * finite ``max_wait`` — shaper with a bounded queue (drop
+          arrivals whose shaping delay would exceed the bound).
+        """
+        if self.tat is None:
+            self.tat = now
+        burst_s = self.depth / self.rate
+        delay = self.tat - now - burst_s
+        if delay <= 0.0:
+            delay = 0.0
+        if delay > max_wait:
+            return False, delay
+        self.tat = max(self.tat, now) + n / self.rate
+        return True, delay
+
+    # ------------------------------------------------------------------
+    def __repr__(self):
+        return (f"GcraCore(rate={self.rate:g}, depth={self.depth:g}, "
+                f"tat={self.tat!r})")
+
+
+# Re-exported for introspection/tests: the sentinel "no queue bound".
+UNBOUNDED = math.inf

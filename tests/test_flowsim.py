@@ -410,3 +410,150 @@ class TestScenario:
         from repro.experiments import REGISTRY
 
         assert "flowsim" in REGISTRY
+
+
+class TestShapingComposition:
+    """In-network policers/shapers on links (repro.shaping integration)."""
+
+    def _one_way_table(self, n=300, span=40.0, seed=3):
+        rng = np.random.default_rng(seed)
+        starts = np.sort(rng.uniform(0.0, span, n))
+        sizes = rng.pareto(1.2, n) * 2e4 + 5e3
+        return FlowTable.from_arrays(
+            starts, sizes, np.full(n, 2), np.full(n, 3)
+        )
+
+    def _chain(self, policer=None, shaper=None, loss=0.01):
+        topo = Topology(4)
+        topo.add_link(2, 0, 1.25e6, loss=loss)
+        topo.add_link(0, 1, 2.5e6, loss=loss, policer=policer, shaper=shaper)
+        topo.add_link(1, 3, 1.25e6, loss=loss)
+        return topo
+
+    # -- clamp-order contract (Topology.path_loss composes raw, the
+    # -- models clamp their composed input exactly once) ----------------
+    def test_path_loss_composes_policer_loss_raw(self):
+        topo = self._chain(loss=0.01)
+        losses = np.zeros(topo.n_links)
+        li = topo.path(2, 3)[1]  # the middle (policed) hop
+        losses[li] = 0.30
+        topo.set_policer_losses(losses)
+        path = topo.path(2, 3)
+        expected = 1.0 - (1.0 - 0.01) ** 3 * (1.0 - 0.30)
+        assert topo.path_loss(path) == pytest.approx(expected, rel=1e-12)
+
+    def test_path_loss_is_not_clamped_only_model_input_is(self):
+        # Composition happens on raw probabilities; a policer-dominated
+        # path may exceed the models' 0.45 ceiling or undershoot the
+        # 1e-8 floor, and the clamp is applied once, to the composition.
+        topo = Topology(3)
+        topo.add_link(0, 1, 1e6, loss=0.0)
+        topo.add_link(1, 2, 1e6, loss=0.0)
+        losses = np.zeros(topo.n_links)
+        for li in topo.path(0, 2):
+            losses[li] = 0.6
+        topo.set_policer_losses(losses)
+        composed = topo.path_loss(topo.path(0, 2))
+        assert composed == pytest.approx(1.0 - 0.4 * 0.4)  # 0.84 > ceiling
+        m = Msmo97()
+        r_composed, _ = m(np.array([1e6]), 0.1, np.array([composed]))
+        r_ceiling, _ = m(np.array([1e6]), 0.1, np.array([0.45]))
+        assert r_composed[0] == r_ceiling[0]  # clamped once, at the model
+
+        # Floor side: three sub-floor hops compose below the floor and
+        # are floored once — not per hop (which would triple the input).
+        topo2 = Topology(4)
+        for i in range(3):
+            topo2.add_link(i, i + 1, 1e6, loss=1e-10)
+        composed2 = topo2.path_loss(topo2.path(0, 3))
+        assert composed2 < 1e-8  # raw: ~3e-10, below the model floor
+        r_lo, _ = m(np.array([1e6]), 0.1, np.array([composed2]))
+        r_floor, _ = m(np.array([1e6]), 0.1, np.array([1e-8]))
+        assert r_lo[0] == r_floor[0]
+
+    def test_policer_dominated_path_drives_closure_models(self):
+        # Regression: ambient loss is negligible, the policer supplies
+        # essentially all of the path loss the models see.
+        table = self._one_way_table()
+        clean = FlowSimulator(self._chain(loss=1e-9)).run(table)
+        policed = FlowSimulator(
+            self._chain(policer=(3e5, 1e5), loss=1e-9)
+        ).run(table)
+        installed = policed.policer_losses
+        assert installed.max() > 0.05  # the pre-pass found real drops
+        # Every flow's composed path loss is policer-dominated ...
+        assert policed.losses.min() > 0.9 * installed.max()
+        # ... and the closure model slows down accordingly.
+        assert (policed.rates[policed.completed].mean()
+                < 0.8 * clean.rates[clean.completed].mean())
+
+    # -- two-phase pre-pass --------------------------------------------
+    def test_two_phase_installs_policer_losses(self):
+        table = self._one_way_table()
+        topo = self._chain(policer=(4e5, 1e5))
+        res = FlowSimulator(topo).run(table)
+        positive = res.policer_losses[res.policer_losses > 0]
+        assert positive.size == 1  # only the policed direction drops
+        assert 0.0 < positive[0] < 1.0
+        # Links without a policer stay at zero.
+        for link in topo.links:
+            if link.policer is None:
+                assert link.policer_loss == 0.0
+
+    def test_unpoliced_topology_is_single_pass_and_unchanged(self):
+        table = self._one_way_table()
+        res = FlowSimulator(self._chain()).run(table)
+        assert np.all(res.policer_losses == 0.0)
+
+    def test_fifo_discipline_supports_policed_links(self):
+        table = self._one_way_table()
+        res = FlowSimulator(
+            self._chain(policer=(4e5, 1e5)), discipline="fifo"
+        ).run(table)
+        assert res.policer_losses.max() > 0.0
+
+    # -- conditioned LinkStats exports ---------------------------------
+    def _stats_on(self, res, attr):
+        return next(s for s in res.links
+                    if getattr(s.link, attr) is not None and s.n_flows)
+
+    def test_policed_link_export_splits_offered_exactly(self):
+        res = FlowSimulator(
+            self._chain(policer=(4e5, 1e5))
+        ).run(self._one_way_table())
+        s = self._stats_on(res, "policer")
+        offered = s.bytes_transferred()
+        assert s.dropped_bytes > 0.0
+        assert s.bytes_delivered() + s.dropped_bytes == pytest.approx(
+            offered, rel=1e-9
+        )
+        assert s.policer_loss == pytest.approx(
+            s.dropped_bytes / offered, rel=1e-9
+        )
+
+    def test_shaped_link_exports_conserve_bytes(self):
+        rate, depth = 5e5, 2e5
+        res = FlowSimulator(
+            self._chain(shaper=(rate, depth))
+        ).run(self._one_way_table())
+        s = self._stats_on(res, "shaper")
+        offered = s.bytes_transferred()
+        assert s.dropped_bytes == 0.0
+        assert s.bytes_delivered() == pytest.approx(offered, rel=1e-9)
+        bin_w = 0.5
+        proc = s.byte_process(bin_w)
+        # Conservation through binning (default end covers the drain) ...
+        assert proc.counts.sum() == pytest.approx(offered, rel=1e-9)
+        # ... and the shaped output respects the (rho, sigma) envelope.
+        assert (proc.counts / bin_w).max() <= rate + depth / bin_w + 1e-6
+
+    def test_link_spec_validation(self):
+        with pytest.raises(ValueError, match="policer rate"):
+            Topology(2).add_link(0, 1, 1e6, policer=(0.0, 1.0))
+        with pytest.raises(ValueError, match="shaper depth"):
+            Topology(2).add_link(0, 1, 1e6, shaper=(1.0, -1.0))
+        with pytest.raises(ValueError, match="policer_loss"):
+            from repro.flowsim.topology import Link
+
+            Link(index=0, src=0, dst=1, capacity=1e6, delay=0.01,
+                 policer_loss=1.5)

@@ -181,6 +181,48 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(1.0, depth=0.0)
 
+    def test_acquire_waits_bit_identical_to_pre_refactor_bucket(self):
+        # The TAT arithmetic moved into repro.shaping.gcra.GcraCore; this
+        # pins the asyncio bucket to the exact pre-refactor float math.
+        class LegacyBucket:
+            """The bucket as it was before the GCRA core extraction."""
+
+            def __init__(self, rate, depth, *, clock, sleep):
+                self._rate = rate
+                self._depth = depth
+                self._tat = None
+                self._clock = clock
+                self._sleep = sleep
+
+            async def acquire(self, n=1.0):
+                now = self._clock()
+                if self._tat is None:
+                    self._tat = now
+                burst_allowance = self._depth / self._rate
+                self._tat = max(self._tat, now) + n / self._rate
+                wait = self._tat - now - burst_allowance
+                if wait > 0:
+                    await self._sleep(wait)
+
+        rng = np.random.default_rng(5)
+        for rate, depth in [(100.0, 10.0), (3.7, 0.9), (1000.0, 64.0)]:
+            ft_new, ft_old = FakeTime(), FakeTime()
+            new = TokenBucket(rate, depth, clock=ft_new.clock,
+                              sleep=ft_new.sleep)
+            old = LegacyBucket(rate, depth, clock=ft_old.clock,
+                               sleep=ft_old.sleep)
+            ns = rng.uniform(0.1, 200.0, 50)
+            idles = rng.uniform(0.0, 5.0, 50)
+
+            async def drive(bucket, ft):
+                for n, idle in zip(ns, idles):
+                    await bucket.acquire(float(n))
+                    ft.now += float(idle)
+
+            asyncio.run(drive(new, ft_new))
+            asyncio.run(drive(old, ft_old))
+            assert ft_new.sleeps == ft_old.sleeps  # exact, not approx
+
 
 class TestPacer:
     def test_drift_corrected_targets(self):
