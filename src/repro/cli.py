@@ -480,6 +480,38 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument("capture", help="capture file from a replay run")
     val.add_argument("--json", action="store_true", dest="as_json",
                      help="print the validation report as JSON")
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative TOML scenario specs"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+    scrun = scenario_sub.add_parser(
+        "run", help="execute scenario spec file(s) through the cached engine",
+        parents=[common],
+    )
+    scrun.add_argument("specs", nargs="+", metavar="spec.toml",
+                       help="scenario spec file(s), executed in order")
+    scrun.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                       help="shard workers (default 1; sketch-merge algebra "
+                            "keeps results independent of N)")
+    scrun.add_argument("--seed", type=int, default=None,
+                       help="override the spec's [scenario].seed")
+    scrun.add_argument("--json", action="store_true", dest="as_json",
+                       help="print BENCH-shaped scenario payloads as JSON")
+    scrun.add_argument("--out", default=None, metavar="DIR",
+                       help="write per-scenario BENCH_scenario_*.json into DIR")
+    scrun.add_argument("--no-cache", action="store_true",
+                       help="recompute; skip cache reads and writes")
+    scrun.add_argument("--cache-dir", default=None,
+                       help="cache root (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
+    scval = scenario_sub.add_parser(
+        "validate", help="strictly resolve spec file(s); print normalized form",
+        parents=[common],
+    )
+    scval.add_argument("specs", nargs="+", metavar="spec.toml",
+                       help="scenario spec file(s) to validate")
     return parser
 
 
@@ -931,6 +963,121 @@ def _replay_command(args) -> int:
     return handler(args)
 
 
+def _scenario_command(args) -> int:
+    from repro.scenario import SpecError, dump_spec, load_spec
+
+    if args.scenario_command == "validate":
+        status = 0
+        for path in args.specs:
+            try:
+                text = dump_spec(load_spec(path))
+            except (OSError, SpecError) as exc:
+                print(f"{path}: {exc}", file=sys.stderr)
+                status = 2
+                continue
+            print(f"# {path}: valid")
+            print(text)
+        return status
+
+    from repro.scenario import run_spec_cached
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    failures = 0
+    for path in args.specs:
+        try:
+            doc = load_spec(path)
+        except (OSError, SpecError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            outcome, status = run_spec_cached(
+                doc, jobs=args.jobs, seed=args.seed,
+                cache=cache, use_cache=not args.no_cache,
+            )
+        except SpecError as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 2
+        except Exception as exc:  # noqa: BLE001 - report, keep batch going
+            print(f"{path}: {outcome_name(doc)} failed: {exc}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        if args.out:
+            _write_bench_json(outcome.payload(), args.out,
+                              f"BENCH_scenario_{outcome.name}.json")
+        if args.as_json:
+            print(json.dumps(outcome.payload(), indent=2))
+        else:
+            print(outcome.rendered)
+            print(f"[{outcome.name} ({outcome.kind}): "
+                  f"{outcome.compute_time_s:.1f}s, cache {status}]")
+    return 1 if failures else 0
+
+
+def outcome_name(doc: dict) -> str:
+    scenario = doc.get("scenario")
+    if isinstance(scenario, dict):
+        return str(scenario.get("name", "<unnamed>"))
+    return "<unnamed>"
+
+
+#: ``repro list`` groups, matched against the registry entry's module
+#: basename.  Every family with a spec kind carries the [spec] marker:
+#: those experiments are expressible as ``repro scenario run`` documents.
+_LIST_GROUPS: tuple[tuple[str, str], ...] = (
+    ("fig", "paper tables & figures"),
+    ("tables", "paper tables & figures"),
+    ("appendix_b", "appendices"),
+    ("appendices", "appendices"),
+    ("implications", "modeling implications"),
+    ("sessions", "session structure"),
+    ("telnet_scales", "session structure"),
+    ("flowsim_exp", "subsystem scenarios"),
+    ("monitor_exp", "subsystem scenarios"),
+    ("shaping_exp", "subsystem scenarios"),
+    ("superpose_exp", "subsystem scenarios"),
+)
+_SPEC_KINDS = {"flowsim_exp": "flowsim", "monitor_exp": "monitor",
+               "shaping_exp": "shaping", "superpose_exp": "superpose"}
+
+
+def _list_command() -> int:
+    from repro.experiments import registry_modules
+
+    modules = registry_modules()
+    groups: dict[str, list[str]] = {}
+    for name in sorted(REGISTRY):
+        base = modules[name].rpartition(".")[2]
+        group = next((g for prefix, g in _LIST_GROUPS
+                      if base.startswith(prefix)), "other experiments")
+        groups.setdefault(group, []).append(name)
+    width = max(len(name) for name in REGISTRY) + 2
+    order = ["paper tables & figures", "appendices",
+             "modeling implications", "session structure",
+             "subsystem scenarios", "other experiments"]
+    first = True
+    for group in order:
+        if group not in groups:
+            continue
+        if not first:
+            print()
+        first = False
+        print(f"# {group}")
+        for name in groups[group]:
+            doc = (REGISTRY[name].__doc__ or "").strip().splitlines()
+            summary = doc[0].strip() if doc and doc[0].strip() else (
+                "(no description)"
+            )
+            base = modules[name].rpartition(".")[2]
+            if base in _SPEC_KINDS:
+                summary = f"[spec:{_SPEC_KINDS[base]}] {summary}"
+            print(f"{name:<{width}} {summary}")
+    print()
+    print('# every entry also runs as a kind="experiment" scenario spec; '
+          "see examples/specs/")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "verbose", False):
@@ -951,15 +1098,10 @@ def main(argv: list[str] | None = None) -> int:
         return _shaping_command(args)
     if args.command == "replay":
         return _replay_command(args)
+    if args.command == "scenario":
+        return _scenario_command(args)
     if args.command == "list":
-        width = max(len(name) for name in REGISTRY) + 2
-        for name in sorted(REGISTRY):
-            doc = (REGISTRY[name].__doc__ or "").strip().splitlines()
-            summary = doc[0].strip() if doc and doc[0].strip() else (
-                "(no description)"
-            )
-            print(f"{name:<{width}} {summary}")
-        return 0
+        return _list_command()
     if args.command == "cache":
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
         if args.action == "dir":

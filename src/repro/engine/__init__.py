@@ -14,6 +14,7 @@ from repro.engine.cache import (
     CacheEntry,
     ResultCache,
     clear_digest_caches,
+    content_digest,
     default_cache_dir,
     dependency_closure,
     source_digest,
@@ -38,6 +39,7 @@ __all__ = [
     "ExperimentRun",
     "ResultCache",
     "clear_digest_caches",
+    "content_digest",
     "default_cache_dir",
     "dependency_closure",
     "derived_seeds",

@@ -144,6 +144,24 @@ def source_digest(module: str) -> str:
     return h.hexdigest()
 
 
+def content_digest(module: str, content: str | bytes) -> str:
+    """Digest for document-driven runs: source closure plus document content.
+
+    Spec-driven scenarios are keyed on *what they say*, not just which
+    code runs them: the digest combines ``module``'s transitive source
+    digest with the normalized document bytes, so editing either the
+    pipeline sources or any effective spec value invalidates the entry,
+    while reordering keys or restating defaults leaves it warm.
+    """
+    if isinstance(content, str):
+        content = content.encode("utf-8")
+    h = hashlib.sha256()
+    h.update(source_digest(module).encode())
+    h.update(b"\0")
+    h.update(content)
+    return h.hexdigest()
+
+
 def clear_digest_caches() -> None:
     """Forget memoized graphs/digests (after editing sources in-process)."""
     _module_files.cache_clear()

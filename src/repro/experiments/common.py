@@ -1,0 +1,35 @@
+"""Shared trace/protocol constant tables for the figure experiments.
+
+Each figure of the paper works over a named subset of the Table I/II
+datasets and protocols.  These tables were once restated per module;
+they live here so the synthesis vocabulary is defined exactly once and
+every figure imports the subset it reproduces (the figure modules keep
+their historical module-level aliases, e.g. ``fig02.DEFAULT_TRACES``).
+"""
+
+from __future__ import annotations
+
+#: Fig. 1 — hourly connection-rate curves: the four interactive-era LBL
+#: connection traces and the protocols the figure plots.
+HOURLY_RATE_TRACES: tuple[str, ...] = ("LBL-1", "LBL-2", "LBL-3", "LBL-4")
+HOURLY_RATE_PROTOCOLS: tuple[str, ...] = ("TELNET", "FTP", "NNTP", "SMTP")
+
+#: Fig. 2 — Poisson-consistency battery: one trace per site plus the
+#: six protocols tested, at the paper's two fixed-rate intervals.
+POISSON_TEST_TRACES: tuple[str, ...] = (
+    "LBL-1", "LBL-2", "UCB", "UK", "DEC-1", "BC")
+POISSON_TEST_PROTOCOLS: tuple[str, ...] = (
+    "TELNET", "FTP", "FTPDATA", "SMTP", "NNTP", "WWW")
+POISSON_TEST_INTERVALS: tuple[float, ...] = (3600.0, 600.0)
+
+#: Fig. 8 — FTPDATA intra-session spacing CDFs.
+FTP_SPACING_TRACES: tuple[str, ...] = (
+    "LBL-1", "LBL-5", "LBL-6", "LBL-7", "DEC-1", "UCB")
+
+#: Fig. 9 — FTPDATA burst byte-concentration curves.
+BURST_CONCENTRATION_TRACES: tuple[str, ...] = (
+    "LBL-6", "LBL-7", "UCB", "DEC-1", "UK", "NC")
+
+#: Figs. 10-13 — the DEC Western Research Lab packet traces.
+WRL_TRACES: tuple[str, ...] = (
+    "DEC WRL-1", "DEC WRL-2", "DEC WRL-3", "DEC WRL-4")

@@ -13,12 +13,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.common import (
+    HOURLY_RATE_PROTOCOLS as PROTOCOLS,
+    HOURLY_RATE_TRACES as DEFAULT_TRACES,
+)
 from repro.experiments.report import ascii_sparkline, format_table
 from repro.traces.synthesis import synthesize_connection_trace
 from repro.utils.rng import SeedLike, spawn_rngs
-
-PROTOCOLS = ("TELNET", "FTP", "NNTP", "SMTP")
-DEFAULT_TRACES = ("LBL-1", "LBL-2", "LBL-3", "LBL-4")
 
 
 @dataclass(frozen=True)

@@ -19,14 +19,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ftp import trace_bursts
+from repro.experiments.common import (
+    POISSON_TEST_INTERVALS as INTERVALS,
+    POISSON_TEST_PROTOCOLS as PROTOCOLS,
+    POISSON_TEST_TRACES as DEFAULT_TRACES,
+)
 from repro.experiments.report import format_table
 from repro.stats.poisson_tests import PoissonTestResult, evaluate_arrival_process
 from repro.traces.synthesis import synthesize_connection_trace
 from repro.utils.rng import SeedLike, spawn_rngs
-
-PROTOCOLS = ("TELNET", "FTP", "FTPDATA", "SMTP", "NNTP", "WWW")
-DEFAULT_TRACES = ("LBL-1", "LBL-2", "UCB", "UK", "DEC-1", "BC")
-INTERVALS = (3600.0, 600.0)
 
 
 @dataclass(frozen=True)

@@ -14,12 +14,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ftp import BURST_SPACING_SECONDS, intra_session_spacings
+from repro.experiments.common import FTP_SPACING_TRACES as DEFAULT_TRACES
 from repro.distributions.exponential import Exponential
 from repro.experiments.report import format_table
 from repro.traces.synthesis import synthesize_connection_trace
 from repro.utils.rng import SeedLike, spawn_rngs
-
-DEFAULT_TRACES = ("LBL-1", "LBL-5", "LBL-6", "LBL-7", "DEC-1", "UCB")
 
 
 @dataclass(frozen=True)

@@ -14,12 +14,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ftp import burst_tail_summary, trace_bursts
+from repro.experiments.common import (
+    BURST_CONCENTRATION_TRACES as DEFAULT_TRACES,
+)
 from repro.experiments.report import format_table
 from repro.stats.tail import concentration_curve, exponential_top_share
 from repro.traces.synthesis import synthesize_connection_trace
 from repro.utils.rng import SeedLike, spawn_rngs
-
-DEFAULT_TRACES = ("LBL-6", "LBL-7", "UCB", "DEC-1", "UK", "NC")
 
 
 @dataclass(frozen=True)

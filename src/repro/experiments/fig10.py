@@ -14,11 +14,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.ftp import FtpSessionModel, coalesce_bursts
+from repro.experiments.common import WRL_TRACES
 from repro.experiments.report import ascii_sparkline, format_table
 from repro.utils.rng import SeedLike, spawn_rngs
 
 LBL_TRACES = ("LBL PKT-1", "LBL PKT-2", "LBL PKT-3", "LBL PKT-5")
-WRL_TRACES = ("DEC WRL-1", "DEC WRL-2", "DEC WRL-3", "DEC WRL-4")
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.common import WRL_TRACES
 from repro.experiments.report import format_table
 from repro.selfsim.beran import beran_goodness_of_fit
 from repro.selfsim.counts import CountProcess
@@ -23,7 +24,6 @@ from repro.traces.synthesis import synthesize_packet_trace
 from repro.utils.rng import SeedLike, spawn_rngs
 
 LBL_TRACES = ("LBL PKT-1", "LBL PKT-2", "LBL PKT-3", "LBL PKT-4", "LBL PKT-5")
-WRL_TRACES = ("DEC WRL-1", "DEC WRL-2", "DEC WRL-3", "DEC WRL-4")
 
 
 @dataclass(frozen=True)

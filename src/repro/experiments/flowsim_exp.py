@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.experiments.report import format_table
 from repro.flowsim.scenario import FlowScenario, ScenarioResult
+from repro.scenario import execute
 from repro.utils.rng import SeedLike
 
 
@@ -55,6 +56,38 @@ class FlowsimComparisonResult:
         return "\n\n".join([table, self.ftp.render(), self.control.render()])
 
 
+def run_config(cfg: dict, seed: SeedLike = 0, jobs: int = 1):
+    """The flowsim family runner: one resolved ``[flowsim]`` section.
+
+    Runs every requested workload over the same topology with the same
+    seed (each run spawns its streams fresh, so order is immaterial) and
+    wraps the ftp/exponential pair in the comparison result the registry
+    has always reported.  A single workload returns its bare
+    :class:`~repro.flowsim.scenario.ScenarioResult`.
+    """
+    workloads = tuple(cfg.get("workloads", ("ftp", "exponential")))
+    outs = {}
+    for workload in workloads:
+        scenario = FlowScenario(
+            topology=cfg.get("topology", "line"),
+            n_nodes=cfg.get("n_nodes", 10),
+            duration=cfg.get("duration", 3600.0),
+            sessions_per_hour=cfg.get("sessions_per_hour", 4000.0),
+            workload=workload,
+            model=cfg.get("model", "msmo97"),
+            discipline=cfg.get("discipline", "fair"),
+            utilization=cfg.get("utilization", 0.4),
+            bin_width=cfg.get("bin_width", 1.0),
+        )
+        outs[workload] = scenario.run(seed=seed, jobs=jobs)
+    if set(workloads) == {"ftp", "exponential"}:
+        return FlowsimComparisonResult(ftp=outs["ftp"],
+                                       control=outs["exponential"])
+    if len(outs) == 1:
+        return next(iter(outs.values()))
+    raise ValueError(f"unsupported workload combination {workloads!r}")
+
+
 def flowsim(
     seed: SeedLike = 0,
     topology: str = "line",
@@ -66,16 +99,11 @@ def flowsim(
     jobs: int = 1,
 ) -> FlowsimComparisonResult:
     """Run the ftp scenario and its exponential control, same seed."""
-    base = FlowScenario(
-        topology=topology,
-        n_nodes=n_nodes,
-        duration=duration,
-        sessions_per_hour=sessions_per_hour,
-        model=model,
-        utilization=utilization,
-    )
-    ftp = base.run(seed=seed, jobs=jobs)
-    control = FlowScenario(
-        **{**base.__dict__, "workload": "exponential"}
-    ).run(seed=seed, jobs=jobs)
-    return FlowsimComparisonResult(ftp=ftp, control=control)
+    return execute("flowsim", {
+        "topology": topology,
+        "n_nodes": n_nodes,
+        "duration": duration,
+        "sessions_per_hour": sessions_per_hour,
+        "model": model,
+        "utilization": utilization,
+    }, seed=seed, jobs=jobs)

@@ -27,6 +27,7 @@ from repro.monitor import (
     pareto_stream,
     poisson_stream,
 )
+from repro.scenario import execute
 from repro.selfsim.counts import CountProcess
 from repro.selfsim.variance_time import hurst_from_variance_time
 from repro.utils.rng import SeedLike, spawn_rngs
@@ -133,13 +134,16 @@ class MonitorBatteryResult:
         return "\n".join(lines)
 
 
-def monitor(
-    seed: SeedLike = 0,
-    duration: float = 400.0,
-    rate: float = 50.0,
-    window: float = 60.0,
-) -> MonitorBatteryResult:
-    """Run the five-stream discrimination battery through live monitors."""
+def run_config(cfg: dict, seed: SeedLike = 0,
+               jobs: int = 1) -> MonitorBatteryResult:
+    """The monitor family runner: one resolved ``[monitor]`` section.
+
+    ``jobs`` is accepted for runner-signature uniformity; the battery is
+    a closed loop over one service per stream and runs serially.
+    """
+    duration = cfg.get("duration", 400.0)
+    rate = cfg.get("rate", 50.0)
+    window = cfg.get("window", 60.0)
     rngs = spawn_rngs(seed, 5)
     config = _test_config(window)
     step_duration = max(duration * 1.5, duration + 4 * window)
@@ -178,3 +182,15 @@ def monitor(
         step_alarm_time=min(step_alarms) if step_alarms else None,
         step_time=float(step_time),
     )
+
+
+def monitor(
+    seed: SeedLike = 0,
+    duration: float = 400.0,
+    rate: float = 50.0,
+    window: float = 60.0,
+) -> MonitorBatteryResult:
+    """Run the five-stream discrimination battery through live monitors."""
+    return execute("monitor", {
+        "duration": duration, "rate": rate, "window": window,
+    }, seed=seed)

@@ -14,14 +14,32 @@ coarse-scale LRD slope — the paper's actual finding — is conserved.
 
 from __future__ import annotations
 
+from repro.scenario import execute
 from repro.utils.rng import SeedLike
 
 
-def shaping(seed: SeedLike = 7) -> "ShapingReport":  # noqa: F821
-    """Run the synthesize -> police -> detect loop plus the Hurst battery."""
+def run_config(cfg: dict, seed: SeedLike = 7,
+               jobs: int = 1) -> "ShapingReport":  # noqa: F821
+    """The shaping family runner: one resolved ``[shaping]`` section."""
     # Lazy: repro.shaping reaches repro.stream, whose driver imports this
     # registry back — a module-level import here would close the cycle.
     from repro.shaping.scenario import ShapingScenario, run_scenario
 
-    scenario = ShapingScenario(seed=7 if seed is None else int(seed))
+    scenario = ShapingScenario(
+        model=cfg.get("model", "ftp"),
+        n_packets=cfg.get("n_packets", 60_000),
+        source_rate=cfg.get("source_rate", 240.0),
+        rate_factors=tuple(cfg.get("rate_factors", (0.3, 0.5, 0.8))),
+        burst_seconds=tuple(cfg.get("burst_seconds", (0.25, 1.0, 4.0))),
+        shaper_rate_factors=tuple(
+            cfg.get("shaper_rate_factors", (1.0, 1.5, 3.0))),
+        hurst_bin_s=cfg.get("hurst_bin_s", 0.01),
+        hurst_split_level=cfg.get("hurst_split_level", 8),
+        seed=7 if seed is None else int(seed),
+    )
     return run_scenario(scenario)
+
+
+def shaping(seed: SeedLike = 7) -> "ShapingReport":  # noqa: F821
+    """Run the synthesize -> police -> detect loop plus the Hurst battery."""
+    return execute("shaping", seed=seed)

@@ -41,6 +41,7 @@ from repro.distributions.exponential import Exponential
 from repro.distributions.pareto import hill_estimator
 from repro.experiments.report import format_table
 from repro.kernels import superpose_onoff, superpose_onoff_groups
+from repro.scenario import execute
 from repro.selfsim.counts import CountProcess
 from repro.selfsim.variance_time import variance_time_curve
 from repro.stats import anderson_darling_normal
@@ -200,23 +201,12 @@ class SuperposePhaseDiagram:
         return "\n".join(lines)
 
 
-def superpose(
-    seed=0,
-    replications: int = 192,
-    pareto_shape: float = 1.2,
-    battery_sources: int = 50_000,
-    jobs: int = 1,
-    chunk: int = 8192,
-) -> SuperposePhaseDiagram:
-    """Sweep the Gaussian-vs-stable phase diagram of ON/OFF superposition.
-
-    Each cell synthesizes ``replications`` independent aggregates of
-    ``n_sources`` sources over ``horizon`` seconds in one grouped-kernel
-    sweep, then tests the marginal law of the cumulative workloads.  The
-    Hurst battery synthesizes one ``battery_sources``-source aggregate
-    (1024 unit bins) for the Pareto law and a matched-mean exponential
-    control and fits variance-time H to each.
-    """
+def run_config(cfg: dict, seed=0, jobs: int = 1) -> SuperposePhaseDiagram:
+    """The superpose family runner: one resolved ``[superpose]`` section."""
+    replications = cfg.get("replications", 192)
+    pareto_shape = cfg.get("pareto_shape", 1.2)
+    battery_sources = cfg.get("battery_sources", 50_000)
+    chunk = cfg.get("chunk", 8192)
     if replications < 8:
         raise ValueError(f"replications must be >= 8, got {replications}")
     location = 0.1  # short mean periods: many ON/OFF cycles per horizon
@@ -266,3 +256,28 @@ def superpose(
         control_hurst=hs[1],
         expected_h=expected_hurst(pareto_shape, pareto_shape),
     )
+
+
+def superpose(
+    seed=0,
+    replications: int = 192,
+    pareto_shape: float = 1.2,
+    battery_sources: int = 50_000,
+    jobs: int = 1,
+    chunk: int = 8192,
+) -> SuperposePhaseDiagram:
+    """Sweep the Gaussian-vs-stable phase diagram of ON/OFF superposition.
+
+    Each cell synthesizes ``replications`` independent aggregates of
+    ``n_sources`` sources over ``horizon`` seconds in one grouped-kernel
+    sweep, then tests the marginal law of the cumulative workloads.  The
+    Hurst battery synthesizes one ``battery_sources``-source aggregate
+    (1024 unit bins) for the Pareto law and a matched-mean exponential
+    control and fits variance-time H to each.
+    """
+    return execute("superpose", {
+        "replications": replications,
+        "pareto_shape": pareto_shape,
+        "battery_sources": battery_sources,
+        "chunk": chunk,
+    }, seed=seed, jobs=jobs)

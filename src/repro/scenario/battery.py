@@ -1,0 +1,228 @@
+"""The validation battery: every paper-level verdict from one merged summary.
+
+A scenario's ``[validate]`` section names the checks the paper runs by hand
+across its figures: the Poisson A² gap test (Section II / Appendix A), the
+Pareto tail β (Sections IV-VI), the variance-time Hurst estimate
+(Section VIII), and the Clegg LRD-vs-drift discrimination (detrended H).
+The battery computes all of them from two inputs the shard coordinator
+already guarantees are partition-invariant:
+
+* the **merged sketches** (count ladder, tail reservoirs, moments) — exact
+  under shard merge, so sketch-derived verdicts are jobs-independent by
+  construction;
+* the **full event columns** held at the coordinator — used for the
+  interval-based Poisson tests, which are trivially jobs-independent
+  because they never leave the coordinator.
+
+The result is one typed verdict object whose rendered form and payload are
+byte-identical for every worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BatteryReport", "run_battery"]
+
+#: Verdict vocabulary, aligned with :data:`repro.monitor.service.VERDICTS`.
+VERDICTS = ("poisson-like", "self-similar", "nonstationary",
+            "indeterminate")
+
+
+@dataclass(frozen=True)
+class BatteryReport:
+    """All validation verdicts for one (possibly sharded) trace."""
+
+    n_events: int
+    duration: float
+    # Poisson A² on the pooled interarrivals (Case 3, mean estimated).
+    a2_statistic: float
+    a2_critical: float
+    a2_passed: bool
+    # Appendix-A fixed-rate interval methodology (None when no interval
+    # was dense enough to test).
+    interval_s: float
+    exp_pass_rate: float | None
+    indep_pass_rate: float | None
+    poisson_consistent: bool | None
+    # Heavy-tail βs from the merged reservoirs (None when the upper
+    # tail is degenerate — e.g. a policer quantized the gaps).
+    tail_fraction: float
+    gap_beta: float | None
+    size_beta: float | None
+    # Variance-time Hurst from the merged count ladder.
+    hurst: float | None
+    # Clegg discrimination: raw vs detrended H.
+    detrended: float | None
+    hurst_gap: float
+    drifting: bool
+    drift_reason: str
+    verdict: str
+
+    def rows(self) -> list[dict]:
+        return [
+            {"check": "poisson A2 (gaps)",
+             "value": round(self.a2_statistic, 3),
+             "threshold": round(self.a2_critical, 3),
+             "verdict": "pass" if self.a2_passed else "reject"},
+            {"check": f"poisson intervals ({self.interval_s:.0f}s)",
+             "value": ("-" if self.exp_pass_rate is None
+                       else round(self.exp_pass_rate, 3)),
+             "threshold": ("-" if self.indep_pass_rate is None
+                           else round(self.indep_pass_rate, 3)),
+             "verdict": ("untestable" if self.poisson_consistent is None
+                         else "consistent" if self.poisson_consistent
+                         else "inconsistent")},
+            {"check": f"gap tail beta (top {self.tail_fraction:g})",
+             "value": ("-" if self.gap_beta is None
+                       else round(self.gap_beta, 3)),
+             "threshold": "<2 heavy",
+             "verdict": ("degenerate" if self.gap_beta is None
+                         else "heavy" if self.gap_beta < 2.0 else "light")},
+            {"check": "variance-time H",
+             "value": ("-" if self.hurst is None else round(self.hurst, 3)),
+             "threshold": ">0.6 LRD",
+             "verdict": ("undefined" if self.hurst is None
+                         else "elevated" if self.hurst > 0.6 else "near-1/2")},
+            {"check": "detrended H (drift)",
+             "value": ("-" if self.detrended is None
+                       else round(self.detrended, 3)),
+             "threshold": round(self.hurst_gap, 3),
+             "verdict": "drifting" if self.drifting else "stationary"},
+        ]
+
+    def payload(self) -> dict:
+        return {
+            "n_events": int(self.n_events),
+            "duration_s": float(self.duration),
+            "a2": {"statistic": float(self.a2_statistic),
+                   "critical": float(self.a2_critical),
+                   "passed": bool(self.a2_passed)},
+            "intervals": {
+                "interval_s": float(self.interval_s),
+                "exp_pass_rate": self.exp_pass_rate,
+                "indep_pass_rate": self.indep_pass_rate,
+                "poisson_consistent": self.poisson_consistent,
+            },
+            "tail": {"fraction": float(self.tail_fraction),
+                     "gap_beta": self.gap_beta,
+                     "size_beta": self.size_beta},
+            "hurst": self.hurst,
+            "drift": {"detrended_hurst": self.detrended,
+                      "hurst_gap": float(self.hurst_gap),
+                      "drifting": bool(self.drifting),
+                      "reason": self.drift_reason},
+            "verdict": self.verdict,
+        }
+
+    def render(self) -> str:
+        from repro.experiments.report import format_table
+
+        head = (f"validation battery — {self.n_events:,d} events over "
+                f"{self.duration:,.1f} s")
+        table = format_table(self.rows(), title=head)
+        return f"{table}\nverdict: {self.verdict}"
+
+
+def _classify(a2_passed: bool, hurst: float | None,
+              drifting: bool) -> str:
+    """One headline verdict from the component checks (monitor vocabulary)."""
+    if drifting:
+        return "nonstationary"
+    if hurst is not None and hurst > 0.65:
+        return "self-similar"
+    if a2_passed and (hurst is None or abs(hurst - 0.5) <= 0.15):
+        return "poisson-like"
+    return "indeterminate"
+
+
+def run_battery(times, sizes, summary, cfg: dict) -> BatteryReport:
+    """Run the configured battery over one trace and its merged summary.
+
+    ``cfg`` is the resolved ``[validate]`` section.  ``summary`` must
+    cover exactly ``times``/``sizes`` (the shard coordinator guarantees
+    it); every sketch-derived number below is then independent of how
+    many shards built the summary.
+    """
+    from repro.monitor.estimators import assess_drift
+    from repro.stats import anderson_darling_exponential
+    from repro.stats.poisson_tests import evaluate_arrival_process
+
+    times = np.asarray(times, dtype=float)
+    if times.size < 3:
+        raise ValueError(f"battery needs >= 3 events, got {times.size}")
+    gaps = np.diff(times)
+    ad = anderson_darling_exponential(gaps[gaps > 0],
+                                      significance=cfg["significance"])
+
+    interval = cfg["poisson_interval"]
+    exp_rate = indep_rate = consistent = None
+    try:
+        itest = evaluate_arrival_process(
+            times, interval, significance=cfg["significance"],
+            start=float(times[0]), end=float(times[-1]),
+        )
+        exp_rate = float(itest.exponential_pass_rate)
+        indep_rate = float(itest.independence_pass_rate)
+        consistent = bool(itest.poisson_consistent)
+    except ValueError:
+        pass  # no interval dense enough to test — reported as untestable
+
+    fraction = summary.best_tail_fraction(cfg["tail_fraction"], "gap")
+    gap_beta = size_beta = None
+    try:
+        gap_beta = float(summary.interarrival_tail_beta(fraction)[0])
+    except ValueError:
+        pass  # degenerate upper tail (e.g. policer-quantized gaps)
+    if sizes is not None:
+        try:
+            size_fraction = summary.best_tail_fraction(
+                cfg["tail_fraction"], "size")
+            size_beta = float(summary.size_tail_beta(size_fraction)[0])
+        except ValueError:
+            pass
+
+    process = summary.counts.as_count_process()
+    hurst = None
+    if process.n_bins > 2 ** cfg["min_level"] and process.total > 0:
+        curve = summary.counts.variance_time()
+        hurst = float(curve.hurst(min_level=cfg["min_level"]))
+
+    detrended = None
+    gap = 0.0
+    drifting = False
+    reason = "drift check disabled"
+    if cfg["drift_check"] and hurst is not None:
+        drift = assess_drift(process, hurst, 0,
+                             min_level=cfg["min_level"])
+        detrended = drift.detrended_hurst
+        gap = drift.hurst_gap
+        drifting = drift.drifting
+        reason = drift.reason
+    elif not cfg["drift_check"]:
+        pass
+    else:
+        reason = "hurst undefined; drift not assessed"
+
+    return BatteryReport(
+        n_events=int(times.size),
+        duration=float(times[-1] - times[0]),
+        a2_statistic=float(ad.statistic),
+        a2_critical=float(ad.critical_value),
+        a2_passed=bool(ad.passed),
+        interval_s=float(interval),
+        exp_pass_rate=exp_rate,
+        indep_pass_rate=indep_rate,
+        poisson_consistent=consistent,
+        tail_fraction=float(fraction),
+        gap_beta=gap_beta,
+        size_beta=size_beta,
+        hurst=hurst,
+        detrended=detrended,
+        hurst_gap=float(gap),
+        drifting=drifting,
+        drift_reason=reason,
+        verdict=_classify(bool(ad.passed), hurst, drifting),
+    )
